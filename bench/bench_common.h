@@ -1,0 +1,41 @@
+// Shared support for the experiment harnesses: table printing and parallel
+// trial execution. Each bench binary reproduces one figure/table of the
+// paper (see DESIGN.md's experiment index) and prints the same rows/series
+// the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace gs::bench {
+
+// Runs fn(trial_index) for trials in parallel across hardware threads; each
+// trial owns its own Simulator/Farm, so this is safe and deterministic per
+// (trial, seed).
+inline void parallel_trials(std::size_t trials,
+                            const std::function<void(std::size_t)>& fn) {
+  util::ThreadPool pool;
+  pool.parallel_for(trials, fn);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline std::string fmt_mean_std(const util::Summary& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%7.2f ±%5.2f", s.mean, s.stddev);
+  return buf;
+}
+
+}  // namespace gs::bench

@@ -1,0 +1,146 @@
+// E8 — infrastructure micro-benchmarks (google-benchmark): wire codecs,
+// CRC, event queue, and fabric delivery. These bound the simulator's own
+// overhead so the protocol measurements above are trustworthy.
+#include <benchmark/benchmark.h>
+
+#include "gs/messages.h"
+#include "net/fabric.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "wire/checksum.h"
+#include "wire/frame.h"
+
+namespace {
+
+gs::proto::MemberInfo member(std::uint8_t host) {
+  gs::proto::MemberInfo m;
+  m.ip = gs::util::IpAddress(10, 0, 0, host);
+  m.mac = gs::util::MacAddress(host);
+  m.node = gs::util::NodeId(host);
+  return m;
+}
+
+void BM_EncodeBeacon(benchmark::State& state) {
+  gs::proto::Beacon beacon;
+  beacon.self = member(7);
+  beacon.is_leader = true;
+  beacon.view = 42;
+  beacon.group_size = 55;
+  for (auto _ : state) {
+    auto frame = gs::proto::to_frame(beacon);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_EncodeBeacon);
+
+void BM_DecodeBeacon(benchmark::State& state) {
+  gs::proto::Beacon beacon;
+  beacon.self = member(7);
+  const auto frame = gs::proto::to_frame(beacon);
+  for (auto _ : state) {
+    auto decoded = gs::wire::decode_frame(frame);
+    auto msg = gs::proto::decode_Beacon(decoded.frame.payload);
+    benchmark::DoNotOptimize(msg);
+  }
+}
+BENCHMARK(BM_DecodeBeacon);
+
+void BM_EncodeMembershipReport(benchmark::State& state) {
+  gs::proto::MembershipReport rep;
+  rep.seq = 1;
+  rep.view = 9;
+  rep.full = true;
+  rep.leader = member(200);
+  for (int i = 0; i < state.range(0); ++i)
+    rep.added.push_back(member(static_cast<std::uint8_t>(i)));
+  for (auto _ : state) {
+    auto frame = gs::proto::to_frame(rep);
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EncodeMembershipReport)->Range(8, 256)->Complexity();
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  gs::util::Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gs::wire::crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Range(64, 65536);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    gs::sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i)
+      q.push(static_cast<gs::sim::SimTime>((i * 7919) % 1000), [] {});
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueuePushPop)->Range(64, 16384);
+
+void BM_TimerCancelRearm(benchmark::State& state) {
+  // The heartbeat hot path: every arrival cancels and re-arms a deadline.
+  gs::sim::Simulator sim;
+  gs::sim::Timer timer;
+  for (auto _ : state) {
+    timer.cancel();
+    timer = sim.after(gs::sim::seconds(100), [] {});
+  }
+}
+BENCHMARK(BM_TimerCancelRearm);
+
+void BM_FabricUnicast(benchmark::State& state) {
+  gs::sim::Simulator sim;
+  gs::net::Fabric fabric(sim, gs::util::Rng(1));
+  auto sw = fabric.add_switch(8);
+  auto a = fabric.add_adapter(gs::util::NodeId(0));
+  auto b = fabric.add_adapter(gs::util::NodeId(1));
+  fabric.attach(a, sw, gs::util::VlanId(1));
+  fabric.attach(b, sw, gs::util::VlanId(1));
+  fabric.set_adapter_ip(a, gs::util::IpAddress(10, 0, 0, 1));
+  fabric.set_adapter_ip(b, gs::util::IpAddress(10, 0, 0, 2));
+  fabric.adapter(b).set_receive_handler([](const gs::net::Datagram&) {});
+  gs::proto::Heartbeat hb;
+  hb.view = 1;
+  const auto frame = gs::proto::to_frame(hb);
+  for (auto _ : state) {
+    fabric.send(a, gs::util::IpAddress(10, 0, 0, 2), frame);
+    sim.run();
+  }
+}
+BENCHMARK(BM_FabricUnicast);
+
+void BM_FabricMulticastFanout(benchmark::State& state) {
+  gs::sim::Simulator sim;
+  gs::net::Fabric fabric(sim, gs::util::Rng(1));
+  auto sw = fabric.add_switch(1024);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto sender = fabric.add_adapter(gs::util::NodeId(0));
+  fabric.attach(sender, sw, gs::util::VlanId(1));
+  fabric.set_adapter_ip(sender, gs::util::IpAddress(0x0A000001));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto id = fabric.add_adapter(gs::util::NodeId(i + 1));
+    fabric.attach(id, sw, gs::util::VlanId(1));
+    fabric.set_adapter_ip(id, gs::util::IpAddress(0x0A000002 + i));
+    fabric.adapter(id).set_receive_handler([](const gs::net::Datagram&) {});
+  }
+  gs::proto::Beacon beacon;
+  beacon.self = member(1);
+  const auto frame = gs::proto::to_frame(beacon);
+  for (auto _ : state) {
+    fabric.multicast(sender, gs::net::kBeaconGroup, frame);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FabricMulticastFanout)->Range(8, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#include "config/configdb.h"
+
+namespace gs::config {
+
+std::optional<NodeRecord> ConfigDb::node(util::NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<AdapterRecord> ConfigDb::adapter(util::AdapterId id) const {
+  auto it = adapters_.find(id);
+  if (it == adapters_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<AdapterRecord> ConfigDb::adapter_by_ip(util::IpAddress ip) const {
+  for (const auto& [id, rec] : adapters_)
+    if (rec.ip == ip) return rec;
+  return std::nullopt;
+}
+
+std::vector<AdapterRecord> ConfigDb::adapters_on_vlan(util::VlanId vlan) const {
+  std::vector<AdapterRecord> out;
+  for (const auto& [id, rec] : adapters_)
+    if (rec.expected_vlan == vlan) out.push_back(rec);
+  return out;
+}
+
+std::vector<AdapterRecord> ConfigDb::adapters_of_node(util::NodeId node) const {
+  std::vector<AdapterRecord> out;
+  for (const auto& [id, rec] : adapters_)
+    if (rec.node == node) out.push_back(rec);
+  return out;
+}
+
+std::vector<AdapterRecord> ConfigDb::adapters_on_switch(
+    util::SwitchId sw) const {
+  std::vector<AdapterRecord> out;
+  for (const auto& [id, rec] : adapters_)
+    if (rec.wired_switch == sw) out.push_back(rec);
+  return out;
+}
+
+std::vector<NodeRecord> ConfigDb::all_nodes() const {
+  std::vector<NodeRecord> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, rec] : nodes_) out.push_back(rec);
+  return out;
+}
+
+std::vector<AdapterRecord> ConfigDb::all_adapters() const {
+  std::vector<AdapterRecord> out;
+  out.reserve(adapters_.size());
+  for (const auto& [id, rec] : adapters_) out.push_back(rec);
+  return out;
+}
+
+void ConfigDb::set_expected_vlan(util::AdapterId id, util::VlanId vlan) {
+  auto it = adapters_.find(id);
+  if (it != adapters_.end()) it->second.expected_vlan = vlan;
+}
+
+void ConfigDb::set_node_domain(util::NodeId id, util::DomainId domain) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.domain = domain;
+}
+
+}  // namespace gs::config

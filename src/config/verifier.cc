@@ -1,0 +1,73 @@
+#include "config/verifier.h"
+
+#include <map>
+#include <sstream>
+
+namespace gs::config {
+
+std::string_view to_string(InconsistencyKind kind) {
+  switch (kind) {
+    case InconsistencyKind::kMissingAdapter: return "missing-adapter";
+    case InconsistencyKind::kUnknownAdapter: return "unknown-adapter";
+    case InconsistencyKind::kWrongVlan: return "wrong-vlan";
+    case InconsistencyKind::kDuplicateIp: return "duplicate-ip";
+  }
+  return "?";
+}
+
+std::vector<Inconsistency> Verifier::verify(
+    const std::vector<DiscoveredAdapter>& discovered) const {
+  std::vector<Inconsistency> findings;
+
+  // Index the discovery, flagging duplicate IPs as we go.
+  std::map<util::IpAddress, DiscoveredAdapter> by_ip;
+  for (const DiscoveredAdapter& d : discovered) {
+    auto [it, inserted] = by_ip.emplace(d.ip, d);
+    if (!inserted) {
+      std::ostringstream detail;
+      detail << "ip " << d.ip << " discovered on both " << it->second.vlan
+             << " and " << d.vlan;
+      findings.push_back(Inconsistency{InconsistencyKind::kDuplicateIp, d.ip,
+                                       util::VlanId::invalid(), d.vlan,
+                                       detail.str()});
+    }
+  }
+
+  // Database -> discovery: every expected adapter must have been seen, on
+  // the expected VLAN.
+  for (const AdapterRecord& rec : db_.all_adapters()) {
+    auto it = by_ip.find(rec.ip);
+    if (it == by_ip.end()) {
+      std::ostringstream detail;
+      detail << "expected " << rec.ip << " on " << rec.expected_vlan
+             << ", never discovered";
+      findings.push_back(Inconsistency{InconsistencyKind::kMissingAdapter,
+                                       rec.ip, rec.expected_vlan,
+                                       util::VlanId::invalid(), detail.str()});
+      continue;
+    }
+    if (it->second.vlan != rec.expected_vlan) {
+      std::ostringstream detail;
+      detail << rec.ip << " expected on " << rec.expected_vlan
+             << " but discovered on " << it->second.vlan;
+      findings.push_back(Inconsistency{InconsistencyKind::kWrongVlan, rec.ip,
+                                       rec.expected_vlan, it->second.vlan,
+                                       detail.str()});
+    }
+  }
+
+  // Discovery -> database: unknown IPs are a security finding (§2.2).
+  for (const auto& [ip, d] : by_ip) {
+    if (!db_.adapter_by_ip(ip).has_value()) {
+      std::ostringstream detail;
+      detail << ip << " discovered on " << d.vlan << " but not in database";
+      findings.push_back(Inconsistency{InconsistencyKind::kUnknownAdapter, ip,
+                                       util::VlanId::invalid(), d.vlan,
+                                       detail.str()});
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace gs::config

@@ -1,0 +1,57 @@
+// Verification of a discovered topology against the configuration database.
+//
+// GSC hands the verifier its farm-wide discovered view (adapter ip -> VLAN
+// it was found on); the verifier diffs it against the database and emits
+// typed findings. "Inconsistencies can be flagged and the affected adapters
+// disabled, for security reasons, until conflicts are resolved" (§2.2) —
+// the caller decides about disabling; the verifier only reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/configdb.h"
+#include "util/ids.h"
+#include "util/ip.h"
+
+namespace gs::config {
+
+enum class InconsistencyKind : std::uint8_t {
+  // Adapter in the database but never discovered on any segment.
+  kMissingAdapter,
+  // Discovered adapter whose IP the database does not know.
+  kUnknownAdapter,
+  // Adapter discovered on a different VLAN than the database expects —
+  // the §3.1 signature of an unexpected domain move.
+  kWrongVlan,
+  // Two discovered adapters presented the same IP.
+  kDuplicateIp,
+};
+
+[[nodiscard]] std::string_view to_string(InconsistencyKind kind);
+
+struct Inconsistency {
+  InconsistencyKind kind;
+  util::IpAddress ip;
+  util::VlanId expected_vlan;    // invalid where not applicable
+  util::VlanId discovered_vlan;  // invalid where not applicable
+  std::string detail;
+};
+
+struct DiscoveredAdapter {
+  util::IpAddress ip;
+  util::VlanId vlan;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const ConfigDb& db) : db_(db) {}
+
+  [[nodiscard]] std::vector<Inconsistency> verify(
+      const std::vector<DiscoveredAdapter>& discovered) const;
+
+ private:
+  const ConfigDb& db_;
+};
+
+}  // namespace gs::config

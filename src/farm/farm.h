@@ -1,0 +1,117 @@
+// Farm — builds and owns a complete simulated GulfStream deployment.
+//
+// From a FarmSpec it constructs the switched fabric (racking each node's
+// adapters on one switch), assigns globally unique IPs (management nodes
+// receive the highest administrative IPs so a central-eligible node wins
+// the admin-AMG election, per §2.2), populates the configuration database,
+// instantiates one GsDaemon per node and one Central per eligible node, and
+// wires every Central's events into a single chronological log.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "config/configdb.h"
+#include "farm/spec.h"
+#include "gs/gulfstream.h"
+#include "net/console.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace gs::farm {
+
+class Farm {
+ public:
+  Farm(sim::Simulator& sim, const FarmSpec& spec, const proto::Params& params,
+       std::uint64_t seed);
+
+  Farm(const Farm&) = delete;
+  Farm& operator=(const Farm&) = delete;
+
+  // Starts every daemon (each applies its own start-up skew).
+  void start();
+
+  // --- Plumbing access ------------------------------------------------------
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] config::ConfigDb& db() { return db_; }
+  [[nodiscard]] net::SwitchConsole& console() { return *console_; }
+  [[nodiscard]] const FarmSpec& spec() const { return spec_; }
+  [[nodiscard]] const proto::Params& params() const { return params_; }
+
+  // --- Nodes ------------------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const { return daemons_.size(); }
+  [[nodiscard]] proto::GsDaemon& daemon(std::size_t node_index);
+  [[nodiscard]] NodeRole role(std::size_t node_index) const;
+  [[nodiscard]] util::DomainId domain_of(std::size_t node_index) const;
+  [[nodiscard]] const std::vector<util::AdapterId>& node_adapters(
+      std::size_t node_index) const;
+  // Node indices having a given role.
+  [[nodiscard]] std::vector<std::size_t> nodes_with_role(NodeRole role) const;
+
+  // --- Fault injection -------------------------------------------------------
+  // Node death/boot done properly: NICs go dark AND the daemon process
+  // halts/restarts (a dead node must not keep computing).
+  void fail_node(std::size_t node_index);
+  void recover_node(std::size_t node_index);
+
+  // --- GulfStream state ----------------------------------------------------------
+  // The primary Central instance (the legitimate admin-AMG leader's), if
+  // any; partition-island Centrals are not returned.
+  [[nodiscard]] proto::Central* active_central();
+  [[nodiscard]] proto::AdapterProtocol* protocol_for(util::AdapterId id);
+
+  // Chronological log of every FarmEvent any Central emitted.
+  [[nodiscard]] const std::vector<proto::FarmEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t event_count(proto::FarmEvent::Kind kind) const;
+  void clear_events() { events_.clear(); }
+
+  // --- Ground-truth convergence checks ----------------------------------------------
+  // True when, for every VLAN, the fully healthy adapters wired to it form
+  // exactly one committed AMG led by the highest IP, all agreeing on the
+  // same view.
+  [[nodiscard]] bool converged();
+  [[nodiscard]] bool converged(util::VlanId vlan);
+  [[nodiscard]] std::vector<util::VlanId> vlans() const;
+
+ private:
+  struct NodeInfo {
+    NodeRole role = NodeRole::kGeneric;
+    util::DomainId domain;
+    std::vector<util::AdapterId> adapters;
+  };
+
+  // Opens a fresh switch when the current one cannot rack a whole node.
+  void ensure_rack_capacity(std::size_t ports_needed);
+  util::AdapterId new_racked_adapter(util::NodeId node, util::VlanId vlan,
+                                     util::IpAddress ip, bool admin);
+  void build_uniform();
+  void build_oceano();
+  void finish_node(std::size_t index, NodeRole role, util::DomainId domain,
+                   bool eligible, std::vector<util::AdapterId> adapters);
+
+  sim::Simulator& sim_;
+  FarmSpec spec_;
+  proto::Params params_;
+  util::Rng rng_;
+
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<net::SwitchConsole> console_;
+  config::ConfigDb db_;
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<std::unique_ptr<proto::GsDaemon>> daemons_;
+  std::vector<std::unique_ptr<proto::Central>> centrals_;  // sparse by node
+  std::vector<proto::FarmEvent> events_;
+  std::unordered_map<util::AdapterId, std::pair<std::size_t, std::size_t>>
+      adapter_owner_;  // adapter -> (node index, adapter index)
+
+  util::SwitchId current_switch_;
+};
+
+}  // namespace gs::farm

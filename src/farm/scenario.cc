@@ -1,0 +1,35 @@
+#include "farm/scenario.h"
+
+namespace gs::farm {
+
+std::optional<sim::SimTime> run_until(sim::Simulator& sim,
+                                      sim::SimTime deadline,
+                                      const std::function<bool()>& pred,
+                                      sim::SimDuration step) {
+  while (sim.now() < deadline) {
+    if (pred()) return sim.now();
+    sim.run_until(std::min(deadline, sim.now() + step));
+  }
+  return pred() ? std::optional<sim::SimTime>(sim.now()) : std::nullopt;
+}
+
+std::optional<sim::SimTime> run_until_converged(Farm& farm,
+                                                sim::SimTime deadline,
+                                                sim::SimDuration step) {
+  return run_until(farm.sim(), deadline, [&farm] { return farm.converged(); },
+                   step);
+}
+
+std::optional<sim::SimTime> run_until_gsc_stable(Farm& farm,
+                                                 sim::SimTime deadline) {
+  auto stable = [&farm]() -> bool {
+    proto::Central* central = farm.active_central();
+    return central != nullptr && central->initial_topology_stable();
+  };
+  auto reached = run_until(farm.sim(), deadline, stable);
+  if (!reached) return std::nullopt;
+  // Report the exact declaration instant rather than the polling step.
+  return farm.active_central()->stable_time();
+}
+
+}  // namespace gs::farm

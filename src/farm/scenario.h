@@ -1,0 +1,30 @@
+// Scenario-driving helpers shared by tests, examples, and benches.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "farm/farm.h"
+#include "sim/simulator.h"
+
+namespace gs::farm {
+
+// Advances simulated time in `step` increments until `pred` holds or
+// `deadline` passes. Returns the simulated time at which the predicate
+// first held (checked at step granularity), or nullopt on timeout.
+std::optional<sim::SimTime> run_until(
+    sim::Simulator& sim, sim::SimTime deadline,
+    const std::function<bool()>& pred,
+    sim::SimDuration step = sim::milliseconds(100));
+
+// Runs until the farm's ground-truth convergence predicate holds.
+std::optional<sim::SimTime> run_until_converged(
+    Farm& farm, sim::SimTime deadline,
+    sim::SimDuration step = sim::milliseconds(100));
+
+// Runs until some Central declares the initial topology stable; returns the
+// declaration time (Figure 5's measured quantity), or nullopt.
+std::optional<sim::SimTime> run_until_gsc_stable(Farm& farm,
+                                                 sim::SimTime deadline);
+
+}  // namespace gs::farm

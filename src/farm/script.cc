@@ -1,0 +1,255 @@
+#include "farm/script.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace gs::farm {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+// Splits on whitespace runs.
+std::vector<std::string_view> tokens_of(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+std::optional<sim::SimDuration> parse_time(std::string_view text) {
+  double value = 0;
+  std::string_view digits = text;
+  sim::SimDuration unit = sim::kSecond;
+  if (text.ends_with("ms")) {
+    unit = sim::kMillisecond;
+    digits = text.substr(0, text.size() - 2);
+  } else if (text.ends_with("s")) {
+    digits = text.substr(0, text.size() - 1);
+  }
+  const std::string owned(digits);
+  char* end = nullptr;
+  value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || owned.empty() || value < 0)
+    return std::nullopt;
+  return static_cast<sim::SimDuration>(value * static_cast<double>(unit));
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view text) {
+  std::uint32_t value = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || p != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<ActionKind> kind_of(std::string_view verb) {
+  if (verb == "fail-node") return ActionKind::kFailNode;
+  if (verb == "recover-node") return ActionKind::kRecoverNode;
+  if (verb == "fail-adapter") return ActionKind::kFailAdapter;
+  if (verb == "recover-adapter") return ActionKind::kRecoverAdapter;
+  if (verb == "fail-switch") return ActionKind::kFailSwitch;
+  if (verb == "recover-switch") return ActionKind::kRecoverSwitch;
+  if (verb == "move-adapter") return ActionKind::kMoveAdapter;
+  if (verb == "partition-vlan") return ActionKind::kPartitionVlan;
+  if (verb == "heal-vlan") return ActionKind::kHealVlan;
+  if (verb == "verify") return ActionKind::kVerify;
+  return std::nullopt;
+}
+
+// Expected operand count (beyond the verb), excluding move-adapter's
+// "vlan N" pair which is handled specially.
+int operand_count(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kVerify: return 0;
+    case ActionKind::kMoveAdapter: return 3;  // <adapter> vlan <vlan>
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kFailNode: return "fail-node";
+    case ActionKind::kRecoverNode: return "recover-node";
+    case ActionKind::kFailAdapter: return "fail-adapter";
+    case ActionKind::kRecoverAdapter: return "recover-adapter";
+    case ActionKind::kFailSwitch: return "fail-switch";
+    case ActionKind::kRecoverSwitch: return "recover-switch";
+    case ActionKind::kMoveAdapter: return "move-adapter";
+    case ActionKind::kPartitionVlan: return "partition-vlan";
+    case ActionKind::kHealVlan: return "heal-vlan";
+    case ActionKind::kVerify: return "verify";
+  }
+  return "?";
+}
+
+ScriptParseResult parse_script(std::string_view text) {
+  ScriptParseResult result;
+  int line_no = 0;
+  sim::SimTime last_at = 0;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    auto fail = [&](const std::string& message) {
+      result.error = message;
+      result.error_line = line_no;
+    };
+
+    const auto tokens = tokens_of(line);
+    if (tokens.size() < 3 || tokens[0] != "at") {
+      fail("expected: at <time> <action> [args]");
+      return result;
+    }
+    const auto at = parse_time(tokens[1]);
+    if (!at) {
+      fail("bad time '" + std::string(tokens[1]) + "'");
+      return result;
+    }
+    if (*at < last_at) {
+      fail("times must be non-decreasing");
+      return result;
+    }
+    last_at = *at;
+
+    const auto kind = kind_of(tokens[2]);
+    if (!kind) {
+      fail("unknown action '" + std::string(tokens[2]) + "'");
+      return result;
+    }
+    const int want = operand_count(*kind);
+    if (static_cast<int>(tokens.size()) - 3 != want) {
+      fail("action '" + std::string(tokens[2]) + "' expects " +
+           std::to_string(want) + " operand(s)");
+      return result;
+    }
+
+    ScriptAction action;
+    action.at = *at;
+    action.kind = *kind;
+    if (*kind == ActionKind::kMoveAdapter) {
+      const auto adapter = parse_u32(tokens[3]);
+      const auto vlan = parse_u32(tokens[5]);
+      if (!adapter || tokens[4] != "vlan" || !vlan) {
+        fail("expected: move-adapter <adapter> vlan <vlan>");
+        return result;
+      }
+      action.arg = *adapter;
+      action.vlan_arg = *vlan;
+    } else if (want == 1) {
+      const auto arg = parse_u32(tokens[3]);
+      if (!arg) {
+        fail("bad id '" + std::string(tokens[3]) + "'");
+        return result;
+      }
+      action.arg = *arg;
+    }
+    result.actions.push_back(action);
+  }
+  return result;
+}
+
+namespace {
+
+bool execute(Farm& farm, const ScriptAction& action) {
+  net::Fabric& fabric = farm.fabric();
+  switch (action.kind) {
+    case ActionKind::kFailNode:
+      if (action.arg >= farm.node_count()) return false;
+      farm.fail_node(action.arg);
+      return true;
+    case ActionKind::kRecoverNode:
+      if (action.arg >= farm.node_count()) return false;
+      farm.recover_node(action.arg);
+      return true;
+    case ActionKind::kFailAdapter:
+      if (action.arg >= fabric.adapter_count()) return false;
+      fabric.set_adapter_health(util::AdapterId(action.arg),
+                                net::HealthState::kDown);
+      return true;
+    case ActionKind::kRecoverAdapter:
+      if (action.arg >= fabric.adapter_count()) return false;
+      fabric.set_adapter_health(util::AdapterId(action.arg),
+                                net::HealthState::kUp);
+      return true;
+    case ActionKind::kFailSwitch:
+      if (action.arg >= fabric.switch_count()) return false;
+      fabric.fail_switch(util::SwitchId(action.arg));
+      return true;
+    case ActionKind::kRecoverSwitch:
+      if (action.arg >= fabric.switch_count()) return false;
+      fabric.recover_switch(util::SwitchId(action.arg));
+      return true;
+    case ActionKind::kMoveAdapter: {
+      proto::Central* central = farm.active_central();
+      if (central == nullptr || action.arg >= fabric.adapter_count())
+        return false;
+      return central->move_adapter(util::AdapterId(action.arg),
+                                   util::VlanId(action.vlan_arg));
+    }
+    case ActionKind::kPartitionVlan: {
+      const util::VlanId vlan(action.arg);
+      const auto adapters = fabric.adapters_in_vlan(vlan);
+      if (adapters.size() < 2) return false;
+      const auto cut = static_cast<std::ptrdiff_t>(adapters.size() / 2);
+      fabric.partition_vlan(vlan, {{adapters.begin(), adapters.begin() + cut},
+                                   {adapters.begin() + cut, adapters.end()}});
+      return true;
+    }
+    case ActionKind::kHealVlan:
+      fabric.heal_vlan(util::VlanId(action.arg));
+      return true;
+    case ActionKind::kVerify: {
+      proto::Central* central = farm.active_central();
+      if (central == nullptr) return false;
+      central->verify_now();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void schedule_script(Farm& farm, const std::vector<ScriptAction>& actions,
+                     ScriptRun* run) {
+  GS_CHECK(run != nullptr);
+  for (const ScriptAction& action : actions) {
+    GS_CHECK_MSG(action.at >= farm.sim().now(),
+                 "script actions must lie in the future");
+    farm.sim().at(action.at, [&farm, action, run] {
+      GS_LOG(kInfo, "script") << to_string(action.kind) << " " << action.arg;
+      if (execute(farm, action))
+        ++run->executed;
+      else
+        ++run->failed;
+    });
+  }
+}
+
+}  // namespace gs::farm

@@ -1,0 +1,79 @@
+// Scenario scripts: a small line-based DSL for driving farm runs.
+//
+// Benches and the scripted example replay operator actions against a farm
+// at simulated times, e.g.:
+//
+//     # comments and blank lines are ignored
+//     at 10s   fail-node 3
+//     at 25s   recover-node 3
+//     at 40s   fail-adapter 7
+//     at 55s   fail-switch 0
+//     at 70s   recover-switch 0
+//     at 90s   move-adapter 12 vlan 101
+//     at 100s  partition-vlan 301
+//     at 130s  heal-vlan 301
+//     at 150s  verify
+//
+// Times accept `s`/`ms` suffixes (plain numbers are seconds) and must be
+// non-decreasing. parse() reports the first syntax error with its line
+// number; run() schedules every action on the simulator and executes the
+// script against a Farm. `partition-vlan` splits the VLAN's current
+// adapters into two halves (the scripted stand-in for a segment fault).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "farm/farm.h"
+#include "sim/time.h"
+
+namespace gs::farm {
+
+enum class ActionKind : std::uint8_t {
+  kFailNode = 0,
+  kRecoverNode,
+  kFailAdapter,
+  kRecoverAdapter,
+  kFailSwitch,
+  kRecoverSwitch,
+  kMoveAdapter,
+  kPartitionVlan,
+  kHealVlan,
+  kVerify,
+};
+
+[[nodiscard]] std::string_view to_string(ActionKind kind);
+
+struct ScriptAction {
+  sim::SimTime at = 0;
+  ActionKind kind = ActionKind::kVerify;
+  std::uint32_t arg = 0;        // node/adapter/switch/vlan id
+  std::uint32_t vlan_arg = 0;   // move-adapter target VLAN
+};
+
+struct ScriptParseResult {
+  std::vector<ScriptAction> actions;
+  std::string error;  // empty on success
+  int error_line = 0;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+// Parses a whole script text (one action per line).
+[[nodiscard]] ScriptParseResult parse_script(std::string_view text);
+
+// Executed-action record, for logs and assertions.
+struct ScriptRun {
+  std::size_t executed = 0;
+  std::size_t failed = 0;  // actions whose target was invalid at fire time
+};
+
+// Schedules every action against the farm's simulator. The returned counters
+// are owned by the caller and updated as actions fire; keep the Farm (and
+// the counters) alive until the simulator has passed the last action time.
+void schedule_script(Farm& farm, const std::vector<ScriptAction>& actions,
+                     ScriptRun* run);
+
+}  // namespace gs::farm

@@ -1,0 +1,53 @@
+#include "farm/spec.h"
+
+#include "util/check.h"
+
+namespace gs::farm {
+
+std::string_view to_string(NodeRole role) {
+  switch (role) {
+    case NodeRole::kManagement: return "management";
+    case NodeRole::kDispatcher: return "dispatcher";
+    case NodeRole::kFrontEnd: return "front-end";
+    case NodeRole::kBackEnd: return "back-end";
+    case NodeRole::kGeneric: return "generic";
+  }
+  return "?";
+}
+
+FarmSpec FarmSpec::uniform(int nodes, int adapters_per_node) {
+  GS_CHECK(nodes > 0 && adapters_per_node > 0);
+  FarmSpec spec;
+  spec.generic_nodes = nodes;
+  spec.adapters_per_generic_node = adapters_per_node;
+  spec.management_nodes = 0;  // generic nodes are all central-eligible
+  return spec;
+}
+
+FarmSpec FarmSpec::oceano(int domains, int fronts, int backs, int dispatchers,
+                          int management) {
+  GS_CHECK(domains > 0 && fronts > 0 && management > 0);
+  FarmSpec spec;
+  spec.domains = domains;
+  spec.fronts_per_domain = fronts;
+  spec.backs_per_domain = backs;
+  spec.dispatchers = dispatchers;
+  spec.management_nodes = management;
+  return spec;
+}
+
+int FarmSpec::total_nodes() const {
+  return management_nodes + dispatchers +
+         domains * (fronts_per_domain + backs_per_domain) + generic_nodes;
+}
+
+int FarmSpec::total_adapters() const {
+  int total = management_nodes;                      // admin only
+  total += dispatchers * (1 + domains);              // admin + per-domain
+  total += domains * fronts_per_domain * 3;          // admin+internal+dispatch
+  total += domains * backs_per_domain * 2;           // admin+internal
+  total += generic_nodes * adapters_per_generic_node;
+  return total;
+}
+
+}  // namespace gs::farm

@@ -1,0 +1,71 @@
+// Farm topology specifications.
+//
+// Two shapes cover the paper:
+//  * FarmSpec::uniform(nodes, adapters): every node carries one adapter on
+//    each of `adapters` shared VLANs — the 55-node/3-adapter testbed of
+//    §4.1, used for the Figure 5 sweeps (one AMG per VLAN, each of size
+//    `nodes`).
+//  * FarmSpec::oceano(...): the multi-domain hosting farm of Figures 1-2 —
+//    per-customer domains with front/back layers, request dispatchers, an
+//    administrative domain, and VLAN isolation between customers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace gs::farm {
+
+enum class NodeRole : std::uint8_t {
+  kManagement = 0,  // administrative domain; central-eligible
+  kDispatcher,      // request dispatchers (Figure 1)
+  kFrontEnd,        // triangle+square+circle adapters (Figure 2)
+  kBackEnd,         // square+circle adapters
+  kGeneric,         // uniform-farm node
+};
+
+[[nodiscard]] std::string_view to_string(NodeRole role);
+
+// Well-known VLAN numbering used by the builder.
+inline constexpr std::uint32_t kAdminVlan = 1;
+[[nodiscard]] constexpr util::VlanId admin_vlan() {
+  return util::VlanId(kAdminVlan);
+}
+[[nodiscard]] constexpr util::VlanId internal_vlan(std::uint32_t domain) {
+  return util::VlanId(100 + domain);
+}
+[[nodiscard]] constexpr util::VlanId dispatch_vlan(std::uint32_t domain) {
+  return util::VlanId(200 + domain);
+}
+// Extra shared VLANs of the uniform farm (adapter i>0 of every node).
+[[nodiscard]] constexpr util::VlanId uniform_vlan(std::uint32_t index) {
+  return index == 0 ? admin_vlan() : util::VlanId(300 + index);
+}
+
+struct FarmSpec {
+  // --- Océano shape ---------------------------------------------------------
+  int domains = 0;
+  int fronts_per_domain = 0;
+  int backs_per_domain = 0;
+  int dispatchers = 0;
+  int management_nodes = 1;
+
+  // --- Uniform shape -----------------------------------------------------------
+  int generic_nodes = 0;
+  int adapters_per_generic_node = 3;
+
+  // --- Physical plant -------------------------------------------------------------
+  int switch_ports = 96;
+
+  [[nodiscard]] static FarmSpec uniform(int nodes, int adapters_per_node = 3);
+  [[nodiscard]] static FarmSpec oceano(int domains, int fronts, int backs,
+                                       int dispatchers = 2,
+                                       int management = 2);
+
+  [[nodiscard]] int total_nodes() const;
+  [[nodiscard]] int total_adapters() const;
+};
+
+}  // namespace gs::farm

@@ -1,0 +1,1046 @@
+#include "gs/adapter_protocol.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace gs::proto {
+
+std::string_view to_string(AdapterState s) {
+  switch (s) {
+    case AdapterState::kIdle: return "idle";
+    case AdapterState::kBeaconing: return "beaconing";
+    case AdapterState::kWaitingForLeader: return "waiting-for-leader";
+    case AdapterState::kMember: return "member";
+    case AdapterState::kLeader: return "leader";
+  }
+  return "?";
+}
+
+AdapterProtocol::AdapterProtocol(sim::Simulator& sim, const Params& params,
+                                 MemberInfo self, NetIface net, Hooks hooks,
+                                 util::Rng rng)
+    : sim_(sim),
+      params_(params),
+      self_(self),
+      net_(std::move(net)),
+      hooks_(std::move(hooks)),
+      rng_(rng) {}
+
+void AdapterProtocol::start() {
+  GS_CHECK(state_ == AdapterState::kIdle);
+  begin_beaconing();
+}
+
+void AdapterProtocol::shutdown() {
+  stop_fd();
+  clear_member_duty_state();
+  clear_leader_duty_state();
+  committed_ = MembershipView();
+  if (pending_prepare_) {
+    pending_prepare_->expiry.cancel();
+    pending_prepare_.reset();
+  }
+  beacon_send_timer_.cancel();
+  beacon_end_timer_.cancel();
+  defer_timer_.cancel();
+  heard_.clear();
+  stale_notice_sent_.clear();
+  state_ = AdapterState::kIdle;
+}
+
+void AdapterProtocol::restart() {
+  GS_CHECK(state_ == AdapterState::kIdle);
+  begin_beaconing();
+}
+
+bool AdapterProtocol::unicast(util::IpAddress to,
+                              std::vector<std::uint8_t> frame) {
+  GS_CHECK(net_.unicast != nullptr);
+  return net_.unicast(to, std::move(frame));
+}
+
+// --- Discovery ----------------------------------------------------------------
+
+void AdapterProtocol::begin_beaconing() {
+  state_ = AdapterState::kBeaconing;
+  heard_.clear();
+  beacon_send_timer_.cancel();
+  beacon_end_timer_.cancel();
+  defer_timer_.cancel();
+
+  beacon_tick();
+
+  // Model of the paper's observed start-up anomaly (§4.1): the phase-end
+  // timer is armed 1-2 s after beaconing actually begins, because the
+  // daemon interleaves other initialization with beacon start-up.
+  const sim::SimDuration setup_extra =
+      params_.beacon_setup_max > params_.beacon_setup_min
+          ? rng_.range(params_.beacon_setup_min, params_.beacon_setup_max)
+          : params_.beacon_setup_min;
+  beacon_end_timer_ = sim_.after(params_.beacon_phase + setup_extra,
+                                 [this] { end_beacon_phase(); });
+}
+
+void AdapterProtocol::beacon_tick() {
+  if (state_ != AdapterState::kBeaconing && state_ != AdapterState::kLeader)
+    return;
+  Beacon b{};
+  b.self = self_;
+  b.is_leader = state_ == AdapterState::kLeader;
+  b.view = committed_.empty() ? 0 : committed_.view();
+  b.group_size = static_cast<std::uint32_t>(committed_.size());
+  if (net_.beacon_multicast) net_.beacon_multicast(to_frame(b));
+  ++stats_.beacons_sent;
+  beacon_send_timer_ =
+      sim_.after(params_.beacon_interval, [this] { beacon_tick(); });
+}
+
+void AdapterProtocol::end_beacon_phase() {
+  if (state_ != AdapterState::kBeaconing) return;
+
+  util::IpAddress best = self_ip();
+  for (const auto& [ip, heard] : heard_) best = std::max(best, ip);
+
+  if (best == self_ip()) {
+    // We have the highest IP: undertake group formation (§2.1). Fellow
+    // beaconers (non-leaders) become our members; committed groups we
+    // overheard are led by lower IPs and will merge into us via
+    // JoinRequest once their leaders hear our leader beacons.
+    for (const auto& [ip, heard] : heard_)
+      if (!heard.is_leader) pending_adds_[ip] = heard.info;
+    if (pending_adds_.empty()) {
+      install_singleton();
+    } else {
+      state_ = AdapterState::kLeader;  // tentative: formation in flight
+      propose();
+    }
+    return;
+  }
+
+  // Defer AMG formation and leadership to the highest IP heard (§2.1).
+  state_ = AdapterState::kWaitingForLeader;
+  beacon_send_timer_.cancel();
+  defer_timer_ = sim_.after(params_.defer_timeout, [this] { defer_expired(); });
+}
+
+void AdapterProtocol::defer_expired() {
+  if (state_ != AdapterState::kWaitingForLeader) return;
+  // The expected leader never committed us (its beacons or our 2PC traffic
+  // were lost, or it died). Form a singleton AMG; merging repairs the rest.
+  GS_LOG(kDebug, "amg") << self_ip() << " defer timeout; forming singleton";
+  install_singleton();
+}
+
+void AdapterProtocol::install_singleton() {
+  install(MembershipView::make(++clock_, {self_}));
+}
+
+// --- Participant 2PC -----------------------------------------------------------
+
+void AdapterProtocol::handle_prepare(util::IpAddress src, const Prepare& msg) {
+  bump_clock(msg.view);
+  auto nack = [&](std::uint64_t holder_view) {
+    GS_LOG(kDebug, "2pc") << self_ip() << " nacks prepare v" << msg.view
+                          << " from " << src << " (holder v" << holder_view
+                          << ")";
+    PrepareAck ack{};
+    ack.view = msg.view;
+    ack.ok = false;
+    ack.holder_view = holder_view;
+    unicast(src, to_frame(ack));
+  };
+
+  if (!committed_.empty() && msg.view <= committed_.view()) {
+    nack(committed_.view());
+    return;
+  }
+  if (pending_prepare_ && msg.view < pending_prepare_->view) {
+    nack(pending_prepare_->view);
+    return;
+  }
+  if (pending_prepare_ && msg.view == pending_prepare_->view &&
+      pending_prepare_->coordinator != src) {
+    nack(pending_prepare_->view);
+    return;
+  }
+  const bool includes_self =
+      std::any_of(msg.members.begin(), msg.members.end(),
+                  [&](const MemberInfo& m) { return m.ip == self_ip(); });
+  if (!includes_self || msg.leader != src) {
+    nack(0);
+    return;
+  }
+
+  PendingPrepare pending;
+  pending.view = msg.view;
+  pending.coordinator = src;
+  pending.membership = MembershipView::make(msg.view, msg.members);
+  if (pending_prepare_) pending_prepare_->expiry.cancel();
+  pending_prepare_ = std::move(pending);
+  // Hold the prepared state past the coordinator's worst case: it may ride
+  // out every retry ((retries+1) * timeout) before committing the subset.
+  pending_prepare_->expiry = sim_.after(
+      2 * (params_.twopc_retries + 1) * params_.twopc_timeout, [this] {
+        // Coordinator vanished between phases; forget the prepared view.
+        pending_prepare_.reset();
+      });
+
+  GS_LOG(kDebug, "2pc") << self_ip() << " acks prepare v" << msg.view
+                        << " from " << src;
+  PrepareAck ack{};
+  ack.view = msg.view;
+  ack.ok = true;
+  unicast(src, to_frame(ack));
+}
+
+void AdapterProtocol::handle_commit(const Commit& msg) {
+  bump_clock(msg.view);
+  // The commit carries the authoritative final membership (participants
+  // whose acks were lost have been excluded), so it is installable on its
+  // own: all we require is that it is newer than what we hold and that it
+  // includes us. The prepare/ack phase still gates whom the coordinator
+  // may include.
+  if (!committed_.empty() && msg.view <= committed_.view()) return;
+  MembershipView final = MembershipView::make(msg.view, msg.members);
+  if (!final.contains(self_ip())) return;  // excluded; rejoin via discovery
+  if (pending_prepare_ && pending_prepare_->view <= msg.view) {
+    pending_prepare_->expiry.cancel();
+    pending_prepare_.reset();
+  }
+  install(std::move(final));
+}
+
+void AdapterProtocol::maybe_implicit_commit(std::uint64_t msg_view) {
+  // Group traffic tagged with the prepared view proves the coordinator
+  // committed: members only emit view-v messages after installing v. This
+  // recovers members whose Commit datagram was lost.
+  if (pending_prepare_ && pending_prepare_->view == msg_view)
+    install_pending();
+}
+
+void AdapterProtocol::install_pending() {
+  GS_CHECK(pending_prepare_.has_value());
+  MembershipView view = std::move(pending_prepare_->membership);
+  pending_prepare_->expiry.cancel();
+  pending_prepare_.reset();
+  install(std::move(view));
+}
+
+void AdapterProtocol::install(MembershipView view) {
+  GS_CHECK(!view.empty());
+  bump_clock(view.view());
+  committed_ = std::move(view);
+  ++stats_.commits;
+
+  beacon_end_timer_.cancel();
+  defer_timer_.cancel();
+  if (pending_prepare_ && pending_prepare_->view <= committed_.view()) {
+    pending_prepare_->expiry.cancel();
+    pending_prepare_.reset();
+  }
+
+  const bool lead = committed_.leader().ip == self_ip();
+  state_ = lead ? AdapterState::kLeader : AdapterState::kMember;
+  clear_member_duty_state();
+
+  if (lead) {
+    // Drop bookkeeping that the new view made moot.
+    for (auto it = suspicions_.begin(); it != suspicions_.end();) {
+      if (!committed_.contains(it->first)) {
+        it->second.probe_timer.cancel();
+        it = suspicions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = pending_adds_.begin(); it != pending_adds_.end();)
+      it = committed_.contains(it->first) ? pending_adds_.erase(it) : ++it;
+    for (auto it = pending_removes_.begin(); it != pending_removes_.end();)
+      it = !committed_.contains(it->first) ? pending_removes_.erase(it) : ++it;
+
+    // Leaders beacon forever so new/merging adapters can find the group.
+    beacon_send_timer_.cancel();
+    beacon_tick();
+    arm_report_debounce();
+    if (!pending_adds_.empty() || !pending_removes_.empty())
+      schedule_change();
+  } else {
+    clear_leader_duty_state();
+    beacon_send_timer_.cancel();
+  }
+
+  start_fd();
+  GS_LOG(kDebug, "amg") << self_ip() << " committed view "
+                        << committed_.view() << " size " << committed_.size()
+                        << (lead ? " (leader)" : "");
+  if (hooks_.on_committed) hooks_.on_committed(committed_);
+}
+
+// --- Coordinator 2PC -------------------------------------------------------------
+
+void AdapterProtocol::schedule_change() {
+  if (proposal_) {
+    dirty_ = true;
+    return;
+  }
+  if (change_timer_.armed()) return;
+  change_timer_ = sim_.after(params_.change_debounce, [this] {
+    change_timer_ = sim::Timer();
+    propose();
+  });
+}
+
+void AdapterProtocol::propose() {
+  if (proposal_) {
+    dirty_ = true;
+    return;
+  }
+  if (state_ != AdapterState::kLeader) return;
+
+  std::map<util::IpAddress, MemberInfo> members;
+  for (const MemberInfo& m : committed_.members()) members[m.ip] = m;
+  for (const auto& [ip, reason] : pending_removes_) {
+    if (ip == self_ip()) continue;
+    members.erase(ip);
+  }
+  for (const auto& [ip, info] : pending_adds_) members[ip] = info;
+  members[self_ip()] = self_;
+
+  std::set<util::IpAddress> new_ips;
+  for (const auto& [ip, info] : members) new_ips.insert(ip);
+  std::set<util::IpAddress> old_ips;
+  for (const MemberInfo& m : committed_.members()) old_ips.insert(m.ip);
+  if (!force_recommit_ && !committed_.empty() && new_ips == old_ips) {
+    pending_adds_.clear();
+    pending_removes_.clear();
+    return;
+  }
+  force_recommit_ = false;
+  pending_adds_.clear();
+  pending_removes_.clear();
+
+  std::vector<MemberInfo> list;
+  list.reserve(members.size());
+  for (const auto& [ip, info] : members) list.push_back(info);
+
+  const std::uint64_t view = ++clock_;
+  MembershipView proposed = MembershipView::make(view, std::move(list));
+  GS_CHECK_MSG(proposed.leader().ip == self_ip(),
+               "coordinator must hold the highest IP in its proposal");
+
+  Proposal proposal;
+  proposal.view = view;
+  proposal.membership = std::move(proposed);
+  for (const MemberInfo& m : proposal.membership.members())
+    if (m.ip != self_ip()) proposal.awaiting.insert(m.ip);
+
+  if (proposal.awaiting.empty()) {
+    install(proposal.membership);
+    return;
+  }
+
+  Prepare prepare{};
+  prepare.view = proposal.view;
+  prepare.leader = self_ip();
+  prepare.members = proposal.membership.members();
+  const auto frame = to_frame(prepare);
+  for (util::IpAddress ip : proposal.awaiting) unicast(ip, frame);
+
+  proposal_ = std::move(proposal);
+  proposal_->timer =
+      sim_.after(params_.twopc_timeout, [this] { twopc_timeout(); });
+}
+
+void AdapterProtocol::reinstate_proposal_state(
+    const MembershipView& aborted, const std::set<util::IpAddress>& drop,
+    RemoveReason drop_reason) {
+  // Rebuild pending_adds_/pending_removes_ so the next propose() reproduces
+  // `aborted` minus `drop`. Crucially, committed members the aborted
+  // proposal already excluded (a dead leader, say) must be re-excluded:
+  // propose() captured-and-cleared that state when it ran.
+  for (const MemberInfo& m : aborted.members()) {
+    if (m.ip == self_ip() || drop.count(m.ip)) continue;
+    pending_adds_[m.ip] = m;
+  }
+  for (const MemberInfo& m : committed_.members()) {
+    if (m.ip == self_ip() || aborted.contains(m.ip)) continue;
+    auto it = departures_.find(m.ip);
+    pending_removes_[m.ip] =
+        it == departures_.end() ? RemoveReason::kFailed : it->second;
+  }
+  for (util::IpAddress ip : drop) {
+    if (!committed_.contains(ip)) continue;
+    pending_removes_[ip] = drop_reason;
+    departures_[ip] = drop_reason;
+  }
+  force_recommit_ = true;
+}
+
+void AdapterProtocol::twopc_timeout() {
+  if (!proposal_) return;
+  if (proposal_->attempt <= params_.twopc_retries) {
+    ++proposal_->attempt;
+    Prepare prepare{};
+    prepare.view = proposal_->view;
+    prepare.leader = self_ip();
+    prepare.members = proposal_->membership.members();
+    const auto frame = to_frame(prepare);
+    for (util::IpAddress ip : proposal_->awaiting) unicast(ip, frame);
+    proposal_->timer =
+        sim_.after(params_.twopc_timeout, [this] { twopc_timeout(); });
+    return;
+  }
+
+  // Retries exhausted: commit the acknowledged subset. Restarting the 2PC
+  // without the silent members livelocks under loss (they re-join via
+  // beacons as fast as they are dropped), and committing them blind would
+  // create phantom members (e.g. a moved leader's stale claims). Excluded
+  // members that are in fact alive re-enter through discovery and a later,
+  // independent recommit.
+  for (util::IpAddress ip : proposal_->awaiting)
+    if (committed_.contains(ip)) departures_[ip] = RemoveReason::kFailed;
+  do_commit();
+}
+
+void AdapterProtocol::handle_prepare_ack(util::IpAddress src,
+                                         const PrepareAck& msg) {
+  GS_LOG(kDebug, "2pc") << self_ip() << " got " << (msg.ok ? "ack" : "nack")
+                        << " v" << msg.view << " from " << src
+                        << (proposal_ ? "" : " (no proposal)");
+  if (!proposal_ || msg.view != proposal_->view) return;
+  if (!proposal_->awaiting.count(src)) return;
+
+  if (msg.ok) {
+    proposal_->awaiting.erase(src);
+    if (proposal_->awaiting.empty()) do_commit();
+    return;
+  }
+
+  // The participant is bound to a competing or newer view: step the clock
+  // past it, drop the participant from this membership change, and retry.
+  bump_clock(msg.holder_view);
+  const MembershipView aborted = std::move(proposal_->membership);
+  proposal_->timer.cancel();
+  proposal_.reset();
+  reinstate_proposal_state(aborted, {src}, RemoveReason::kLeft);
+  schedule_change();
+}
+
+void AdapterProtocol::do_commit() {
+  GS_CHECK(proposal_.has_value());
+  // Final membership = the acknowledged subset (awaiting still holds the
+  // silent participants; on the all-acked path it is empty).
+  std::vector<MemberInfo> acked;
+  for (const MemberInfo& m : proposal_->membership.members())
+    if (m.ip == self_ip() || !proposal_->awaiting.count(m.ip))
+      acked.push_back(m);
+  MembershipView membership =
+      MembershipView::make(proposal_->view, std::move(acked));
+  proposal_->timer.cancel();
+  proposal_.reset();
+
+  Commit commit{};
+  commit.view = membership.view();
+  commit.members = membership.members();
+  if (util::Logger::instance().enabled(util::LogLevel::kDebug)) {
+    util::LogLine line(util::LogLevel::kDebug, "2pc");
+    line << self_ip() << " commits v" << commit.view << " members:";
+    for (const MemberInfo& m : commit.members) line << " " << m.ip;
+  }
+  const auto frame = to_frame(commit);
+  for (const MemberInfo& m : membership.members())
+    if (m.ip != self_ip()) unicast(m.ip, frame);
+
+  install(std::move(membership));
+  if (dirty_) {
+    dirty_ = false;
+    schedule_change();
+  }
+}
+
+// --- Leader duties -----------------------------------------------------------------
+
+void AdapterProtocol::handle_beacon(util::IpAddress src, const Beacon& msg) {
+  bump_clock(msg.view);
+  if (msg.self.ip == self_ip()) return;
+
+  switch (state_) {
+    case AdapterState::kBeaconing:
+    case AdapterState::kWaitingForLeader: {
+      HeardBeacon heard;
+      heard.info = msg.self;
+      heard.is_leader = msg.is_leader;
+      heard.view = msg.view;
+      heard_[msg.self.ip] = heard;
+      return;
+    }
+    case AdapterState::kLeader:
+      break;  // handled below
+    case AdapterState::kMember:
+    case AdapterState::kIdle:
+      return;  // "only the leader continues to multicast and listen" (§2.1)
+  }
+  (void)src;
+
+  if (!msg.is_leader) {
+    // An uncommitted adapter is announcing itself. Absorb it if we outrank
+    // it; if it outranks us it will form its own group and absorb us via
+    // the leader-merge path, preserving the highest-IP-leads invariant.
+    if (msg.self.ip > self_ip()) return;
+    if (committed_.contains(msg.self.ip)) {
+      // One of our members lost its state (e.g. it reset after a transient
+      // isolation): force a re-prepare so it re-installs the view.
+      force_recommit_ = true;
+    }
+    pending_adds_[msg.self.ip] = msg.self;
+    pending_removes_.erase(msg.self.ip);
+    schedule_change();
+    return;
+  }
+
+  // Another committed leader shares this segment: merge. The lower-IP
+  // leader surrenders its membership to the higher (§2.1).
+  if (msg.self.ip > self_ip()) maybe_send_join(msg.self.ip);
+}
+
+void AdapterProtocol::maybe_send_join(util::IpAddress higher_leader) {
+  const sim::SimTime now = sim_.now();
+  if (join_target_ == higher_leader && last_join_sent_ >= 0 &&
+      now - last_join_sent_ < params_.join_retry)
+    return;
+  join_target_ = higher_leader;
+  last_join_sent_ = now;
+  ++stats_.joins_requested;
+
+  JoinRequest join{};
+  join.view = committed_.empty() ? 0 : committed_.view();
+  // Claim only members we can actually speak for: during a takeover the
+  // committed view is stale and may still list the dead old leader (or
+  // other higher-IP members we excluded) — those are not ours to merge.
+  for (const MemberInfo& m : committed_.members())
+    if (m.ip <= self_ip()) join.members.push_back(m);
+  if (join.members.empty()) join.members.push_back(self_);
+  unicast(higher_leader, to_frame(join));
+}
+
+void AdapterProtocol::handle_join_request(const JoinRequest& msg) {
+  bump_clock(msg.view);
+  if (state_ != AdapterState::kLeader) return;
+  for (const MemberInfo& m : msg.members) {
+    // Skip anything that would outrank us: a stale requester (e.g. one
+    // mid-takeover) may still list members above both of us; absorbing
+    // them would break the highest-IP-leads invariant, and if they are
+    // alive their own discovery brings them in the right way around.
+    if (m.ip >= self_ip()) continue;
+    if (committed_.contains(m.ip)) {
+      // Already a member on paper, yet it is requesting to join: it never
+      // installed our view (lost commit, or it was committed while silent).
+      // Re-prepare so it can actually sync up.
+      force_recommit_ = true;
+    }
+    pending_adds_[m.ip] = m;
+    pending_removes_.erase(m.ip);
+  }
+  schedule_change();
+}
+
+void AdapterProtocol::leader_handle_suspicion(util::IpAddress suspect,
+                                              util::IpAddress reporter) {
+  if (suspect == self_ip()) return;
+  if (!committed_.contains(suspect)) return;
+  if (pending_removes_.count(suspect)) return;
+
+  SuspicionState& s = suspicions_[suspect];
+  s.reporters.insert(reporter);
+
+  if (params_.leader_verify) {
+    // "the AMG leader first attempts to verify the reported failure" (§2.1).
+    if (!s.probing) start_verification(suspect);
+    return;
+  }
+  const int needed = fd_ ? fd_->consensus_reporters() : 1;
+  if (static_cast<int>(s.reporters.size()) >= needed) declare_dead(suspect);
+}
+
+void AdapterProtocol::start_verification(util::IpAddress suspect) {
+  SuspicionState& s = suspicions_[suspect];
+  s.probing = true;
+  do {
+    s.probe_nonce = rng_.next();
+  } while (s.probe_nonce == 0);
+  s.probes_left = params_.probe_retries + 1;
+
+  Probe probe{};
+  probe.nonce = s.probe_nonce;
+  unicast(suspect, to_frame(probe));
+  ++stats_.probes_sent;
+  --s.probes_left;
+  s.probe_timer = sim_.after(params_.probe_timeout,
+                             [this, suspect] { probe_timeout(suspect); });
+}
+
+void AdapterProtocol::probe_timeout(util::IpAddress suspect) {
+  auto it = suspicions_.find(suspect);
+  if (it == suspicions_.end() || !it->second.probing) return;
+  SuspicionState& s = it->second;
+  if (s.probes_left > 0) {
+    Probe probe{};
+    probe.nonce = s.probe_nonce;
+    unicast(suspect, to_frame(probe));
+    ++stats_.probes_sent;
+    --s.probes_left;
+    s.probe_timer = sim_.after(params_.probe_timeout,
+                               [this, suspect] { probe_timeout(suspect); });
+    return;
+  }
+  declare_dead(suspect);
+}
+
+void AdapterProtocol::declare_dead(util::IpAddress ip) {
+  GS_LOG(kDebug, "amg") << self_ip() << " declares " << ip << " dead";
+  ++stats_.deaths_declared;
+  auto it = suspicions_.find(ip);
+  if (it != suspicions_.end()) {
+    it->second.probe_timer.cancel();
+    suspicions_.erase(it);
+  }
+  pending_adds_.erase(ip);
+  pending_removes_[ip] = RemoveReason::kFailed;
+  departures_[ip] = RemoveReason::kFailed;
+  if (hooks_.on_death_declared) hooks_.on_death_declared(ip);
+  schedule_change();
+}
+
+void AdapterProtocol::arm_report_debounce() {
+  report_timer_.cancel();
+  report_timer_ = sim_.after(params_.amg_stable_wait, [this] {
+    if (state_ == AdapterState::kLeader && !committed_.empty() &&
+        hooks_.on_report_pending)
+      hooks_.on_report_pending();
+  });
+}
+
+MembershipReport AdapterProtocol::build_report() {
+  GS_CHECK(state_ == AdapterState::kLeader && !committed_.empty());
+  MembershipReport rep;
+  rep.seq = ++report_seq_;
+  rep.view = committed_.view();
+  rep.leader = self_;
+  rep.full = need_full_;
+  need_full_ = false;
+
+  std::set<util::IpAddress> current;
+  for (const MemberInfo& m : committed_.members()) current.insert(m.ip);
+
+  if (rep.full) {
+    rep.added = committed_.members();
+    // A full snapshot still conveys known deaths (e.g. the old leader a
+    // takeover removed): GSC would otherwise never hear of them, since a
+    // fresh leadership always starts with a full report.
+    for (const auto& [ip, reason] : departures_) {
+      if (current.count(ip)) continue;
+      rep.removed.push_back(RemovedMember{ip, reason});
+    }
+  } else {
+    for (const MemberInfo& m : committed_.members())
+      if (!last_acked_membership_.count(m.ip)) rep.added.push_back(m);
+    for (util::IpAddress ip : last_acked_membership_) {
+      if (current.count(ip)) continue;
+      RemovedMember removed;
+      removed.ip = ip;
+      auto it = departures_.find(ip);
+      removed.reason = it == departures_.end() ? RemoveReason::kLeft
+                                               : it->second;
+      rep.removed.push_back(removed);
+    }
+  }
+  pending_snapshot_ = PendingSnapshot{rep.seq, std::move(current)};
+  return rep;
+}
+
+void AdapterProtocol::report_acked(std::uint64_t seq) {
+  if (!pending_snapshot_ || pending_snapshot_->seq != seq) return;
+  // Every departure outside the acked snapshot has now been conveyed.
+  for (auto it = departures_.begin(); it != departures_.end();)
+    it = pending_snapshot_->membership.count(it->first) ? ++it
+                                                        : departures_.erase(it);
+  last_acked_membership_ = std::move(pending_snapshot_->membership);
+  pending_snapshot_.reset();
+}
+
+// --- Member duties --------------------------------------------------------------------
+
+void AdapterProtocol::raise_suspicion(util::IpAddress suspect) {
+  ++stats_.suspicions_raised;
+  if (suspect == self_ip()) return;
+
+  if (state_ == AdapterState::kLeader) {
+    leader_handle_suspicion(suspect, self_ip());
+    return;
+  }
+  if (state_ != AdapterState::kMember || committed_.empty()) return;
+  locally_suspected_.insert(suspect);
+
+  if (suspect != leader_ip()) {
+    send_suspect(suspect, leader_ip());
+    return;
+  }
+
+  // The leader itself is suspected: route the report to the first
+  // not-yet-suspected successor by rank ("notification is sent to the
+  // second ranked adapter", §2.1). If that successor is us, verify and
+  // take over; if nobody reachable remains, we are alone — re-discover.
+  for (std::size_t rank = 1; rank < committed_.size(); ++rank) {
+    const util::IpAddress ip = committed_.member_at(rank).ip;
+    if (ip == self_ip()) {
+      begin_takeover_check();
+      return;
+    }
+    if (locally_suspected_.count(ip)) continue;
+    send_suspect(suspect, ip);
+    return;
+  }
+  reset_to_discovery();
+}
+
+void AdapterProtocol::send_suspect(util::IpAddress suspect,
+                                   util::IpAddress to) {
+  if (outstanding_suspects_.count(suspect)) return;  // already in flight
+  OutstandingSuspect out;
+  out.to = to;
+  out.tries = 1;
+  out.timer = sim_.after(params_.suspect_retry,
+                         [this, suspect] { suspect_retry_expired(suspect); });
+  outstanding_suspects_[suspect] = std::move(out);
+
+  Suspect msg{};
+  msg.view = committed_.view();
+  msg.suspect = suspect;
+  unicast(to, to_frame(msg));
+  ++stats_.suspects_sent;
+}
+
+void AdapterProtocol::suspect_retry_expired(util::IpAddress suspect) {
+  auto it = outstanding_suspects_.find(suspect);
+  if (it == outstanding_suspects_.end()) return;
+  OutstandingSuspect& out = it->second;
+  if (out.tries < params_.suspect_retries) {
+    ++out.tries;
+    Suspect msg{};
+    msg.view = committed_.view();
+    msg.suspect = suspect;
+    unicast(out.to, to_frame(msg));
+    ++stats_.suspects_sent;
+    out.timer = sim_.after(params_.suspect_retry,
+                           [this, suspect] { suspect_retry_expired(suspect); });
+    return;
+  }
+
+  // The recipient never acknowledged: it is unreachable from here.
+  const util::IpAddress failed_recipient = out.to;
+  outstanding_suspects_.erase(it);
+  if (state_ != AdapterState::kMember) return;
+
+  if (failed_recipient == leader_ip() && suspect != leader_ip()) {
+    // "it can no longer reach the group leader" (§3.1): escalate.
+    raise_suspicion(leader_ip());
+    return;
+  }
+  // A successor was unreachable during leader suspicion: mark it and walk
+  // to the next rank.
+  locally_suspected_.insert(failed_recipient);
+  if (suspect == leader_ip()) raise_suspicion(leader_ip());
+}
+
+void AdapterProtocol::begin_takeover_check() {
+  if (takeover_) return;
+  Takeover takeover;
+  do {
+    takeover.nonce = rng_.next();
+  } while (takeover.nonce == 0);
+  takeover.probes_left = params_.probe_retries + 1;
+  takeover_ = std::move(takeover);
+
+  Probe probe{};
+  probe.nonce = takeover_->nonce;
+  unicast(leader_ip(), to_frame(probe));
+  ++stats_.probes_sent;
+  --takeover_->probes_left;
+  takeover_->timer = sim_.after(params_.probe_timeout,
+                                [this] { takeover_probe_timeout(); });
+}
+
+void AdapterProtocol::takeover_probe_timeout() {
+  if (!takeover_) return;
+  if (takeover_->probes_left > 0) {
+    Probe probe{};
+    probe.nonce = takeover_->nonce;
+    unicast(leader_ip(), to_frame(probe));
+    ++stats_.probes_sent;
+    --takeover_->probes_left;
+    takeover_->timer = sim_.after(params_.probe_timeout,
+                                  [this] { takeover_probe_timeout(); });
+    return;
+  }
+  do_takeover();
+}
+
+void AdapterProtocol::do_takeover() {
+  takeover_.reset();
+  if (state_ != AdapterState::kMember || committed_.empty()) return;
+  ++stats_.takeovers;
+  GS_LOG(kDebug, "amg") << self_ip() << " taking over leadership from "
+                        << leader_ip();
+
+  const auto my_rank = committed_.rank_of(self_ip());
+  GS_CHECK(my_rank.has_value());
+
+  // Exclude the dead leader and every higher-ranked member: succession only
+  // reaches us once all of them are suspected or unreachable, and the
+  // coordinator of a proposal must hold its highest IP. A falsely excluded
+  // member recovers through StaleNotice + re-discovery.
+  pending_removes_[leader_ip()] = RemoveReason::kFailed;
+  departures_[leader_ip()] = RemoveReason::kFailed;
+  for (std::size_t rank = 1; rank < *my_rank; ++rank) {
+    const util::IpAddress ip = committed_.member_at(rank).ip;
+    pending_removes_[ip] = RemoveReason::kFailed;
+    departures_[ip] = RemoveReason::kFailed;
+  }
+  state_ = AdapterState::kLeader;
+  need_full_ = true;  // fresh leadership: establish the group at GSC anew
+  force_recommit_ = true;
+  propose();
+}
+
+void AdapterProtocol::reset_to_discovery() {
+  ++stats_.resets;
+  GS_LOG(kDebug, "amg") << self_ip() << " resetting to discovery";
+  stop_fd();
+  clear_member_duty_state();
+  clear_leader_duty_state();
+  committed_ = MembershipView();
+  if (pending_prepare_) {
+    pending_prepare_->expiry.cancel();
+    pending_prepare_.reset();
+  }
+  if (hooks_.on_reset) hooks_.on_reset();
+  begin_beaconing();
+}
+
+// --- Shared helpers ------------------------------------------------------------------
+
+void AdapterProtocol::start_fd() {
+  stop_fd();
+  FdContext ctx;
+  ctx.sim = &sim_;
+  ctx.params = &params_;
+  ctx.self = self_ip();
+  ctx.send = [this](util::IpAddress to, std::vector<std::uint8_t> frame) {
+    unicast(to, std::move(frame));
+  };
+  ctx.suspect = [this](util::IpAddress ip) { raise_suspicion(ip); };
+  ctx.loopback_ok = net_.loopback_ok;
+  ctx.rng = rng_.fork(0xFD + committed_.view());
+  fd_ = make_failure_detector(params_.fd_kind, std::move(ctx));
+  fd_->start(committed_);
+}
+
+void AdapterProtocol::stop_fd() {
+  if (fd_) {
+    fd_->stop();
+    fd_.reset();
+  }
+}
+
+void AdapterProtocol::clear_member_duty_state() {
+  for (auto& [ip, out] : outstanding_suspects_) out.timer.cancel();
+  outstanding_suspects_.clear();
+  locally_suspected_.clear();
+  if (takeover_) {
+    takeover_->timer.cancel();
+    takeover_.reset();
+  }
+}
+
+void AdapterProtocol::clear_leader_duty_state() {
+  if (proposal_) {
+    proposal_->timer.cancel();
+    proposal_.reset();
+  }
+  change_timer_.cancel();
+  dirty_ = false;
+  force_recommit_ = false;
+  pending_adds_.clear();
+  pending_removes_.clear();
+  for (auto& [ip, s] : suspicions_) s.probe_timer.cancel();
+  suspicions_.clear();
+  join_target_ = util::IpAddress();
+  last_join_sent_ = -1;
+  report_timer_.cancel();
+  // Reporting restarts from scratch on the next leadership.
+  need_full_ = true;
+  last_acked_membership_.clear();
+  pending_snapshot_.reset();
+  departures_.clear();
+}
+
+// --- Dispatch -------------------------------------------------------------------------
+
+void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
+                                   std::span<const std::uint8_t> payload) {
+  switch (type) {
+    case MsgType::kBeacon: {
+      if (auto msg = decode_Beacon(payload)) handle_beacon(src, *msg);
+      return;
+    }
+    case MsgType::kJoinRequest: {
+      if (auto msg = decode_JoinRequest(payload)) handle_join_request(*msg);
+      return;
+    }
+    case MsgType::kPrepare: {
+      if (auto msg = decode_Prepare(payload)) handle_prepare(src, *msg);
+      return;
+    }
+    case MsgType::kPrepareAck: {
+      if (auto msg = decode_PrepareAck(payload)) handle_prepare_ack(src, *msg);
+      return;
+    }
+    case MsgType::kCommit: {
+      if (auto msg = decode_Commit(payload)) handle_commit(*msg);
+      return;
+    }
+    case MsgType::kHeartbeat: {
+      auto msg = decode_Heartbeat(payload);
+      if (!msg) return;
+      bump_clock(msg->view);
+      maybe_implicit_commit(msg->view);
+      if (is_committed() && committed_.contains(src)) {
+        if (fd_) fd_->on_heartbeat(src, *msg);
+        return;
+      }
+      if (is_committed() && msg->view < committed_.view()) {
+        // A stale ex-member is still heartbeating us: tell it to rejoin.
+        auto& last = stale_notice_sent_[src];
+        if (last == 0 || sim_.now() - last >= sim::seconds(1)) {
+          last = sim_.now();
+          StaleNotice notice{};
+          notice.current_view = committed_.view();
+          unicast(src, to_frame(notice));
+          ++stats_.stale_notices_sent;
+        }
+      }
+      return;
+    }
+    case MsgType::kSuspect: {
+      auto msg = decode_Suspect(payload);
+      if (!msg) return;
+      bump_clock(msg->view);
+      maybe_implicit_commit(msg->view);
+      SuspectAck ack{};
+      ack.view = msg->view;
+      ack.suspect = msg->suspect;
+      unicast(src, to_frame(ack));
+      if (msg->suspect == self_ip()) return;
+      if (state_ == AdapterState::kLeader) {
+        leader_handle_suspicion(msg->suspect, src);
+      } else if (state_ == AdapterState::kMember && !committed_.empty() &&
+                 msg->suspect == leader_ip() && committed_.contains(src)) {
+        // We were told the leader is dead. Run the same successor walk a
+        // local suspicion would: if every rank above us is already suspect
+        // we verify and take over; otherwise we forward toward the true
+        // successor (the reporter may simply have been unable to reach it).
+        raise_suspicion(msg->suspect);
+      }
+      return;
+    }
+    case MsgType::kSuspectAck: {
+      auto msg = decode_SuspectAck(payload);
+      if (!msg) return;
+      auto it = outstanding_suspects_.find(msg->suspect);
+      if (it != outstanding_suspects_.end() && it->second.to == src) {
+        it->second.timer.cancel();
+        outstanding_suspects_.erase(it);
+      }
+      return;
+    }
+    case MsgType::kProbe: {
+      // Liveness probes are answered in every state: the question is "is
+      // this adapter alive", not "is it in my group".
+      if (auto msg = decode_Probe(payload)) {
+        ProbeAck ack{};
+        ack.nonce = msg->nonce;
+        unicast(src, to_frame(ack));
+      }
+      return;
+    }
+    case MsgType::kProbeAck: {
+      auto msg = decode_ProbeAck(payload);
+      if (!msg) return;
+      if (takeover_ && msg->nonce == takeover_->nonce) {
+        // The leader is alive after all; stand down.
+        takeover_->timer.cancel();
+        takeover_.reset();
+        locally_suspected_.erase(leader_ip());
+        return;
+      }
+      for (auto it = suspicions_.begin(); it != suspicions_.end(); ++it) {
+        if (it->second.probing && it->second.probe_nonce == msg->nonce) {
+          ++stats_.probes_refuted;
+          it->second.probe_timer.cancel();
+          suspicions_.erase(it);
+          return;
+        }
+      }
+      return;
+    }
+    case MsgType::kStaleNotice: {
+      auto msg = decode_StaleNotice(payload);
+      if (!msg) return;
+      bump_clock(msg->current_view);
+      if (state_ == AdapterState::kMember ||
+          state_ == AdapterState::kWaitingForLeader)
+        reset_to_discovery();
+      return;
+    }
+    case MsgType::kPing: {
+      if (auto msg = decode_Ping(payload)) {
+        PingAck ack{};
+        ack.nonce = msg->nonce;
+        ack.target = self_ip();
+        unicast(msg->origin, to_frame(ack));
+      }
+      return;
+    }
+    case MsgType::kPingAck: {
+      if (auto msg = decode_PingAck(payload))
+        if (fd_) fd_->on_ping_ack(src, *msg);
+      return;
+    }
+    case MsgType::kPingReq: {
+      if (auto msg = decode_PingReq(payload))
+        if (fd_) fd_->on_ping_req(src, *msg);
+      return;
+    }
+    case MsgType::kSubgroupPoll: {
+      if (auto msg = decode_SubgroupPoll(payload)) {
+        SubgroupPollAck ack{};
+        ack.seq = msg->seq;
+        unicast(src, to_frame(ack));
+      }
+      return;
+    }
+    case MsgType::kSubgroupPollAck: {
+      if (auto msg = decode_SubgroupPollAck(payload))
+        if (fd_) fd_->on_subgroup_poll_ack(src, *msg);
+      return;
+    }
+    case MsgType::kMembershipReport:
+    case MsgType::kReportAck:
+      // Routed by the daemon before frames reach the protocol.
+      return;
+  }
+}
+
+}  // namespace gs::proto

@@ -1,0 +1,50 @@
+#include "gs/amg.h"
+
+#include <algorithm>
+
+namespace gs::proto {
+
+MembershipView MembershipView::make(std::uint64_t view,
+                                    std::vector<MemberInfo> members) {
+  std::sort(members.begin(), members.end(),
+            [](const MemberInfo& a, const MemberInfo& b) { return a.ip > b.ip; });
+  members.erase(std::unique(members.begin(), members.end(),
+                            [](const MemberInfo& a, const MemberInfo& b) {
+                              return a.ip == b.ip;
+                            }),
+                members.end());
+  MembershipView v;
+  v.view_ = view;
+  v.members_ = std::move(members);
+  return v;
+}
+
+std::optional<std::size_t> MembershipView::rank_of(util::IpAddress ip) const {
+  // Members are sorted descending by IP: binary search.
+  auto it = std::lower_bound(
+      members_.begin(), members_.end(), ip,
+      [](const MemberInfo& m, util::IpAddress target) { return m.ip > target; });
+  if (it == members_.end() || it->ip != ip) return std::nullopt;
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+util::IpAddress MembershipView::right_of(util::IpAddress ip) const {
+  auto rank = rank_of(ip);
+  GS_CHECK_MSG(rank.has_value(), "ring neighbor of a non-member");
+  return members_[(*rank + 1) % members_.size()].ip;
+}
+
+util::IpAddress MembershipView::left_of(util::IpAddress ip) const {
+  auto rank = rank_of(ip);
+  GS_CHECK_MSG(rank.has_value(), "ring neighbor of a non-member");
+  return members_[(*rank + members_.size() - 1) % members_.size()].ip;
+}
+
+std::vector<util::IpAddress> MembershipView::ips() const {
+  std::vector<util::IpAddress> out;
+  out.reserve(members_.size());
+  for (const MemberInfo& m : members_) out.push_back(m.ip);
+  return out;
+}
+
+}  // namespace gs::proto

@@ -1,0 +1,71 @@
+// Adapter Membership Group view.
+//
+// An immutable committed membership: a view number plus the member list in
+// rank order — descending IP, so rank 0 is the leader ("the adapter with
+// the highest IP address", §2.1). The same order serves three purposes:
+//  * leader identity (rank 0),
+//  * leader succession ("notification is sent to the second ranked
+//    adapter", §2.1) — rank 1, 2, ... in turn,
+//  * the logical heartbeat ring (§3): rank i's right neighbor is rank i+1
+//    (mod n), left neighbor is rank i-1 (mod n).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gs/messages.h"
+#include "util/check.h"
+#include "util/ip.h"
+
+namespace gs::proto {
+
+class MembershipView {
+ public:
+  MembershipView() = default;
+
+  // Sorts descending by IP and drops duplicate IPs (keeping the first).
+  static MembershipView make(std::uint64_t view,
+                             std::vector<MemberInfo> members);
+
+  [[nodiscard]] std::uint64_t view() const { return view_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+
+  [[nodiscard]] const std::vector<MemberInfo>& members() const {
+    return members_;
+  }
+
+  [[nodiscard]] const MemberInfo& leader() const {
+    GS_CHECK(!members_.empty());
+    return members_.front();
+  }
+
+  [[nodiscard]] bool contains(util::IpAddress ip) const {
+    return rank_of(ip).has_value();
+  }
+
+  // Rank (0-based position in descending-IP order), if a member.
+  [[nodiscard]] std::optional<std::size_t> rank_of(util::IpAddress ip) const;
+
+  [[nodiscard]] const MemberInfo& member_at(std::size_t rank) const {
+    GS_CHECK(rank < members_.size());
+    return members_[rank];
+  }
+
+  // Ring neighbors of `ip` (undefined for non-members — checked). In a
+  // group of one or two these can equal `ip` itself / each other; the
+  // failure detectors handle those degenerate rings.
+  [[nodiscard]] util::IpAddress right_of(util::IpAddress ip) const;
+  [[nodiscard]] util::IpAddress left_of(util::IpAddress ip) const;
+
+  [[nodiscard]] std::vector<util::IpAddress> ips() const;
+
+  bool operator==(const MembershipView&) const = default;
+
+ private:
+  std::uint64_t view_ = 0;
+  std::vector<MemberInfo> members_;
+};
+
+}  // namespace gs::proto

@@ -1,0 +1,710 @@
+#include "gs/central.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace gs::proto {
+
+std::string_view to_string(FarmEvent::Kind kind) {
+  switch (kind) {
+    case FarmEvent::Kind::kGscActivated: return "gsc-activated";
+    case FarmEvent::Kind::kGscDeactivated: return "gsc-deactivated";
+    case FarmEvent::Kind::kInitialTopologyStable: return "topology-stable";
+    case FarmEvent::Kind::kAdapterFailed: return "adapter-failed";
+    case FarmEvent::Kind::kAdapterRecovered: return "adapter-recovered";
+    case FarmEvent::Kind::kNodeFailed: return "node-failed";
+    case FarmEvent::Kind::kNodeRecovered: return "node-recovered";
+    case FarmEvent::Kind::kSwitchFailed: return "switch-failed";
+    case FarmEvent::Kind::kSwitchRecovered: return "switch-recovered";
+    case FarmEvent::Kind::kMoveInitiated: return "move-initiated";
+    case FarmEvent::Kind::kMoveCompleted: return "move-completed";
+    case FarmEvent::Kind::kUnexpectedMove: return "unexpected-move";
+    case FarmEvent::Kind::kInconsistencyFound: return "inconsistency";
+    case FarmEvent::Kind::kAdapterQuarantined: return "adapter-quarantined";
+  }
+  return "?";
+}
+
+Central::Central(sim::Simulator& sim, const Params& params,
+                 config::ConfigDb* db, net::SwitchConsole* console)
+    : sim_(sim), params_(params), db_(db), console_(console) {}
+
+void Central::emit(FarmEvent event) {
+  event.time = sim_.now();
+  event.source = self_ip_;
+  GS_LOG(kDebug, "gsc") << to_string(event.kind)
+                        << (event.detail.empty() ? "" : ": ") << event.detail;
+  if (on_event_) on_event_(event);
+}
+
+void Central::clear_all_state() {
+  groups_.clear();
+  adapters_.clear();
+  for (auto& [ip, state] : expected_moves_) state.deadline.cancel();
+  expected_moves_.clear();
+  for (auto& [ip, timer] : held_failures_) timer.cancel();
+  held_failures_.clear();
+  stability_timer_.cancel();
+  stable_ = false;
+  stable_time_ = -1;
+  nodes_down_.clear();
+  switches_down_.clear();
+  snmp_wiring_.clear();
+  quarantined_.clear();
+  reports_received_ = 0;
+}
+
+void Central::activate(util::IpAddress self_admin_ip) {
+  if (active_ && self_ip_ == self_admin_ip) return;
+  clear_all_state();
+  active_ = true;
+  self_ip_ = self_admin_ip;
+  FarmEvent event{};
+  event.kind = FarmEvent::Kind::kGscActivated;
+  event.ip = self_admin_ip;
+  emit(std::move(event));
+}
+
+void Central::deactivate() {
+  if (!active_) return;
+  active_ = false;
+  clear_all_state();
+  FarmEvent event{};
+  event.kind = FarmEvent::Kind::kGscDeactivated;
+  event.ip = self_ip_;
+  emit(std::move(event));
+  self_ip_ = util::IpAddress();
+}
+
+void Central::arm_stability_timer() {
+  if (stable_) return;
+  stability_timer_.cancel();
+  stability_timer_ = sim_.after(params_.gsc_stable_wait, [this] {
+    stable_ = true;
+    stable_time_ = sim_.now();
+    FarmEvent event{};
+    event.kind = FarmEvent::Kind::kInitialTopologyStable;
+    emit(std::move(event));
+  });
+}
+
+void Central::handle_report(util::IpAddress from,
+                            const MembershipReport& report,
+                            const std::function<void(const ReportAck&)>& reply) {
+  (void)from;
+  if (!active_) return;
+  ++reports_received_;
+  arm_stability_timer();
+
+  ReportAck ack{};
+  ack.seq = report.seq;
+  ack.leader = report.leader.ip;
+
+  auto it = groups_.find(report.leader.ip);
+  if (it != groups_.end() && report.seq <= it->second.last_seq) {
+    reply(ack);  // duplicate of something already applied — idempotent ack
+    return;
+  }
+  if (!report.full &&
+      (it == groups_.end() || report.seq != it->second.last_seq + 1)) {
+    // Never saw this group's snapshot (fresh GSC) or a delta went missing.
+    ack.need_full = true;
+    reply(ack);
+    return;
+  }
+
+  Group& group = groups_[report.leader.ip];
+  group.leader = report.leader;
+  group.view = report.view;
+  group.last_seq = report.seq;
+  // Every report is first-hand evidence that its sending leader is alive,
+  // overriding any stale death claim a third party may have lodged.
+  attest_leader(report.leader);
+
+  if (report.full) {
+    const std::set<util::IpAddress> old_members = group.members;
+    group.members.clear();
+    for (const MemberInfo& m : report.added) {
+      claim_member(m, report.leader.ip);
+      mark_alive(m, report.leader.ip);
+    }
+    // Members silently absent from the snapshot departed without a death
+    // notice (e.g. merged away while we were failing over): unassign only.
+    for (util::IpAddress ip : old_members) {
+      if (group.members.count(ip)) continue;
+      auto rec = adapters_.find(ip);
+      if (rec != adapters_.end() && rec->second.group_leader == report.leader.ip)
+        unassign(ip);
+    }
+    // A full snapshot can still carry deaths — notably the old leader a
+    // takeover removed, which no delta will ever mention.
+    for (const RemovedMember& rm : report.removed) {
+      if (group.members.count(rm.ip)) continue;  // re-added since
+      auto rec = adapters_.find(rm.ip);
+      if (rec == adapters_.end()) continue;
+      const util::IpAddress holder = rec->second.group_leader;
+      // Skip if some third group claims the adapter (its reports win).
+      if (!holder.is_unspecified() && holder != report.leader.ip &&
+          holder != rm.ip)
+        continue;
+      if (holder == rm.ip && holder != report.leader.ip) {
+        // The removed adapter leads a group of its own per our records.
+        // Accept the death claim only if the reporter's group absorbed a
+        // majority of that group's other members — the legitimate-takeover
+        // signature. A single adapter that was moved or partitioned away
+        // (§3.1) also believes its old leader died, but carries no such
+        // majority, and must not be allowed to kill a live leader here.
+        auto old_group = groups_.find(rm.ip);
+        if (old_group != groups_.end()) {
+          std::size_t peers = 0, absorbed = 0;
+          for (util::IpAddress ip : old_group->second.members) {
+            if (ip == rm.ip) continue;
+            ++peers;
+            if (group.members.count(ip)) ++absorbed;
+          }
+          if (peers > 0 && absorbed * 2 < peers) continue;
+        }
+      }
+      if (rm.reason == RemoveReason::kFailed)
+        mark_failed(rm.ip);
+      else
+        unassign(rm.ip);
+    }
+  } else {
+    for (const MemberInfo& m : report.added) {
+      claim_member(m, report.leader.ip);
+      mark_alive(m, report.leader.ip);
+    }
+    for (const RemovedMember& rm : report.removed) {
+      auto rec = adapters_.find(rm.ip);
+      if (rec == adapters_.end() ||
+          rec->second.group_leader != report.leader.ip)
+        continue;  // already claimed elsewhere (merge won the race)
+      groups_[report.leader.ip].members.erase(rm.ip);
+      if (rm.reason == RemoveReason::kFailed)
+        mark_failed(rm.ip);
+      else
+        unassign(rm.ip);
+    }
+  }
+  reply(ack);
+}
+
+void Central::attest_leader(const MemberInfo& leader) {
+  auto it = adapters_.find(leader.ip);
+  if (it == adapters_.end()) return;
+  if (it->second.alive && !held_failures_.count(leader.ip)) return;
+  // The adapter is talking while recorded dead (or dying): mark_alive sorts
+  // out which story this is — a held failure becomes an unexpected move
+  // (the §3.1 signature: the "new group" here is the mover's own
+  // singleton), an expected move progresses, a committed death becomes a
+  // recovery.
+  mark_alive(leader, leader.ip);
+}
+
+void Central::claim_member(const MemberInfo& m, util::IpAddress leader) {
+  AdapterRec& rec = adapters_[m.ip];
+  const util::IpAddress previous = rec.group_leader;
+  if (!previous.is_unspecified() && previous != leader) {
+    auto prev_group = groups_.find(previous);
+    if (prev_group != groups_.end()) prev_group->second.members.erase(m.ip);
+  }
+  rec.group_leader = leader;
+  groups_[leader].members.insert(m.ip);
+
+  // If this member used to lead a group of its own, that group has been
+  // absorbed: retire it and release any members it still held.
+  if (m.ip != leader) {
+    auto absorbed = groups_.find(m.ip);
+    if (absorbed != groups_.end()) {
+      const std::set<util::IpAddress> orphans = absorbed->second.members;
+      groups_.erase(absorbed);
+      for (util::IpAddress ip : orphans) {
+        if (ip == m.ip) continue;
+        auto orphan_rec = adapters_.find(ip);
+        if (orphan_rec != adapters_.end() &&
+            orphan_rec->second.group_leader == m.ip)
+          unassign(ip);
+      }
+    }
+  }
+}
+
+void Central::unassign(util::IpAddress ip) {
+  auto it = adapters_.find(ip);
+  if (it == adapters_.end()) return;
+  auto group = groups_.find(it->second.group_leader);
+  if (group != groups_.end()) {
+    group->second.members.erase(ip);
+    if (group->second.members.empty()) groups_.erase(group);
+  }
+  it->second.group_leader = util::IpAddress();
+}
+
+void Central::mark_alive(const MemberInfo& m, util::IpAddress leader) {
+  AdapterRec& rec = adapters_[m.ip];
+  const bool was_dead = !rec.alive && rec.last_change != 0;
+  rec.info = m;
+  rec.alive = true;
+  rec.group_leader = leader;
+  rec.last_change = sim_.now();
+
+  // A join while a failure notice is being held for the move window is the
+  // §3.1 signature of a domain move GulfStream did not initiate.
+  auto held = held_failures_.find(m.ip);
+  if (held != held_failures_.end()) {
+    held->second.cancel();
+    held_failures_.erase(held);
+    std::ostringstream detail;
+    detail << m.ip << " reappeared under leader " << leader
+           << " — inferred unexpected domain move";
+    FarmEvent event{};
+    event.kind = FarmEvent::Kind::kUnexpectedMove;
+    event.ip = m.ip;
+    event.node = m.node;
+    event.detail = detail.str();
+    emit(std::move(event));
+    return;
+  }
+
+  auto move = expected_moves_.find(m.ip);
+  if (move != expected_moves_.end()) {
+    move->second.seen_join = true;
+    maybe_complete_move(m.ip);
+    return;
+  }
+
+  if (was_dead) {
+    FarmEvent event{};
+    event.kind = FarmEvent::Kind::kAdapterRecovered;
+    event.ip = m.ip;
+    event.node = m.node;
+    emit(std::move(event));
+    correlate_recovery(m.ip);
+  }
+}
+
+void Central::mark_failed(util::IpAddress ip) {
+  auto it = adapters_.find(ip);
+  if (it == adapters_.end() || !it->second.alive) return;
+  it->second.alive = false;
+  it->second.last_change = sim_.now();
+
+  auto move = expected_moves_.find(ip);
+  if (move != expected_moves_.end()) {
+    // Expected: GSC performed this reconfiguration itself — "external
+    // failure notifications are suppressed" (§3.1).
+    move->second.seen_fail = true;
+    maybe_complete_move(ip);
+    return;
+  }
+
+  // Hold the external notification for the move window so a prompt rejoin
+  // elsewhere can be recognized as a move rather than a death.
+  auto& timer = held_failures_[ip];
+  timer.cancel();
+  timer = sim_.after(params_.move_window, [this, ip] { commit_failure(ip); });
+}
+
+void Central::commit_failure(util::IpAddress ip) {
+  held_failures_.erase(ip);
+  auto it = adapters_.find(ip);
+  if (it == adapters_.end() || it->second.alive) return;
+  FarmEvent event{};
+  event.kind = FarmEvent::Kind::kAdapterFailed;
+  event.ip = ip;
+  event.node = it->second.info.node;
+  emit(std::move(event));
+  correlate_failure(ip);
+}
+
+void Central::maybe_complete_move(util::IpAddress ip) {
+  auto it = expected_moves_.find(ip);
+  if (it == expected_moves_.end()) return;
+  if (!(it->second.seen_fail && it->second.seen_join)) return;
+  it->second.deadline.cancel();
+  const util::VlanId target = it->second.target;
+  expected_moves_.erase(it);
+  FarmEvent event{};
+  event.kind = FarmEvent::Kind::kMoveCompleted;
+  event.ip = ip;
+  event.vlan = target;
+  emit(std::move(event));
+}
+
+// --- Correlation (§3) ---------------------------------------------------------
+
+void Central::correlate_failure(util::IpAddress ip) {
+  auto it = adapters_.find(ip);
+  if (it == adapters_.end()) return;
+  const util::NodeId node = it->second.info.node;
+
+  // Node inference: "if all of the adapters connected to a server are
+  // reported as failed, then we infer that the server itself has failed."
+  if (node.valid() && !nodes_down_.count(node)) {
+    std::size_t seen = 0;
+    bool any_alive = false;
+    for (const auto& [aip, rec] : adapters_) {
+      if (rec.info.node != node) continue;
+      ++seen;
+      if (rec.alive) any_alive = true;
+    }
+    std::size_t expected = seen;
+    if (db_) expected = db_->adapters_of_node(node).size();
+    if (seen > 0 && !any_alive && seen >= expected) {
+      nodes_down_.insert(node);
+      FarmEvent event{};
+      event.kind = FarmEvent::Kind::kNodeFailed;
+      event.node = node;
+      emit(std::move(event));
+    }
+  }
+
+  // Switch inference needs wiring knowledge — from the configuration
+  // database ("At present, GulfStream Central relies on a configuration
+  // database to identify how nodes are connected to routers and switches")
+  // or from a prior SNMP walk of the switches (discover_wiring, the §3
+  // future-work path).
+  const auto wired = wired_switch_of(ip);
+  if (wired && !switches_down_.count(*wired)) {
+    bool all_failed = true;
+    std::size_t seen = 0;
+    for (util::IpAddress peer : ips_wired_to(*wired)) {
+      auto status = adapters_.find(peer);
+      if (status == adapters_.end()) {
+        all_failed = false;  // never observed: cannot conclude
+        break;
+      }
+      ++seen;
+      if (status->second.alive) {
+        all_failed = false;
+        break;
+      }
+    }
+    if (all_failed && seen > 0) {
+      switches_down_.insert(*wired);
+      FarmEvent event{};
+      event.kind = FarmEvent::Kind::kSwitchFailed;
+      event.switch_id = *wired;
+      emit(std::move(event));
+    }
+  }
+}
+
+std::optional<util::SwitchId> Central::wired_switch_of(
+    util::IpAddress ip) const {
+  if (db_) {
+    const auto rec = db_->adapter_by_ip(ip);
+    if (rec && rec->wired_switch.valid()) return rec->wired_switch;
+  }
+  auto it = snmp_wiring_.find(ip);
+  if (it != snmp_wiring_.end()) return it->second.wired_switch;
+  return std::nullopt;
+}
+
+std::vector<util::IpAddress> Central::ips_wired_to(util::SwitchId sw) const {
+  std::set<util::IpAddress> out;
+  if (db_) {
+    for (const config::AdapterRecord& rec : db_->adapters_on_switch(sw))
+      out.insert(rec.ip);
+  }
+  for (const auto& [ip, wiring] : snmp_wiring_)
+    if (wiring.wired_switch == sw) out.insert(ip);
+  return {out.begin(), out.end()};
+}
+
+void Central::correlate_recovery(util::IpAddress ip) {
+  auto it = adapters_.find(ip);
+  if (it == adapters_.end()) return;
+  const util::NodeId node = it->second.info.node;
+  // "As soon as one of these adapters recovers, we infer that the
+  // correlated node/router/switch has recovered."
+  if (node.valid() && nodes_down_.count(node)) {
+    nodes_down_.erase(node);
+    FarmEvent event{};
+    event.kind = FarmEvent::Kind::kNodeRecovered;
+    event.node = node;
+    emit(std::move(event));
+  }
+  const auto wired = wired_switch_of(ip);
+  if (wired && switches_down_.count(*wired)) {
+    switches_down_.erase(*wired);
+    FarmEvent event{};
+    event.kind = FarmEvent::Kind::kSwitchRecovered;
+    event.switch_id = *wired;
+    emit(std::move(event));
+  }
+}
+
+// --- Introspection ---------------------------------------------------------------
+
+std::vector<Central::GroupInfo> Central::groups() const {
+  std::vector<GroupInfo> out;
+  out.reserve(groups_.size());
+  for (const auto& [leader_ip, group] : groups_) {
+    GroupInfo info;
+    info.leader = group.leader;
+    info.view = group.view;
+    info.members.assign(group.members.begin(), group.members.end());
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::optional<Central::AdapterStatus> Central::adapter_status(
+    util::IpAddress ip) const {
+  auto it = adapters_.find(ip);
+  if (it == adapters_.end()) return std::nullopt;
+  AdapterStatus status;
+  status.info = it->second.info;
+  status.alive = it->second.alive;
+  status.group_leader = it->second.group_leader;
+  status.last_change = it->second.last_change;
+  return status;
+}
+
+std::size_t Central::alive_adapter_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, rec] : adapters_)
+    if (rec.alive) ++n;
+  return n;
+}
+
+// --- Verification -----------------------------------------------------------------
+
+std::vector<config::Inconsistency> Central::verify_now() {
+  if (!db_) return {};
+
+  // Map each discovered group to a VLAN by majority vote over the expected
+  // VLANs of its database-known members; adapters the database does not
+  // know inherit the group VLAN (the verifier flags them as unknown).
+  std::vector<config::DiscoveredAdapter> discovered;
+  for (const auto& [leader_ip, group] : groups_) {
+    std::map<util::VlanId, std::size_t> votes;
+    for (util::IpAddress ip : group.members) {
+      const auto rec = db_->adapter_by_ip(ip);
+      if (rec) ++votes[rec->expected_vlan];
+    }
+    util::VlanId group_vlan;
+    std::size_t best = 0;
+    for (const auto& [vlan, count] : votes) {
+      if (count > best) {
+        best = count;
+        group_vlan = vlan;
+      }
+    }
+    for (util::IpAddress ip : group.members) {
+      auto status = adapters_.find(ip);
+      if (status == adapters_.end() || !status->second.alive) continue;
+      discovered.push_back(config::DiscoveredAdapter{ip, group_vlan});
+    }
+  }
+
+  config::Verifier verifier(*db_);
+  auto findings = verifier.verify(discovered);
+  // Adapters already disabled onto the quarantine VLAN are a handled,
+  // known inconsistency: do not re-flag them every pass.
+  std::erase_if(findings, [this](const config::Inconsistency& f) {
+    return quarantined_.count(f.ip) > 0;
+  });
+  for (const config::Inconsistency& finding : findings) {
+    FarmEvent event{};
+    event.kind = FarmEvent::Kind::kInconsistencyFound;
+    event.ip = finding.ip;
+    event.vlan = finding.discovered_vlan;
+    event.detail = finding.detail;
+    emit(std::move(event));
+  }
+
+  // §2.2: "Inconsistencies can be flagged and the affected adapters
+  // disabled, for security reasons, until conflicts are resolved."
+  if (quarantine_vlan_.valid() && console_ != nullptr) {
+    for (const config::Inconsistency& finding : findings) {
+      if (finding.kind == config::InconsistencyKind::kWrongVlan) {
+        const auto rec = db_->adapter_by_ip(finding.ip);
+        if (rec)
+          quarantine(finding.ip, rec->wired_switch, rec->wired_port,
+                     finding.discovered_vlan);
+      } else if (finding.kind == config::InconsistencyKind::kUnknownAdapter) {
+        // No database record — but SNMP discovery may have located it.
+        const auto wiring = discovered_wiring(finding.ip);
+        if (wiring)
+          quarantine(finding.ip, wiring->wired_switch, wiring->wired_port,
+                     finding.discovered_vlan);
+      }
+    }
+  }
+  return findings;
+}
+
+// --- SNMP wiring discovery and audit (§3 future work) ---------------------------
+
+std::size_t Central::discover_wiring(
+    const std::vector<util::SwitchId>& switches) {
+  if (!active_ || console_ == nullptr) return 0;
+
+  // Resolve bridge-table MACs against the identities the AMG leaders have
+  // reported: the reports carry each member's MAC alongside its IP.
+  std::map<util::MacAddress, util::IpAddress> by_mac;
+  for (const auto& [ip, rec] : adapters_) by_mac[rec.info.mac] = ip;
+
+  std::size_t resolved = 0;
+  for (util::SwitchId sw : switches) {
+    const auto ports = console_->walk_ports(sw);
+    if (!ports) continue;  // switch down or console unreachable
+    for (const net::SwitchConsole::PortInfo& info : *ports) {
+      if (!info.adapter.valid()) continue;
+      auto it = by_mac.find(info.mac);
+      if (it == by_mac.end()) continue;  // station never reported
+      snmp_wiring_[it->second] =
+          WiringRecord{sw, info.port, info.vlan};
+      ++resolved;
+    }
+  }
+  return resolved;
+}
+
+std::optional<Central::WiringRecord> Central::discovered_wiring(
+    util::IpAddress ip) const {
+  auto it = snmp_wiring_.find(ip);
+  if (it == snmp_wiring_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Central::WiringMismatch> Central::audit_wiring() {
+  std::vector<WiringMismatch> mismatches;
+  if (db_ == nullptr) return mismatches;
+  for (const auto& [ip, actual] : snmp_wiring_) {
+    const auto expected = db_->adapter_by_ip(ip);
+    if (!expected) continue;  // the verifier flags unknown adapters
+    if (expected->wired_switch == actual.wired_switch &&
+        expected->wired_port == actual.wired_port)
+      continue;
+    WiringMismatch mismatch;
+    mismatch.ip = ip;
+    mismatch.db_switch = expected->wired_switch;
+    mismatch.db_port = expected->wired_port;
+    mismatch.actual_switch = actual.wired_switch;
+    mismatch.actual_port = actual.wired_port;
+    mismatches.push_back(mismatch);
+
+    std::ostringstream detail;
+    detail << ip << " wired to " << actual.wired_switch << "/"
+           << actual.wired_port << " but the database says "
+           << expected->wired_switch << "/" << expected->wired_port;
+    FarmEvent event{};
+    event.kind = FarmEvent::Kind::kInconsistencyFound;
+    event.ip = ip;
+    event.detail = detail.str();
+    emit(std::move(event));
+  }
+  return mismatches;
+}
+
+// --- Quarantine (§2.2) -----------------------------------------------------------
+
+void Central::quarantine(util::IpAddress ip, util::SwitchId sw,
+                         util::PortId port, util::VlanId discovered_on) {
+  if (console_ == nullptr || quarantined_.count(ip)) return;
+  // Suppress the failure notifications the disablement is about to cause.
+  MoveState state;
+  state.target = quarantine_vlan_;
+  state.deadline = sim_.after(2 * params_.move_window, [this, ip] {
+    expected_moves_.erase(ip);
+  });
+  expected_moves_[ip] = std::move(state);
+  if (!console_->set_port_vlan(sw, port, quarantine_vlan_)) {
+    auto it = expected_moves_.find(ip);
+    if (it != expected_moves_.end()) {
+      it->second.deadline.cancel();
+      expected_moves_.erase(it);
+    }
+    return;
+  }
+  quarantined_.insert(ip);
+
+  std::ostringstream detail;
+  detail << ip << " found on " << discovered_on
+         << "; port disabled onto quarantine " << quarantine_vlan_;
+  FarmEvent event{};
+  event.kind = FarmEvent::Kind::kAdapterQuarantined;
+  event.ip = ip;
+  event.vlan = quarantine_vlan_;
+  event.detail = detail.str();
+  emit(std::move(event));
+}
+
+bool Central::release_quarantine(util::IpAddress ip) {
+  if (!quarantined_.count(ip) || db_ == nullptr || console_ == nullptr)
+    return false;
+  const auto rec = db_->adapter_by_ip(ip);
+  if (!rec) return false;
+  quarantined_.erase(ip);
+  return move_adapter(rec->adapter, rec->expected_vlan);
+}
+
+// --- Reconfiguration ---------------------------------------------------------------
+
+bool Central::move_adapter(util::AdapterId adapter, util::VlanId target) {
+  if (!active_ || db_ == nullptr || console_ == nullptr) return false;
+  const auto rec = db_->adapter(adapter);
+  if (!rec) return false;
+
+  MoveState state;
+  state.target = target;
+  state.deadline = sim_.after(2 * params_.move_window, [this, ip = rec->ip] {
+    // Window over: stop suppressing whatever did not materialize.
+    auto it = expected_moves_.find(ip);
+    if (it == expected_moves_.end()) return;
+    const bool joined = it->second.seen_join;
+    const util::VlanId vlan = it->second.target;
+    expected_moves_.erase(it);
+    FarmEvent event{};
+    event.kind = joined ? FarmEvent::Kind::kMoveCompleted
+                        : FarmEvent::Kind::kUnexpectedMove;
+    event.ip = ip;
+    event.vlan = vlan;
+    event.detail = joined ? "move window closed after join"
+                          : "move never completed within the window";
+    emit(std::move(event));
+  });
+  expected_moves_[rec->ip] = std::move(state);
+
+  db_->set_expected_vlan(adapter, target);
+  if (!console_->set_port_vlan(rec->wired_switch, rec->wired_port, target)) {
+    auto it = expected_moves_.find(rec->ip);
+    if (it != expected_moves_.end()) {
+      it->second.deadline.cancel();
+      expected_moves_.erase(it);
+    }
+    return false;
+  }
+
+  FarmEvent event{};
+  event.kind = FarmEvent::Kind::kMoveInitiated;
+  event.ip = rec->ip;
+  event.vlan = target;
+  emit(std::move(event));
+  return true;
+}
+
+bool Central::move_node(
+    util::NodeId node,
+    const std::vector<std::pair<util::AdapterId, util::VlanId>>&
+        adapter_vlans) {
+  bool ok = true;
+  for (const auto& [adapter, vlan] : adapter_vlans) {
+    const auto rec = db_ ? db_->adapter(adapter) : std::nullopt;
+    if (!rec || rec->node != node) {
+      ok = false;
+      continue;
+    }
+    ok = move_adapter(adapter, vlan) && ok;
+  }
+  return ok;
+}
+
+}  // namespace gs::proto

@@ -1,0 +1,271 @@
+#include "gs/daemon.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "wire/frame.h"
+
+namespace gs::proto {
+
+GsDaemon::GsDaemon(sim::Simulator& sim, net::Fabric& fabric,
+                   const Params& params, NodeConfig config,
+                   std::vector<util::AdapterId> adapters, util::Rng rng)
+    : sim_(sim),
+      fabric_(fabric),
+      params_(params),
+      config_(std::move(config)),
+      adapter_ids_(std::move(adapters)),
+      rng_(rng) {
+  GS_CHECK(!adapter_ids_.empty());
+  GS_CHECK(config_.admin_adapter_index < adapter_ids_.size());
+  outstanding_.resize(adapter_ids_.size());
+
+  for (std::size_t i = 0; i < adapter_ids_.size(); ++i) {
+    const util::AdapterId id = adapter_ids_[i];
+    const net::Adapter& adapter = fabric_.adapter(id);
+    GS_CHECK_MSG(!adapter.ip().is_unspecified(),
+                 "assign adapter IPs before constructing the daemon");
+
+    MemberInfo self;
+    self.ip = adapter.ip();
+    self.mac = adapter.mac();
+    self.node = config_.node;
+    // §2.2: beacons on the administrative adapter of an eligible node carry
+    // the central-eligibility flag.
+    self.central_eligible =
+        config_.central_eligible && i == config_.admin_adapter_index;
+
+    AdapterProtocol::NetIface net;
+    net.unicast = [this, id](util::IpAddress to,
+                             std::vector<std::uint8_t> frame) {
+      return fabric_.send(id, to, std::move(frame));
+    };
+    net.beacon_multicast = [this, id](std::vector<std::uint8_t> frame) {
+      return fabric_.multicast(id, net::kBeaconGroup, std::move(frame));
+    };
+    net.loopback_ok = [this, id] { return fabric_.adapter(id).loopback_ok(); };
+
+    AdapterProtocol::Hooks hooks;
+    hooks.on_report_pending = [this, i] { report_pending(i); };
+    hooks.on_reset = [this, i] {
+      outstanding_[i].reset();
+      if (i == config_.admin_adapter_index) {
+        last_gsc_ = util::IpAddress();
+        if (central_ && central_->active()) central_->deactivate();
+      }
+    };
+    if (i == config_.admin_adapter_index) {
+      hooks.on_committed = [this](const MembershipView& view) {
+        on_admin_committed(view);
+      };
+    }
+
+    protocols_.push_back(std::make_unique<AdapterProtocol>(
+        sim_, params_, self, std::move(net), std::move(hooks),
+        rng_.fork(0xAD0 + i)));
+  }
+}
+
+AdapterProtocol& GsDaemon::protocol(std::size_t index) {
+  GS_CHECK(index < protocols_.size());
+  return *protocols_[index];
+}
+
+const AdapterProtocol& GsDaemon::protocol(std::size_t index) const {
+  GS_CHECK(index < protocols_.size());
+  return *protocols_[index];
+}
+
+util::AdapterId GsDaemon::adapter_id(std::size_t index) const {
+  GS_CHECK(index < adapter_ids_.size());
+  return adapter_ids_[index];
+}
+
+util::IpAddress GsDaemon::gsc_ip() const {
+  const AdapterProtocol& admin = *protocols_[config_.admin_adapter_index];
+  if (!admin.is_committed()) return util::IpAddress();
+  return admin.leader_ip();
+}
+
+void GsDaemon::start() {
+  GS_CHECK(!started_);
+  started_ = true;
+  const sim::SimDuration skew =
+      params_.start_skew_max > 0 ? rng_.range(0, params_.start_skew_max) : 0;
+  sim_.after(skew, [this] {
+    for (std::size_t i = 0; i < protocols_.size(); ++i) {
+      fabric_.adapter(adapter_ids_[i])
+          .set_receive_handler([this, i](const net::Datagram& dgram) {
+            on_datagram(i, dgram);
+          });
+      if (!halted_) protocols_[i]->start();
+    }
+  });
+}
+
+void GsDaemon::halt() {
+  GS_CHECK_MSG(started_, "halt before start");
+  if (halted_) return;
+  halted_ = true;
+  if (central_ != nullptr && central_->active()) central_->deactivate();
+  for (auto& proto : protocols_) proto->shutdown();
+  for (auto& outstanding : outstanding_) outstanding.reset();
+  report_retry_timer_.cancel();
+  last_gsc_ = util::IpAddress();
+}
+
+void GsDaemon::resume() {
+  if (!halted_) return;
+  halted_ = false;
+  for (auto& proto : protocols_) proto->restart();
+}
+
+void GsDaemon::on_datagram(std::size_t index, const net::Datagram& dgram) {
+  if (halted_) return;
+  // Model of per-message handling latency (thread scheduling, §4.1).
+  sim::SimDuration delay = 0;
+  if (params_.proc_delay_mean > 0) {
+    delay = static_cast<sim::SimDuration>(
+        rng_.exponential(static_cast<double>(params_.proc_delay_mean)));
+  }
+  sim_.after(delay, [this, index, dgram] { dispatch(index, dgram); });
+}
+
+void GsDaemon::dispatch(std::size_t index, const net::Datagram& dgram) {
+  if (halted_) return;
+  const wire::DecodeResult decoded = wire::decode_frame(dgram.bytes);
+  if (!decoded.ok()) {
+    ++frames_dropped_;
+    GS_LOG(kDebug, "daemon") << config_.name << " dropped frame: "
+                             << wire::to_string(decoded.error);
+    return;
+  }
+  const auto type = static_cast<MsgType>(decoded.frame.type);
+
+  if (type == MsgType::kMembershipReport) {
+    if (auto rep = decode_MembershipReport(decoded.frame.payload))
+      handle_report_frame(dgram.src, *rep);
+    return;
+  }
+  if (type == MsgType::kReportAck) {
+    if (auto ack = decode_ReportAck(decoded.frame.payload))
+      handle_report_ack(*ack);
+    return;
+  }
+  protocols_[index]->handle_frame(dgram.src, type, decoded.frame.payload);
+}
+
+void GsDaemon::handle_report_frame(util::IpAddress src,
+                                   const MembershipReport& rep) {
+  if (central_ == nullptr || !central_->active()) return;
+  const util::AdapterId admin_id = adapter_ids_[config_.admin_adapter_index];
+  central_->handle_report(src, rep, [this, src, admin_id](const ReportAck& ack) {
+    if (src == fabric_.adapter(admin_id).ip()) {
+      // The reporting leader lives on this very node: loop back.
+      deliver_ack_locally(ack);
+      return;
+    }
+    fabric_.send(admin_id, src, to_frame(ack));
+  });
+}
+
+void GsDaemon::deliver_ack_locally(const ReportAck& ack) {
+  handle_report_ack(ack);
+}
+
+void GsDaemon::handle_report_ack(const ReportAck& ack) {
+  for (std::size_t i = 0; i < protocols_.size(); ++i) {
+    AdapterProtocol& proto = *protocols_[i];
+    if (proto.self().ip != ack.leader) continue;
+    if (!outstanding_[i] || outstanding_[i]->seq != ack.seq) return;
+    outstanding_[i].reset();
+    if (ack.need_full) {
+      proto.mark_need_full();
+      report_pending(i);
+    } else {
+      proto.report_acked(ack.seq);
+    }
+    return;
+  }
+}
+
+void GsDaemon::report_pending(std::size_t index) {
+  if (halted_) return;
+  AdapterProtocol& proto = *protocols_[index];
+  if (!proto.is_leader() || !proto.is_committed()) return;
+  OutstandingReport out;
+  out.report = proto.build_report();
+  out.seq = out.report.seq;
+  out.frame = to_frame(out.report);
+  outstanding_[index] = std::move(out);
+  try_send_report(index);
+  arm_report_retry();
+}
+
+void GsDaemon::try_send_report(std::size_t index) {
+  if (!outstanding_[index]) return;
+  const util::IpAddress gsc = gsc_ip();
+  if (gsc.is_unspecified()) return;  // admin AMG not formed yet; retried
+
+  const util::AdapterId admin_id = adapter_ids_[config_.admin_adapter_index];
+  ++reports_sent_;
+  if (gsc == fabric_.adapter(admin_id).ip()) {
+    // This node hosts GulfStream Central: deliver without the network.
+    if (central_ != nullptr && central_->active()) {
+      central_->handle_report(
+          gsc, outstanding_[index]->report,
+          [this](const ReportAck& ack) { deliver_ack_locally(ack); });
+    }
+    return;
+  }
+  fabric_.send(admin_id, gsc, outstanding_[index]->frame);
+}
+
+void GsDaemon::arm_report_retry() {
+  if (report_retry_timer_.armed()) return;
+  report_retry_timer_ =
+      sim_.after(params_.report_retry, [this] { report_retry_tick(); });
+}
+
+void GsDaemon::report_retry_tick() {
+  report_retry_timer_ = sim::Timer();
+  bool any = false;
+  for (std::size_t i = 0; i < protocols_.size(); ++i) {
+    if (!outstanding_[i]) continue;
+    if (!protocols_[i]->is_leader()) {
+      outstanding_[i].reset();  // demoted: the new leader reports for us
+      continue;
+    }
+    any = true;
+    try_send_report(i);
+  }
+  if (any) arm_report_retry();
+}
+
+void GsDaemon::on_admin_committed(const MembershipView& view) {
+  if (halted_) return;
+  const util::IpAddress gsc = view.leader().ip;
+  const util::AdapterId admin_id = adapter_ids_[config_.admin_adapter_index];
+  const bool self_leads = gsc == fabric_.adapter(admin_id).ip();
+
+  if (central_ != nullptr) {
+    if (self_leads && config_.central_eligible) {
+      central_->activate(gsc);
+    } else if (central_->active()) {
+      central_->deactivate();
+    }
+  }
+
+  if (gsc != last_gsc_) {
+    last_gsc_ = gsc;
+    // A new GulfStream Central starts empty: every hosted AMG leader must
+    // re-establish its group with a full report.
+    for (std::size_t i = 0; i < protocols_.size(); ++i) {
+      if (!protocols_[i]->is_leader() || !protocols_[i]->is_committed())
+        continue;
+      protocols_[i]->mark_need_full();
+      report_pending(i);
+    }
+  }
+}
+
+}  // namespace gs::proto

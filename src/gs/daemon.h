@@ -1,0 +1,121 @@
+// The GulfStream daemon — one per node, hosting one AdapterProtocol per
+// local network adapter (§2.1: "GulfStream runs on all nodes within the
+// server farm as a user level daemon").
+//
+// Besides hosting the protocols, the daemon implements the node-level glue:
+//  * the start-up skew and per-message processing-delay model (the δ of
+//    Equation 1),
+//  * frame reception: CRC/envelope validation, then routing — membership
+//    reports to the locally hosted Central, report acks to the hosted
+//    leader they belong to, everything else to the adapter's protocol,
+//  * the administrative-adapter convention (§2.2): adapter 0 is the admin
+//    adapter; the leader of its AMG is GulfStream Central, so this daemon
+//    activates/deactivates its Central instance as that leadership changes,
+//  * reliable report delivery: leaders' MembershipReports are sent via the
+//    admin adapter to the current GSC, retried until acked, rebuilt as
+//    full snapshots when GSC changes or asks (need_full).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gs/adapter_protocol.h"
+#include "gs/central.h"
+#include "gs/params.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace gs::proto {
+
+class GsDaemon {
+ public:
+  struct NodeConfig {
+    util::NodeId node;
+    std::string name;
+    bool central_eligible = false;
+    // "In the prototype we have developed, this is done by convention
+    // (adapter 0)" (§2.2).
+    std::size_t admin_adapter_index = 0;
+  };
+
+  GsDaemon(sim::Simulator& sim, net::Fabric& fabric, const Params& params,
+           NodeConfig config, std::vector<util::AdapterId> adapters,
+           util::Rng rng);
+
+  GsDaemon(const GsDaemon&) = delete;
+  GsDaemon& operator=(const GsDaemon&) = delete;
+
+  // Wires a Central instance hosted on this node (only meaningful for
+  // central-eligible nodes; it activates when the admin adapter leads).
+  void set_central(Central* central) { central_ = central; }
+
+  // Begins operation after the modelled start-up skew.
+  void start();
+
+  // Models the node dying / rebooting: halt() silences every hosted
+  // protocol and deactivates a hosted Central; resume() re-enters discovery
+  // ("the GulfStream daemon is started on each machine when it boots").
+  void halt();
+  void resume();
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t adapter_count() const { return protocols_.size(); }
+  [[nodiscard]] AdapterProtocol& protocol(std::size_t index);
+  [[nodiscard]] const AdapterProtocol& protocol(std::size_t index) const;
+  [[nodiscard]] util::AdapterId adapter_id(std::size_t index) const;
+  [[nodiscard]] AdapterProtocol& admin_protocol() {
+    return protocol(config_.admin_adapter_index);
+  }
+
+  // The admin-AMG leader's IP = where reports go (invalid if uncommitted).
+  [[nodiscard]] util::IpAddress gsc_ip() const;
+  [[nodiscard]] Central* central() { return central_; }
+
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_;
+  }
+  [[nodiscard]] std::uint64_t reports_sent() const { return reports_sent_; }
+
+ private:
+  struct OutstandingReport {
+    std::uint64_t seq = 0;
+    MembershipReport report;
+    std::vector<std::uint8_t> frame;
+  };
+
+  void on_datagram(std::size_t index, const net::Datagram& dgram);
+  void dispatch(std::size_t index, const net::Datagram& dgram);
+  void handle_report_frame(util::IpAddress src, const MembershipReport& rep);
+  void handle_report_ack(const ReportAck& ack);
+  void deliver_ack_locally(const ReportAck& ack);
+  void report_pending(std::size_t index);
+  void try_send_report(std::size_t index);
+  void arm_report_retry();
+  void report_retry_tick();
+  void on_admin_committed(const MembershipView& view);
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  const Params& params_;
+  NodeConfig config_;
+  std::vector<util::AdapterId> adapter_ids_;
+  std::vector<std::unique_ptr<AdapterProtocol>> protocols_;
+  util::Rng rng_;
+  Central* central_ = nullptr;
+
+  util::IpAddress last_gsc_;
+  std::vector<std::optional<OutstandingReport>> outstanding_;
+  sim::Timer report_retry_timer_;
+  bool started_ = false;
+  bool halted_ = false;
+
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t reports_sent_ = 0;
+};
+
+}  // namespace gs::proto

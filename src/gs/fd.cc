@@ -1,0 +1,14 @@
+#include "gs/fd.h"
+
+#include "gs/fd_impl.h"
+
+namespace gs::proto {
+
+std::unique_ptr<FailureDetector> make_failure_detector(FdKind kind,
+                                                       FdContext ctx) {
+  if (kind == FdKind::kRandomPing)
+    return std::make_unique<RandPingFd>(std::move(ctx));
+  return std::make_unique<HeartbeatFd>(kind, std::move(ctx));
+}
+
+}  // namespace gs::proto

@@ -1,0 +1,86 @@
+// Pluggable failure detectors.
+//
+// A FailureDetector runs inside a committed AMG on behalf of one adapter.
+// Its only output is ctx.suspect(ip) — a *local suspicion*; reporting to
+// the leader, verification probes, and the membership recommit are the
+// AdapterProtocol's business, identical across detectors. This split is
+// what makes the §4.2 strategy comparison (bench E5) an apples-to-apples
+// measurement: strategies differ only in monitoring traffic and suspicion
+// quality.
+//
+// Implemented strategies (see params.h FdKind):
+//  * uni-ring   — heartbeat right, monitor left (Totem-style, §3).
+//  * bi-ring    — heartbeat and monitor both neighbors (GulfStream,
+//                 Figure 4); pairs with the leader's two-reporter consensus.
+//  * all-to-all — everyone heartbeats everyone (HACMP-style, §5:
+//                 "scales poorly").
+//  * subgroup   — the ring is split into small subgroups that heartbeat
+//                 internally; the leader polls each subgroup at low
+//                 frequency to catch whole-subgroup loss (§4.2).
+//  * rand-ping  — randomized pinging with indirect probes through proxies
+//                 (§4.2, ref [9]).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gs/amg.h"
+#include "gs/messages.h"
+#include "gs/params.h"
+#include "sim/simulator.h"
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace gs::proto {
+
+struct FdContext {
+  sim::Simulator* sim = nullptr;
+  const Params* params = nullptr;
+  util::IpAddress self;
+  // Unicast a complete frame to a member of the group.
+  std::function<void(util::IpAddress, std::vector<std::uint8_t>)> send;
+  // Raise a local suspicion (already deduplicated downstream).
+  std::function<void(util::IpAddress)> suspect;
+  // The adapter's loopback self-test; used before blaming a silent
+  // neighbor (§3). Returns true when the local adapter is healthy.
+  std::function<bool()> loopback_ok;
+  util::Rng rng;
+};
+
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  // Begins monitoring under `view`. Called after every commit; the detector
+  // must fully re-arm (ring order may have changed).
+  virtual void start(const MembershipView& view) = 0;
+  virtual void stop() = 0;
+
+  virtual void on_heartbeat(util::IpAddress from, const Heartbeat& hb) = 0;
+  virtual void on_ping_ack(util::IpAddress from, const PingAck& ack) {
+    (void)from;
+    (void)ack;
+  }
+  virtual void on_ping_req(util::IpAddress from, const PingReq& req) {
+    (void)from;
+    (void)req;
+  }
+  virtual void on_subgroup_poll_ack(util::IpAddress from,
+                                    const SubgroupPollAck& ack) {
+    (void)from;
+    (void)ack;
+  }
+
+  [[nodiscard]] virtual FdKind kind() const = 0;
+
+  // How many independent reporters the leader should require before
+  // declaring a death without verification (§3's consensus rule).
+  [[nodiscard]] virtual int consensus_reporters() const { return 1; }
+};
+
+[[nodiscard]] std::unique_ptr<FailureDetector> make_failure_detector(
+    FdKind kind, FdContext ctx);
+
+}  // namespace gs::proto

@@ -1,0 +1,17 @@
+// Umbrella header: the GulfStream public API.
+//
+// Typical embedding (see examples/):
+//   1. build a net::Fabric (or let farm::Farm do it from a FarmSpec),
+//   2. create one GsDaemon per node over its adapters,
+//   3. hand Central instances to the central-eligible nodes,
+//   4. run the simulator; subscribe to Central's FarmEvents.
+#pragma once
+
+#include "gs/adapter_protocol.h"  // IWYU pragma: export
+#include "gs/amg.h"               // IWYU pragma: export
+#include "gs/central.h"           // IWYU pragma: export
+#include "gs/daemon.h"            // IWYU pragma: export
+#include "gs/events.h"            // IWYU pragma: export
+#include "gs/fd.h"                // IWYU pragma: export
+#include "gs/messages.h"          // IWYU pragma: export
+#include "gs/params.h"            // IWYU pragma: export

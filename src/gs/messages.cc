@@ -1,0 +1,407 @@
+#include "gs/messages.h"
+
+namespace gs::proto {
+
+std::string_view to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kBeacon: return "beacon";
+    case MsgType::kJoinRequest: return "join-request";
+    case MsgType::kPrepare: return "prepare";
+    case MsgType::kPrepareAck: return "prepare-ack";
+    case MsgType::kCommit: return "commit";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kSuspect: return "suspect";
+    case MsgType::kSuspectAck: return "suspect-ack";
+    case MsgType::kProbe: return "probe";
+    case MsgType::kProbeAck: return "probe-ack";
+    case MsgType::kStaleNotice: return "stale-notice";
+    case MsgType::kMembershipReport: return "membership-report";
+    case MsgType::kReportAck: return "report-ack";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPingAck: return "ping-ack";
+    case MsgType::kPingReq: return "ping-req";
+    case MsgType::kSubgroupPoll: return "subgroup-poll";
+    case MsgType::kSubgroupPollAck: return "subgroup-poll-ack";
+  }
+  return "?";
+}
+
+void encode_member(wire::Writer& w, const MemberInfo& m) {
+  w.u32(m.ip.bits());
+  w.u64(m.mac.bits());
+  w.u32(m.node.value());
+  w.boolean(m.central_eligible);
+}
+
+MemberInfo decode_member(wire::Reader& r) {
+  MemberInfo m;
+  m.ip = util::IpAddress(r.u32());
+  m.mac = util::MacAddress(r.u64());
+  m.node = util::NodeId(r.u32());
+  m.central_eligible = r.boolean();
+  return m;
+}
+
+namespace {
+
+void encode_members(wire::Writer& w, const std::vector<MemberInfo>& members) {
+  w.vec(members, [](wire::Writer& ww, const MemberInfo& m) {
+    encode_member(ww, m);
+  });
+}
+
+std::vector<MemberInfo> decode_members(wire::Reader& r) {
+  return r.vec<MemberInfo>([](wire::Reader& rr) { return decode_member(rr); });
+}
+
+template <typename T, typename Fn>
+std::optional<T> finish_decode(wire::Reader& r, T&& value, Fn) {
+  if (!r.finish()) return std::nullopt;
+  return std::forward<T>(value);
+}
+
+}  // namespace
+
+// --- Beacon -----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const Beacon& msg) {
+  wire::Writer w;
+  encode_member(w, msg.self);
+  w.boolean(msg.is_leader);
+  w.u64(msg.view);
+  w.u32(msg.group_size);
+  return w.take();
+}
+
+std::optional<Beacon> decode_Beacon(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  Beacon msg;
+  msg.self = decode_member(r);
+  msg.is_leader = r.boolean();
+  msg.view = r.u64();
+  msg.group_size = r.u32();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- JoinRequest ------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const JoinRequest& msg) {
+  wire::Writer w;
+  w.u64(msg.view);
+  encode_members(w, msg.members);
+  return w.take();
+}
+
+std::optional<JoinRequest> decode_JoinRequest(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  JoinRequest msg;
+  msg.view = r.u64();
+  msg.members = decode_members(r);
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- Prepare ----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const Prepare& msg) {
+  wire::Writer w;
+  w.u64(msg.view);
+  w.u32(msg.leader.bits());
+  encode_members(w, msg.members);
+  return w.take();
+}
+
+std::optional<Prepare> decode_Prepare(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  Prepare msg;
+  msg.view = r.u64();
+  msg.leader = util::IpAddress(r.u32());
+  msg.members = decode_members(r);
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- PrepareAck -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const PrepareAck& msg) {
+  wire::Writer w;
+  w.u64(msg.view);
+  w.boolean(msg.ok);
+  w.u64(msg.holder_view);
+  return w.take();
+}
+
+std::optional<PrepareAck> decode_PrepareAck(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  PrepareAck msg;
+  msg.view = r.u64();
+  msg.ok = r.boolean();
+  msg.holder_view = r.u64();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- Commit -----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const Commit& msg) {
+  wire::Writer w;
+  w.u64(msg.view);
+  encode_members(w, msg.members);
+  return w.take();
+}
+
+std::optional<Commit> decode_Commit(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  Commit msg;
+  msg.view = r.u64();
+  msg.members = decode_members(r);
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- Heartbeat ----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const Heartbeat& msg) {
+  wire::Writer w;
+  w.u64(msg.view);
+  w.u64(msg.seq);
+  return w.take();
+}
+
+std::optional<Heartbeat> decode_Heartbeat(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  Heartbeat msg;
+  msg.view = r.u64();
+  msg.seq = r.u64();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- Suspect / SuspectAck -----------------------------------------------------
+
+std::vector<std::uint8_t> encode(const Suspect& msg) {
+  wire::Writer w;
+  w.u64(msg.view);
+  w.u32(msg.suspect.bits());
+  return w.take();
+}
+
+std::optional<Suspect> decode_Suspect(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  Suspect msg;
+  msg.view = r.u64();
+  msg.suspect = util::IpAddress(r.u32());
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+std::vector<std::uint8_t> encode(const SuspectAck& msg) {
+  wire::Writer w;
+  w.u64(msg.view);
+  w.u32(msg.suspect.bits());
+  return w.take();
+}
+
+std::optional<SuspectAck> decode_SuspectAck(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  SuspectAck msg;
+  msg.view = r.u64();
+  msg.suspect = util::IpAddress(r.u32());
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- Probe / ProbeAck ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const Probe& msg) {
+  wire::Writer w;
+  w.u64(msg.nonce);
+  return w.take();
+}
+
+std::optional<Probe> decode_Probe(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  Probe msg;
+  msg.nonce = r.u64();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+std::vector<std::uint8_t> encode(const ProbeAck& msg) {
+  wire::Writer w;
+  w.u64(msg.nonce);
+  return w.take();
+}
+
+std::optional<ProbeAck> decode_ProbeAck(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  ProbeAck msg;
+  msg.nonce = r.u64();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- StaleNotice ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const StaleNotice& msg) {
+  wire::Writer w;
+  w.u64(msg.current_view);
+  return w.take();
+}
+
+std::optional<StaleNotice> decode_StaleNotice(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  StaleNotice msg;
+  msg.current_view = r.u64();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- MembershipReport / ReportAck ----------------------------------------------
+
+std::vector<std::uint8_t> encode(const MembershipReport& msg) {
+  wire::Writer w;
+  w.u64(msg.seq);
+  w.u64(msg.view);
+  w.boolean(msg.full);
+  encode_member(w, msg.leader);
+  encode_members(w, msg.added);
+  w.vec(msg.removed, [](wire::Writer& ww, const RemovedMember& m) {
+    ww.u32(m.ip.bits());
+    ww.u8(static_cast<std::uint8_t>(m.reason));
+  });
+  return w.take();
+}
+
+std::optional<MembershipReport> decode_MembershipReport(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  MembershipReport msg;
+  msg.seq = r.u64();
+  msg.view = r.u64();
+  msg.full = r.boolean();
+  msg.leader = decode_member(r);
+  msg.added = decode_members(r);
+  msg.removed = r.vec<RemovedMember>([](wire::Reader& rr) {
+    RemovedMember m;
+    m.ip = util::IpAddress(rr.u32());
+    m.reason = static_cast<RemoveReason>(rr.u8());
+    return m;
+  });
+  if (!r.finish()) return std::nullopt;
+  for (const RemovedMember& m : msg.removed)
+    if (m.reason != RemoveReason::kFailed && m.reason != RemoveReason::kLeft)
+      return std::nullopt;
+  return msg;
+}
+
+std::vector<std::uint8_t> encode(const ReportAck& msg) {
+  wire::Writer w;
+  w.u64(msg.seq);
+  w.u32(msg.leader.bits());
+  w.boolean(msg.need_full);
+  return w.take();
+}
+
+std::optional<ReportAck> decode_ReportAck(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  ReportAck msg;
+  msg.seq = r.u64();
+  msg.leader = util::IpAddress(r.u32());
+  msg.need_full = r.boolean();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- Ping family -----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const Ping& msg) {
+  wire::Writer w;
+  w.u64(msg.nonce);
+  w.u32(msg.origin.bits());
+  return w.take();
+}
+
+std::optional<Ping> decode_Ping(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  Ping msg;
+  msg.nonce = r.u64();
+  msg.origin = util::IpAddress(r.u32());
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+std::vector<std::uint8_t> encode(const PingAck& msg) {
+  wire::Writer w;
+  w.u64(msg.nonce);
+  w.u32(msg.target.bits());
+  return w.take();
+}
+
+std::optional<PingAck> decode_PingAck(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  PingAck msg;
+  msg.nonce = r.u64();
+  msg.target = util::IpAddress(r.u32());
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+std::vector<std::uint8_t> encode(const PingReq& msg) {
+  wire::Writer w;
+  w.u64(msg.nonce);
+  w.u32(msg.origin.bits());
+  w.u32(msg.target.bits());
+  return w.take();
+}
+
+std::optional<PingReq> decode_PingReq(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  PingReq msg;
+  msg.nonce = r.u64();
+  msg.origin = util::IpAddress(r.u32());
+  msg.target = util::IpAddress(r.u32());
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+// --- Subgroup poll ------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const SubgroupPoll& msg) {
+  wire::Writer w;
+  w.u64(msg.seq);
+  return w.take();
+}
+
+std::optional<SubgroupPoll> decode_SubgroupPoll(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  SubgroupPoll msg;
+  msg.seq = r.u64();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+std::vector<std::uint8_t> encode(const SubgroupPollAck& msg) {
+  wire::Writer w;
+  w.u64(msg.seq);
+  return w.take();
+}
+
+std::optional<SubgroupPollAck> decode_SubgroupPollAck(
+    std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  SubgroupPollAck msg;
+  msg.seq = r.u64();
+  if (!r.finish()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace gs::proto

@@ -1,0 +1,236 @@
+// GulfStream protocol messages and their wire codecs.
+//
+// Each payload struct has encode() and a static decode(); frames are built
+// with wire::encode_frame(type, payload). Decoders are total: they return
+// nullopt on any malformed input (Reader's sticky error + full-consumption
+// check), never partial structs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/ip.h"
+#include "wire/buffer.h"
+#include "wire/frame.h"
+
+namespace gs::proto {
+
+enum class MsgType : std::uint16_t {
+  kBeacon = 1,
+  kJoinRequest = 2,
+  kPrepare = 3,
+  kPrepareAck = 4,
+  kCommit = 5,
+  kHeartbeat = 6,
+  kSuspect = 7,
+  kSuspectAck = 8,
+  kProbe = 9,
+  kProbeAck = 10,
+  kStaleNotice = 11,
+  kMembershipReport = 12,
+  kReportAck = 13,
+  kPing = 14,
+  kPingAck = 15,
+  kPingReq = 16,
+  kSubgroupPoll = 17,
+  kSubgroupPollAck = 18,
+};
+
+[[nodiscard]] std::string_view to_string(MsgType type);
+
+// Identity of one adapter as carried in beacons, membership lists, and
+// reports. `node` lets GSC correlate adapter failures into node failures.
+struct MemberInfo {
+  util::IpAddress ip;
+  util::MacAddress mac;
+  util::NodeId node;
+  bool central_eligible = false;  // §2.2: flag on administrative beacons
+
+  bool operator==(const MemberInfo&) const = default;
+};
+
+void encode_member(wire::Writer& w, const MemberInfo& m);
+[[nodiscard]] MemberInfo decode_member(wire::Reader& r);
+
+// ---------------------------------------------------------------------------
+
+// Multicast on the well-known group during discovery, and forever by
+// committed AMG leaders (§2.1).
+struct Beacon {
+  static constexpr MsgType kType = MsgType::kBeacon;
+  MemberInfo self;
+  bool is_leader = false;
+  std::uint64_t view = 0;       // committed view, 0 while uncommitted
+  std::uint32_t group_size = 0; // committed group size (leaders only)
+};
+
+// A (lower-IP) leader asks a higher-IP leader to absorb its membership.
+struct JoinRequest {
+  static constexpr MsgType kType = MsgType::kJoinRequest;
+  std::uint64_t view = 0;  // requester's committed view (for view clocks)
+  std::vector<MemberInfo> members;
+};
+
+// 2PC phase one: the proposed membership, in rank order (index 0 = leader,
+// descending IP). The explicit order doubles as the heartbeat ring order
+// and the leader-succession order (§2.1, §3).
+struct Prepare {
+  static constexpr MsgType kType = MsgType::kPrepare;
+  std::uint64_t view = 0;
+  util::IpAddress leader;
+  std::vector<MemberInfo> members;
+};
+
+struct PrepareAck {
+  static constexpr MsgType kType = MsgType::kPrepareAck;
+  std::uint64_t view = 0;
+  bool ok = true;
+  std::uint64_t holder_view = 0;  // on nack: the view the holder is bound to
+};
+
+// 2PC phase two. Carries the FINAL membership: participants that never
+// acknowledged the Prepare (lost, dead, or moved away) are excluded, so the
+// committed view contains only members known to hold the prepared state.
+// This is what lets formation terminate in one round under loss without
+// ever committing phantom members.
+struct Commit {
+  static constexpr MsgType kType = MsgType::kCommit;
+  std::uint64_t view = 0;
+  std::vector<MemberInfo> members;  // rank order, like Prepare
+};
+
+struct Heartbeat {
+  static constexpr MsgType kType = MsgType::kHeartbeat;
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+};
+
+// Member -> leader (or -> successor when the leader itself is suspected).
+struct Suspect {
+  static constexpr MsgType kType = MsgType::kSuspect;
+  std::uint64_t view = 0;
+  util::IpAddress suspect;
+};
+
+struct SuspectAck {
+  static constexpr MsgType kType = MsgType::kSuspectAck;
+  std::uint64_t view = 0;
+  util::IpAddress suspect;
+};
+
+struct Probe {
+  static constexpr MsgType kType = MsgType::kProbe;
+  std::uint64_t nonce = 0;
+};
+
+struct ProbeAck {
+  static constexpr MsgType kType = MsgType::kProbeAck;
+  std::uint64_t nonce = 0;
+};
+
+// Tells a peer its group state is obsolete (it was removed or its group was
+// absorbed while it was unreachable); the member re-enters discovery.
+struct StaleNotice {
+  static constexpr MsgType kType = MsgType::kStaleNotice;
+  std::uint64_t current_view = 0;
+};
+
+enum class RemoveReason : std::uint8_t { kFailed = 0, kLeft = 1 };
+
+struct RemovedMember {
+  util::IpAddress ip;
+  RemoveReason reason = RemoveReason::kFailed;
+};
+
+// AMG leader -> GulfStream Central (§2.2). `full` snapshots establish the
+// group; deltas carry only changes — "in the steady state, no network
+// resources are used for group membership information".
+struct MembershipReport {
+  static constexpr MsgType kType = MsgType::kMembershipReport;
+  std::uint64_t seq = 0;   // per-(leader adapter) sequence for gap detection
+  std::uint64_t view = 0;
+  bool full = false;
+  MemberInfo leader;
+  std::vector<MemberInfo> added;     // on full: entire membership
+  std::vector<RemovedMember> removed;
+};
+
+struct ReportAck {
+  static constexpr MsgType kType = MsgType::kReportAck;
+  std::uint64_t seq = 0;
+  util::IpAddress leader;  // which hosted AMG leader this ack is for — one
+                           // node can host several leader adapters, and acks
+                           // all arrive on its single administrative adapter
+  bool need_full = false;  // GSC lost state (failover) or saw a seq gap
+};
+
+// Randomized-ping detector (§4.2): direct ping, ack, and indirect ping
+// through a proxy. `origin` rides along so the proxy can route the ack back.
+struct Ping {
+  static constexpr MsgType kType = MsgType::kPing;
+  std::uint64_t nonce = 0;
+  util::IpAddress origin;
+};
+
+struct PingAck {
+  static constexpr MsgType kType = MsgType::kPingAck;
+  std::uint64_t nonce = 0;
+  util::IpAddress target;  // who proved alive
+};
+
+struct PingReq {
+  static constexpr MsgType kType = MsgType::kPingReq;
+  std::uint64_t nonce = 0;
+  util::IpAddress origin;
+  util::IpAddress target;
+};
+
+// Subgroup detector (§4.2): low-frequency leader poll of each subgroup.
+struct SubgroupPoll {
+  static constexpr MsgType kType = MsgType::kSubgroupPoll;
+  std::uint64_t seq = 0;
+};
+
+struct SubgroupPollAck {
+  static constexpr MsgType kType = MsgType::kSubgroupPollAck;
+  std::uint64_t seq = 0;
+};
+
+// --- Codecs ----------------------------------------------------------------
+
+#define GS_DECLARE_CODEC(T)                                     \
+  [[nodiscard]] std::vector<std::uint8_t> encode(const T& msg); \
+  [[nodiscard]] std::optional<T> decode_##T(std::span<const std::uint8_t> payload);
+
+GS_DECLARE_CODEC(Beacon)
+GS_DECLARE_CODEC(JoinRequest)
+GS_DECLARE_CODEC(Prepare)
+GS_DECLARE_CODEC(PrepareAck)
+GS_DECLARE_CODEC(Commit)
+GS_DECLARE_CODEC(Heartbeat)
+GS_DECLARE_CODEC(Suspect)
+GS_DECLARE_CODEC(SuspectAck)
+GS_DECLARE_CODEC(Probe)
+GS_DECLARE_CODEC(ProbeAck)
+GS_DECLARE_CODEC(StaleNotice)
+GS_DECLARE_CODEC(MembershipReport)
+GS_DECLARE_CODEC(ReportAck)
+GS_DECLARE_CODEC(Ping)
+GS_DECLARE_CODEC(PingAck)
+GS_DECLARE_CODEC(PingReq)
+GS_DECLARE_CODEC(SubgroupPoll)
+GS_DECLARE_CODEC(SubgroupPollAck)
+
+#undef GS_DECLARE_CODEC
+
+// Builds a complete frame (header + payload) for any message struct.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> to_frame(const T& msg) {
+  return wire::encode_frame(static_cast<std::uint16_t>(T::kType), encode(msg));
+}
+
+}  // namespace gs::proto

@@ -1,0 +1,87 @@
+// A network adapter (NIC) — the unit GulfStream actually manages.
+//
+// The paper's failure model distinguishes full adapter death from the
+// nastier "ceases to receive" mode (§3), which produces false blame on the
+// ring neighbor unless the daemon runs a loopback test first. HealthState
+// models all four combinations.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "net/datagram.h"
+#include "util/ids.h"
+#include "util/ip.h"
+
+namespace gs::net {
+
+enum class HealthState : std::uint8_t {
+  kUp = 0,
+  kDown,       // neither sends nor receives
+  kRecvDead,   // transmits fine, hears nothing (paper §3 failure mode)
+  kSendDead,   // hears fine, transmits nothing
+};
+
+[[nodiscard]] std::string_view to_string(HealthState s);
+
+class Fabric;
+
+class Adapter {
+ public:
+  using ReceiveHandler = std::function<void(const Datagram&)>;
+
+  Adapter(util::AdapterId id, util::NodeId node, util::MacAddress mac)
+      : id_(id), node_(node), mac_(mac) {}
+
+  [[nodiscard]] util::AdapterId id() const { return id_; }
+  [[nodiscard]] util::NodeId node() const { return node_; }
+  [[nodiscard]] util::MacAddress mac() const { return mac_; }
+
+  [[nodiscard]] util::IpAddress ip() const { return ip_; }
+
+  [[nodiscard]] util::SwitchId attached_switch() const { return switch_; }
+  [[nodiscard]] util::PortId attached_port() const { return port_; }
+  void attach(util::SwitchId sw, util::PortId port) {
+    switch_ = sw;
+    port_ = port;
+  }
+
+  [[nodiscard]] HealthState health() const { return health_; }
+  void set_health(HealthState h) { health_ = h; }
+  [[nodiscard]] bool can_send() const {
+    return health_ == HealthState::kUp || health_ == HealthState::kRecvDead;
+  }
+  [[nodiscard]] bool can_recv() const {
+    return health_ == HealthState::kUp || health_ == HealthState::kSendDead;
+  }
+
+  // The local self-test the daemon runs before blaming a silent neighbor
+  // (§3): can this adapter still hear its own transmissions? True only when
+  // both directions work.
+  [[nodiscard]] bool loopback_ok() const {
+    return health_ == HealthState::kUp;
+  }
+
+  void set_receive_handler(ReceiveHandler handler) {
+    on_receive_ = std::move(handler);
+  }
+  void deliver(const Datagram& dgram) const {
+    if (on_receive_) on_receive_(dgram);
+  }
+
+ private:
+  friend class Fabric;  // IP changes go through Fabric::set_adapter_ip so
+                        // the fabric's ip -> adapter index stays coherent.
+  void set_ip(util::IpAddress ip) { ip_ = ip; }
+
+  util::AdapterId id_;
+  util::NodeId node_;
+  util::MacAddress mac_;
+  util::IpAddress ip_;
+  util::SwitchId switch_;
+  util::PortId port_;
+  HealthState health_ = HealthState::kUp;
+  ReceiveHandler on_receive_;
+};
+
+}  // namespace gs::net

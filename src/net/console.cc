@@ -1,0 +1,42 @@
+#include "net/console.h"
+
+#include "util/logging.h"
+
+namespace gs::net {
+
+std::optional<std::vector<SwitchConsole::PortInfo>> SwitchConsole::walk_ports(
+    util::SwitchId sw) const {
+  if (!reachable()) return std::nullopt;
+  const Switch& s = fabric_.nic_switch(sw);
+  if (s.failed()) return std::nullopt;
+  std::vector<PortInfo> out;
+  out.reserve(s.port_count());
+  for (std::size_t i = 0; i < s.port_count(); ++i) {
+    const util::PortId port(static_cast<std::uint32_t>(i));
+    PortInfo info{port, s.port_adapter(port), s.port_vlan(port),
+                  util::MacAddress()};
+    if (info.adapter.valid()) info.mac = fabric_.adapter(info.adapter).mac();
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::optional<util::VlanId> SwitchConsole::get_port_vlan(
+    util::SwitchId sw, util::PortId port) const {
+  if (!reachable()) return std::nullopt;
+  const Switch& s = fabric_.nic_switch(sw);
+  if (s.failed()) return std::nullopt;
+  return s.port_vlan(port);
+}
+
+bool SwitchConsole::set_port_vlan(util::SwitchId sw, util::PortId port,
+                                  util::VlanId vlan) {
+  if (!reachable()) return false;
+  if (fabric_.nic_switch(sw).failed()) return false;
+  GS_LOG(kInfo, "console") << "set " << sw << " " << port << " -> " << vlan;
+  fabric_.set_port_vlan(sw, port, vlan);
+  ++sets_;
+  return true;
+}
+
+}  // namespace gs::net

@@ -1,0 +1,66 @@
+// SwitchConsole — the SNMP-like management plane of the switches.
+//
+// The paper assumes "access to any configuration database and the switch
+// consoles is only through the administrative network" (§2). GulfStream
+// Central reconfigures VLAN membership through this interface (§3.1), and
+// the future-work plan has GSC discovering port wiring by "querying the
+// routers and switches directly using SNMP" (§3) — walk_ports() is that
+// query. An access gate models reachability: when the caller's path to the
+// admin network is down, every operation fails, exactly like an SNMP
+// timeout.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/fabric.h"
+#include "util/ids.h"
+
+namespace gs::net {
+
+class SwitchConsole {
+ public:
+  explicit SwitchConsole(Fabric& fabric) : fabric_(fabric) {}
+
+  // Installs the reachability gate; default is always-reachable. The farm
+  // harness wires this to "the calling node's administrative adapter is
+  // healthy".
+  void set_access_check(std::function<bool()> check) {
+    access_check_ = std::move(check);
+  }
+
+  [[nodiscard]] bool reachable() const {
+    return !access_check_ || access_check_();
+  }
+
+  struct PortInfo {
+    util::PortId port;
+    util::AdapterId adapter;  // invalid if the port is unwired
+    util::VlanId vlan;
+    // The attached station's MAC, as a real switch's bridge forwarding
+    // table (BRIDGE-MIB) would report it; zero when the port is unwired.
+    util::MacAddress mac;
+  };
+
+  // snmpwalk-style dump of one switch's port table.
+  [[nodiscard]] std::optional<std::vector<PortInfo>> walk_ports(
+      util::SwitchId sw) const;
+
+  [[nodiscard]] std::optional<util::VlanId> get_port_vlan(
+      util::SwitchId sw, util::PortId port) const;
+
+  // The reconfiguration primitive: rewrites one port's VLAN. Returns false
+  // if the console is unreachable or the switch is down.
+  bool set_port_vlan(util::SwitchId sw, util::PortId port, util::VlanId vlan);
+
+  // Number of successful set operations (benches count reconfigurations).
+  [[nodiscard]] std::uint64_t set_operations() const { return sets_; }
+
+ private:
+  Fabric& fabric_;
+  std::function<bool()> access_check_;
+  std::uint64_t sets_ = 0;
+};
+
+}  // namespace gs::net

@@ -1,0 +1,24 @@
+// The unit of delivery on the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/ip.h"
+
+namespace gs::net {
+
+struct Datagram {
+  util::IpAddress src;
+  util::IpAddress dst;   // unicast target, or the multicast group address
+  bool multicast = false;
+  util::VlanId vlan;     // broadcast domain the datagram traversed
+  std::vector<std::uint8_t> bytes;  // a complete wire::Frame
+};
+
+// The well-known multicast group GulfStream beacons on (paper §2.1: "a
+// well-known address and port").
+inline constexpr util::IpAddress kBeaconGroup{239, 255, 0, 1};
+
+}  // namespace gs::net

@@ -1,0 +1,282 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace gs::net {
+
+std::string_view to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kUp: return "up";
+    case HealthState::kDown: return "down";
+    case HealthState::kRecvDead: return "recv-dead";
+    case HealthState::kSendDead: return "send-dead";
+  }
+  return "?";
+}
+
+Fabric::Fabric(sim::Simulator& sim, util::Rng rng) : sim_(sim), rng_(rng) {}
+
+util::SwitchId Fabric::add_switch(std::size_t ports) {
+  const util::SwitchId id(static_cast<std::uint32_t>(switches_.size()));
+  switches_.push_back(std::make_unique<Switch>(id, ports));
+  return id;
+}
+
+util::AdapterId Fabric::add_adapter(util::NodeId node) {
+  const util::AdapterId id(static_cast<std::uint32_t>(adapters_.size()));
+  const util::MacAddress mac(0x02'00'00'00'00'00ull + id.value());
+  adapters_.push_back(std::make_unique<Adapter>(id, node, mac));
+  return id;
+}
+
+void Fabric::attach(util::AdapterId adapter_id, util::SwitchId sw,
+                    util::PortId port, util::VlanId vlan) {
+  Adapter& a = adapter(adapter_id);
+  Switch& s = nic_switch(sw);
+  s.connect(port, adapter_id, vlan);
+  a.attach(sw, port);
+  (void)segment(vlan);  // materialize the segment with the default model
+}
+
+void Fabric::attach(util::AdapterId adapter_id, util::SwitchId sw,
+                    util::VlanId vlan) {
+  auto port = nic_switch(sw).free_port();
+  GS_CHECK_MSG(port.has_value(), "switch has no free ports");
+  attach(adapter_id, sw, *port, vlan);
+}
+
+Adapter& Fabric::adapter(util::AdapterId id) {
+  GS_CHECK(id.valid() && id.value() < adapters_.size());
+  return *adapters_[id.value()];
+}
+
+const Adapter& Fabric::adapter(util::AdapterId id) const {
+  GS_CHECK(id.valid() && id.value() < adapters_.size());
+  return *adapters_[id.value()];
+}
+
+Switch& Fabric::nic_switch(util::SwitchId id) {
+  GS_CHECK(id.valid() && id.value() < switches_.size());
+  return *switches_[id.value()];
+}
+
+const Switch& Fabric::nic_switch(util::SwitchId id) const {
+  GS_CHECK(id.valid() && id.value() < switches_.size());
+  return *switches_[id.value()];
+}
+
+Segment& Fabric::segment(util::VlanId vlan) {
+  GS_CHECK(vlan.valid());
+  auto it = segments_.find(vlan);
+  if (it == segments_.end()) {
+    it = segments_
+             .emplace(vlan, Segment(vlan, default_channel_,
+                                    rng_.fork(0x5e6 + vlan.value())))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<util::AdapterId> Fabric::all_adapters() const {
+  std::vector<util::AdapterId> out;
+  out.reserve(adapters_.size());
+  for (const auto& a : adapters_) out.push_back(a->id());
+  return out;
+}
+
+std::vector<util::SwitchId> Fabric::all_switches() const {
+  std::vector<util::SwitchId> out;
+  out.reserve(switches_.size());
+  for (const auto& s : switches_) out.push_back(s->id());
+  return out;
+}
+
+std::vector<util::AdapterId> Fabric::node_adapters(util::NodeId node) const {
+  std::vector<util::AdapterId> out;
+  for (const auto& a : adapters_)
+    if (a->node() == node) out.push_back(a->id());
+  return out;
+}
+
+util::VlanId Fabric::vlan_of(util::AdapterId id) const {
+  const Adapter& a = adapter(id);
+  if (!a.attached_switch().valid()) return util::VlanId::invalid();
+  const Switch& s = nic_switch(a.attached_switch());
+  if (s.failed()) return util::VlanId::invalid();
+  return s.port_vlan(a.attached_port());
+}
+
+std::vector<util::AdapterId> Fabric::adapters_in_vlan(
+    util::VlanId vlan) const {
+  std::vector<util::AdapterId> out;
+  for (const auto& a : adapters_)
+    if (vlan_of(a->id()) == vlan) out.push_back(a->id());
+  return out;
+}
+
+bool Fabric::reachable(util::AdapterId from, util::AdapterId to) const {
+  if (from == to) return false;
+  const Adapter& src = adapter(from);
+  const Adapter& dst = adapter(to);
+  if (!src.can_send() || !dst.can_recv()) return false;
+  const util::VlanId vlan = vlan_of(from);
+  if (!vlan.valid() || vlan_of(to) != vlan) return false;
+  auto it = segments_.find(vlan);
+  if (it != segments_.end() && !it->second.connected(from, to)) return false;
+  return true;
+}
+
+void Fabric::set_adapter_ip(util::AdapterId id, util::IpAddress ip) {
+  Adapter& a = adapter(id);
+  if (a.ip() == ip) return;
+  if (!a.ip().is_unspecified()) {
+    auto& holders = by_ip_[a.ip().bits()];
+    std::erase(holders, id);
+    if (holders.empty()) by_ip_.erase(a.ip().bits());
+  }
+  a.set_ip(ip);
+  if (!ip.is_unspecified()) by_ip_[ip.bits()].push_back(id);
+}
+
+std::optional<util::AdapterId> Fabric::find_by_ip(util::VlanId vlan,
+                                                  util::IpAddress ip) const {
+  auto it = by_ip_.find(ip.bits());
+  if (it == by_ip_.end()) return std::nullopt;
+  for (util::AdapterId id : it->second)
+    if (vlan_of(id) == vlan) return id;
+  return std::nullopt;
+}
+
+std::uint16_t Fabric::peek_frame_type(
+    const std::vector<std::uint8_t>& bytes) const {
+  // Frame layout: type lives at offset 6..7 (see wire/frame.h).
+  if (bytes.size() < 8) return 0xFFFF;
+  return static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
+}
+
+void Fabric::deliver_later(util::AdapterId to, Datagram dgram,
+                           sim::SimDuration latency) {
+  sim_.after(latency, [this, to, dgram = std::move(dgram)] {
+    const Adapter& dst = adapter(to);
+    // Re-check at delivery time: the receiver may have died or been moved
+    // to another VLAN while the frame was in flight.
+    if (!dst.can_recv() || vlan_of(to) != dgram.vlan) {
+      loads_[dgram.vlan].frames_unreachable++;
+      return;
+    }
+    loads_[dgram.vlan].frames_delivered++;
+    dst.deliver(dgram);
+  });
+}
+
+bool Fabric::send(util::AdapterId from, util::IpAddress dst,
+                  std::vector<std::uint8_t> bytes) {
+  const Adapter& src = adapter(from);
+  const util::VlanId vlan = vlan_of(from);
+  if (!src.can_send() || !vlan.valid()) return false;
+
+  SegmentLoad& load = loads_[vlan];
+  load.frames_sent++;
+  load.bytes_sent += bytes.size();
+  total_frames_sent_++;
+  total_bytes_sent_ += bytes.size();
+  frames_by_type_[peek_frame_type(bytes)]++;
+
+  Segment& seg = segment(vlan);
+  const auto target = find_by_ip(vlan, dst);
+  if (!target || *target == from || !seg.connected(from, *target) ||
+      !adapter(*target).can_recv()) {
+    load.frames_unreachable++;
+    return true;  // the frame left the NIC; the sender cannot tell
+  }
+  const auto latency = seg.sample_delivery();
+  if (!latency) {
+    load.frames_lost++;
+    return true;
+  }
+  Datagram dgram{src.ip(), dst, /*multicast=*/false, vlan, std::move(bytes)};
+  deliver_later(*target, std::move(dgram), *latency);
+  return true;
+}
+
+bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
+                       std::vector<std::uint8_t> bytes) {
+  const Adapter& src = adapter(from);
+  const util::VlanId vlan = vlan_of(from);
+  if (!src.can_send() || !vlan.valid()) return false;
+
+  SegmentLoad& load = loads_[vlan];
+  load.frames_sent++;  // broadcast medium: one frame on the wire
+  load.bytes_sent += bytes.size();
+  total_frames_sent_++;
+  total_bytes_sent_ += bytes.size();
+  frames_by_type_[peek_frame_type(bytes)]++;
+
+  Segment& seg = segment(vlan);
+  Datagram proto{src.ip(), group, /*multicast=*/true, vlan, std::move(bytes)};
+  for (const auto& a : adapters_) {
+    if (a->id() == from) continue;
+    if (vlan_of(a->id()) != vlan) continue;
+    if (!seg.connected(from, a->id())) continue;
+    if (!a->can_recv()) {
+      load.frames_unreachable++;
+      continue;
+    }
+    const auto latency = seg.sample_delivery();
+    if (!latency) {
+      load.frames_lost++;
+      continue;
+    }
+    deliver_later(a->id(), proto, *latency);
+  }
+  return true;
+}
+
+void Fabric::set_adapter_health(util::AdapterId id, HealthState health) {
+  GS_LOG(kDebug, "fabric") << adapter(id).ip() << " health -> "
+                           << to_string(health);
+  adapter(id).set_health(health);
+}
+
+void Fabric::fail_node(util::NodeId node) {
+  for (util::AdapterId id : node_adapters(node))
+    set_adapter_health(id, HealthState::kDown);
+}
+
+void Fabric::recover_node(util::NodeId node) {
+  for (util::AdapterId id : node_adapters(node))
+    set_adapter_health(id, HealthState::kUp);
+}
+
+void Fabric::fail_switch(util::SwitchId id) { nic_switch(id).set_failed(true); }
+
+void Fabric::recover_switch(util::SwitchId id) {
+  nic_switch(id).set_failed(false);
+}
+
+void Fabric::partition_vlan(
+    util::VlanId vlan, const std::vector<std::vector<util::AdapterId>>& parts) {
+  segment(vlan).partition(parts);
+}
+
+void Fabric::heal_vlan(util::VlanId vlan) { segment(vlan).heal(); }
+
+void Fabric::set_port_vlan(util::SwitchId sw, util::PortId port,
+                           util::VlanId vlan) {
+  nic_switch(sw).set_port_vlan(port, vlan);
+  (void)segment(vlan);  // ensure the segment exists
+}
+
+const SegmentLoad& Fabric::load(util::VlanId vlan) { return loads_[vlan]; }
+
+void Fabric::reset_load_accounting() {
+  loads_.clear();
+  frames_by_type_.clear();
+  total_frames_sent_ = 0;
+  total_bytes_sent_ = 0;
+}
+
+}  // namespace gs::net

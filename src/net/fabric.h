@@ -1,0 +1,171 @@
+// The simulated switched network: owns adapters, switches, segments, and
+// performs datagram delivery with the per-VLAN channel model.
+//
+// Delivery semantics match a switched Ethernet VLAN:
+//  * a datagram reaches exactly the adapters whose live switch port carries
+//    the sender's VLAN (and the same partition side, if partitioned);
+//  * multicast occupies the segment once regardless of receiver count —
+//    the wire-load counters reflect that, which is what makes the §4.2
+//    heartbeat-load comparisons meaningful;
+//  * loss is sampled i.i.d. per receiver; latency per receiver with jitter;
+//  * health is evaluated at send time for the sender and at delivery time
+//    for the receiver, so mid-flight failures drop frames.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/adapter.h"
+#include "net/datagram.h"
+#include "net/nic_switch.h"
+#include "net/segment.h"
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gs::net {
+
+// Wire-load accounting for one VLAN, consumed by the scaling benches.
+struct SegmentLoad {
+  std::uint64_t frames_sent = 0;     // wire occupancy (multicast counts once)
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;     // channel loss, per receiver
+  std::uint64_t frames_unreachable = 0;  // no receiver / dead receiver
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, util::Rng rng);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // --- Topology construction --------------------------------------------
+
+  util::SwitchId add_switch(std::size_t ports);
+  util::AdapterId add_adapter(util::NodeId node);
+
+  // Wires an adapter to a specific port, or to the first free port.
+  void attach(util::AdapterId adapter, util::SwitchId sw, util::PortId port,
+              util::VlanId vlan);
+  void attach(util::AdapterId adapter, util::SwitchId sw, util::VlanId vlan);
+
+  // Channel model applied to VLANs seen for the first time.
+  void set_default_channel(const ChannelModel& model) {
+    default_channel_ = model;
+  }
+
+  // Assigns/changes an adapter's IP, keeping the unicast lookup index
+  // coherent. All IP configuration must go through here.
+  void set_adapter_ip(util::AdapterId id, util::IpAddress ip);
+
+  // --- Accessors ----------------------------------------------------------
+
+  [[nodiscard]] Adapter& adapter(util::AdapterId id);
+  [[nodiscard]] const Adapter& adapter(util::AdapterId id) const;
+  [[nodiscard]] Switch& nic_switch(util::SwitchId id);
+  [[nodiscard]] const Switch& nic_switch(util::SwitchId id) const;
+  [[nodiscard]] Segment& segment(util::VlanId vlan);
+
+  [[nodiscard]] std::size_t adapter_count() const { return adapters_.size(); }
+  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
+  [[nodiscard]] std::vector<util::AdapterId> all_adapters() const;
+  [[nodiscard]] std::vector<util::SwitchId> all_switches() const;
+  [[nodiscard]] std::vector<util::AdapterId> node_adapters(
+      util::NodeId node) const;
+
+  // The VLAN an adapter currently lives on; invalid if its switch is dead or
+  // it is unwired.
+  [[nodiscard]] util::VlanId vlan_of(util::AdapterId id) const;
+
+  // Ground truth for tests/verification: adapters wired into `vlan` through
+  // a live switch (health ignored — wiring, not liveness).
+  [[nodiscard]] std::vector<util::AdapterId> adapters_in_vlan(
+      util::VlanId vlan) const;
+
+  // Could a frame from `from` reach `to` right now (wiring, partitions,
+  // health all considered)?
+  [[nodiscard]] bool reachable(util::AdapterId from, util::AdapterId to) const;
+
+  [[nodiscard]] std::optional<util::AdapterId> find_by_ip(
+      util::VlanId vlan, util::IpAddress ip) const;
+
+  // --- Traffic ------------------------------------------------------------
+
+  // Unicast to dst on the sender's VLAN. Returns false if the frame never
+  // left the adapter (sender dead/unwired); in-flight loss still returns
+  // true, as a real sender cannot observe it.
+  bool send(util::AdapterId from, util::IpAddress dst,
+            std::vector<std::uint8_t> bytes);
+
+  // Multicast to every other adapter on the sender's VLAN.
+  bool multicast(util::AdapterId from, util::IpAddress group,
+                 std::vector<std::uint8_t> bytes);
+
+  // --- Fault injection ----------------------------------------------------
+
+  void set_adapter_health(util::AdapterId id, HealthState health);
+  void fail_node(util::NodeId node);
+  void recover_node(util::NodeId node);
+  void fail_switch(util::SwitchId id);
+  void recover_switch(util::SwitchId id);
+  void partition_vlan(util::VlanId vlan,
+                      const std::vector<std::vector<util::AdapterId>>& parts);
+  void heal_vlan(util::VlanId vlan);
+
+  // --- Reconfiguration (the switch-console path) ---------------------------
+
+  void set_port_vlan(util::SwitchId sw, util::PortId port, util::VlanId vlan);
+
+  // --- Accounting -----------------------------------------------------------
+
+  [[nodiscard]] const SegmentLoad& load(util::VlanId vlan);
+  [[nodiscard]] const std::map<std::uint16_t, std::uint64_t>& frames_by_type()
+      const {
+    return frames_by_type_;
+  }
+  [[nodiscard]] std::uint64_t total_frames_sent() const {
+    return total_frames_sent_;
+  }
+  [[nodiscard]] std::uint64_t total_bytes_sent() const {
+    return total_bytes_sent_;
+  }
+  void reset_load_accounting();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct PendingDelivery {
+    util::AdapterId to;
+    Datagram dgram;
+  };
+
+  void deliver_later(util::AdapterId to, Datagram dgram,
+                     sim::SimDuration latency);
+  [[nodiscard]] std::uint16_t peek_frame_type(
+      const std::vector<std::uint8_t>& bytes) const;
+
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  ChannelModel default_channel_;
+
+  std::vector<std::unique_ptr<Adapter>> adapters_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  // ip bits -> adapters currently holding that ip (normally exactly one;
+  // duplicates are representable because misconfiguration is a scenario
+  // the verifier must be able to express).
+  std::unordered_map<std::uint32_t, std::vector<util::AdapterId>> by_ip_;
+  std::map<util::VlanId, Segment> segments_;
+  std::map<util::VlanId, SegmentLoad> loads_;
+  std::map<std::uint16_t, std::uint64_t> frames_by_type_;
+  std::uint64_t total_frames_sent_ = 0;
+  std::uint64_t total_bytes_sent_ = 0;
+};
+
+}  // namespace gs::net

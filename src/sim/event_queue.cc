@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace gs::sim {
+
+EventId EventQueue::push(SimTime when, std::function<void()> fn) {
+  GS_CHECK(fn != nullptr);
+  const EventId id = static_cast<EventId>(states_.size()) + 1;
+  states_.push_back(State::kPending);
+  heap_.push_back(Entry{when, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id > states_.size()) return false;
+  State& s = states_[id - 1];
+  if (s != State::kPending) return false;
+  s = State::kCancelled;
+  GS_CHECK(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::skim_cancelled() {
+  while (!heap_.empty() &&
+         states_[heap_.front().id - 1] == State::kCancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  GS_CHECK(!empty());
+  skim_cancelled();
+  return heap_.front().when;
+}
+
+std::pair<SimTime, std::function<void()>> EventQueue::pop() {
+  GS_CHECK(!empty());
+  skim_cancelled();
+  GS_CHECK(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  states_[entry.id - 1] = State::kFired;
+  --live_;
+  return {entry.when, std::move(entry.fn)};
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,68 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence). The sequence number makes
+// ordering of same-timestamp events stable (FIFO in scheduling order), which
+// is what keeps whole-farm runs bit-for-bit reproducible. Cancellation is
+// lazy: cancelled entries stay in the heap and are skipped on pop, so
+// cancel() is O(1) — important because every heartbeat arrival cancels and
+// re-arms a suspicion timer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace gs::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules fn at the given absolute time; returns a handle usable with
+  // cancel(). fn must be non-null.
+  EventId push(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  // Time of the earliest pending (non-cancelled) event. Requires !empty().
+  [[nodiscard]] SimTime next_time();
+
+  // Removes and returns the earliest pending event. Requires !empty().
+  std::pair<SimTime, std::function<void()>> pop();
+
+ private:
+  enum class State : std::uint8_t { kPending, kFired, kCancelled };
+
+  struct Entry {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  // Pops cancelled entries off the heap top until a pending one surfaces.
+  void skim_cancelled();
+
+  std::vector<Entry> heap_;
+  std::vector<State> states_;  // indexed by EventId - 1
+  std::size_t live_ = 0;
+};
+
+}  // namespace gs::sim

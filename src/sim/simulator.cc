@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace gs::sim {
+
+bool Timer::cancel() {
+  if (sim_ == nullptr || id_ == 0) return false;
+  const bool was_pending = sim_->queue_.cancel(id_);
+  id_ = 0;
+  return was_pending;
+}
+
+bool Timer::armed() const {
+  // A timer is "armed" until cancelled or until its simulator fires it; we
+  // approximate the latter by asking the queue (cancel of a fired event
+  // returns false, so armed() can only over-report between fire and the
+  // next cancel() — callers treat it as a hint).
+  return sim_ != nullptr && id_ != 0;
+}
+
+Timer Simulator::at(SimTime when, std::function<void()> fn) {
+  GS_CHECK_MSG(when >= now_, "cannot schedule in the past");
+  const EventId id = queue_.push(when, std::move(fn));
+  return Timer(this, id);
+}
+
+Timer Simulator::after(SimDuration delay, std::function<void()> fn) {
+  GS_CHECK(delay >= 0);
+  return at(now_ + delay, std::move(fn));
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const SimTime next = queue_.next_time();
+    if (next > deadline) break;
+    auto [when, fn] = queue_.pop();
+    now_ = when;
+    fn();
+    ++executed_;
+    ++n;
+  }
+  if (now_ < deadline && deadline != std::numeric_limits<SimTime>::max())
+    now_ = deadline;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [when, fn] = queue_.pop();
+  now_ = when;
+  fn();
+  ++executed_;
+  return true;
+}
+
+void Simulator::install_log_clock() {
+  util::Logger::instance().set_clock([this] { return now_; });
+}
+
+}  // namespace gs::sim

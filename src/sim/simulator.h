@@ -1,0 +1,82 @@
+// The discrete-event simulator driving every run.
+//
+// Single-threaded by design: determinism is the property everything else in
+// this repository leans on. Components schedule callbacks with `after()` /
+// `at()` and hold the returned Timer to cancel or re-arm (heartbeat
+// suspicion timers re-arm on every arrival). run_until() advances simulated
+// time; nothing here touches the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace gs::sim {
+
+class Simulator;
+
+// RAII-free timer handle: copyable, cheap, safe to outlive the event (cancel
+// on a fired/cancelled timer is a no-op). A default-constructed Timer is
+// inert.
+class Timer {
+ public:
+  Timer() = default;
+
+  // True if the timer was still pending and is now cancelled.
+  bool cancel();
+
+  [[nodiscard]] bool armed() const;
+
+ private:
+  friend class Simulator;
+  Timer(Simulator* sim, EventId id) : sim_(sim), id_(id) {}
+
+  Simulator* sim_ = nullptr;
+  EventId id_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules fn at an absolute simulated time (>= now).
+  Timer at(SimTime when, std::function<void()> fn);
+  // Schedules fn after a relative delay (>= 0).
+  Timer after(SimDuration delay, std::function<void()> fn);
+
+  // Runs events until the queue drains or simulated time would pass
+  // `deadline`; time is left at min(deadline, last event time). Returns the
+  // number of events executed.
+  std::size_t run_until(SimTime deadline);
+
+  // Runs until the queue drains (caller must guarantee termination, e.g. no
+  // self-rescheduling periodic timers).
+  std::size_t run() { return run_until(std::numeric_limits<SimTime>::max()); }
+
+  // Executes at most one event. Returns false if none is pending.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  // Installs this simulator as the global logger's timestamp source.
+  void install_log_clock();
+
+ private:
+  friend class Timer;
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace gs::sim

@@ -1,0 +1,37 @@
+// Simulated time.
+//
+// All protocol timing (beacon phases, heartbeat periods, stabilization
+// windows) is expressed in SimTime/SimDuration — integer microseconds — so
+// comparisons are exact and runs are reproducible. Helpers convert to/from
+// the seconds the paper quotes (T_b = 5/10/20 s, etc.).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace gs::sim {
+
+// Microseconds since simulation start.
+using SimTime = std::int64_t;
+// Microsecond interval.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1'000'000;
+
+constexpr SimDuration microseconds(std::int64_t n) { return n; }
+constexpr SimDuration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr SimDuration seconds(std::integral auto n) {
+  return static_cast<SimDuration>(n) * kSecond;
+}
+constexpr SimDuration seconds(std::floating_point auto s) {
+  return static_cast<SimDuration>(static_cast<double>(s) *
+                                  static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace gs::sim

@@ -1,0 +1,32 @@
+// Lightweight runtime-check macros used across the library.
+//
+// GS_CHECK is active in all build types: these protocols are distributed
+// state machines and silent invariant violations produce convergence bugs
+// that are far more expensive to debug than the branch is to execute.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gs::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "GS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace gs::util
+
+#define GS_CHECK(expr)                                           \
+  do {                                                           \
+    if (!(expr)) [[unlikely]]                                    \
+      ::gs::util::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (false)
+
+#define GS_CHECK_MSG(expr, msg)                                  \
+  do {                                                           \
+    if (!(expr)) [[unlikely]]                                    \
+      ::gs::util::check_failed(#expr, __FILE__, __LINE__, msg);  \
+  } while (false)

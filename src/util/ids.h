@@ -1,0 +1,77 @@
+// Strongly typed integer identifiers.
+//
+// The farm model juggles several id spaces (nodes, adapters, switches,
+// VLANs, domains, membership views). A shared template gives each its own
+// incompatible type so an AdapterId can never be passed where a NodeId is
+// expected, at zero runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace gs::util {
+
+template <typename Tag, typename Rep = std::uint32_t>
+class Id {
+ public:
+  using rep_type = Rep;
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  static constexpr Id invalid() { return Id{}; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << Tag::prefix() << "<invalid>";
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalid;
+};
+
+struct NodeTag {
+  static constexpr const char* prefix() { return "node"; }
+};
+struct AdapterTag {
+  static constexpr const char* prefix() { return "adapter"; }
+};
+struct SwitchTag {
+  static constexpr const char* prefix() { return "switch"; }
+};
+struct VlanTag {
+  static constexpr const char* prefix() { return "vlan"; }
+};
+struct DomainTag {
+  static constexpr const char* prefix() { return "domain"; }
+};
+struct PortTag {
+  static constexpr const char* prefix() { return "port"; }
+};
+
+using NodeId = Id<NodeTag>;
+using AdapterId = Id<AdapterTag>;
+using SwitchId = Id<SwitchTag>;
+using VlanId = Id<VlanTag>;
+using DomainId = Id<DomainTag>;
+using PortId = Id<PortTag>;
+
+}  // namespace gs::util
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<gs::util::Id<Tag, Rep>> {
+  size_t operator()(gs::util::Id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,71 @@
+#include "util/ip.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace gs::util {
+
+std::string IpAddress::to_string() const {
+  char buf[16];
+  int n = std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1),
+                        octet(2), octet(3));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (p == end) return std::nullopt;
+    auto [next, ec] = std::from_chars(p, end, octets[static_cast<std::size_t>(i)]);
+    if (ec != std::errc{} || next == p) return std::nullopt;
+    if (octets[static_cast<std::size_t>(i)] > 255) return std::nullopt;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return IpAddress(static_cast<std::uint8_t>(octets[0]),
+                   static_cast<std::uint8_t>(octets[1]),
+                   static_cast<std::uint8_t>(octets[2]),
+                   static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  int n = std::snprintf(
+      buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x",
+      static_cast<unsigned>((bits_ >> 40) & 0xFF),
+      static_cast<unsigned>((bits_ >> 32) & 0xFF),
+      static_cast<unsigned>((bits_ >> 24) & 0xFF),
+      static_cast<unsigned>((bits_ >> 16) & 0xFF),
+      static_cast<unsigned>((bits_ >> 8) & 0xFF),
+      static_cast<unsigned>(bits_ & 0xFF));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::uint64_t bits = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 6; ++i) {
+    std::uint32_t byte = 0;
+    auto [next, ec] = std::from_chars(p, end, byte, 16);
+    if (ec != std::errc{} || next == p || next - p > 2 || byte > 255)
+      return std::nullopt;
+    bits = (bits << 8) | byte;
+    p = next;
+    if (i < 5) {
+      if (p == end || (*p != ':' && *p != '-')) return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return MacAddress(bits);
+}
+
+}  // namespace gs::util

@@ -1,0 +1,90 @@
+// IPv4 and MAC address value types.
+//
+// GulfStream elects AMG leaders by "highest IP address" (paper §2.1), so
+// IpAddress carries a total order. Both types are plain value types with
+// string parsing/formatting used by logs, the wire format, and ConfigDb.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace gs::util {
+
+// An IPv4 address stored host-order so that operator< matches numeric
+// (and therefore leader-election) order.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return bits_ == 0; }
+
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Parses dotted-quad notation; rejects anything else (leading zeros are
+  // accepted, out-of-range octets and trailing junk are not).
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  constexpr auto operator<=>(const IpAddress&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, IpAddress ip) {
+    return os << ip.to_string();
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+// A 48-bit MAC address. The farm builder assigns these sequentially; they
+// exist so adapter identity is distinct from its (reconfigurable) IP.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::uint64_t bits)
+      : bits_(bits & 0xFFFFFFFFFFFFull) {}
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] std::string to_string() const;
+
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, MacAddress mac) {
+    return os << mac.to_string();
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace gs::util
+
+namespace std {
+template <>
+struct hash<gs::util::IpAddress> {
+  size_t operator()(gs::util::IpAddress ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.bits());
+  }
+};
+template <>
+struct hash<gs::util::MacAddress> {
+  size_t operator()(gs::util::MacAddress mac) const noexcept {
+    return std::hash<std::uint64_t>{}(mac.bits());
+  }
+};
+}  // namespace std

@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace gs::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() { set_sink(nullptr); }
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+    return;
+  }
+  sink_ = [](LogLevel level, std::string_view msg) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(to_string(level).size()),
+                 to_string(level).data(), static_cast<int>(msg.size()),
+                 msg.data());
+  };
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  if (!enabled(level)) return;
+  std::ostringstream out;
+  if (clock_) {
+    const std::int64_t us = clock_();
+    out << "t=" << static_cast<double>(us) / 1e6 << "s ";
+  }
+  out << component << ": " << msg;
+  sink_(level, out.str());
+}
+
+}  // namespace gs::util

@@ -1,0 +1,83 @@
+// Leveled logging with a pluggable time source.
+//
+// Protocol traces are stamped with *simulated* time, so the Simulator
+// installs itself as the logger's clock. Tests that want quiet output set
+// the level to kError; examples run at kInfo; debugging at kTrace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gs::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+  // Returns the current time in microseconds (simulated or wall).
+  using Clock = std::function<std::int64_t()>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Replaces the output sink; pass nullptr to restore the stderr default.
+  void set_sink(Sink sink);
+  // Replaces the timestamp source; pass nullptr to disable timestamps.
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  Clock clock_;
+};
+
+// Stream-style helper: builds the message only if the level is enabled.
+//   GS_LOG(kInfo, "amg") << "group committed, view=" << view;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().log(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gs::util
+
+#define GS_LOG(level, component)                                          \
+  if (!::gs::util::Logger::instance().enabled(::gs::util::LogLevel::level)) \
+    ;                                                                     \
+  else                                                                    \
+    ::gs::util::LogLine(::gs::util::LogLevel::level, component)

@@ -1,0 +1,13 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace gs::util {
+
+double Rng::exponential(double mean) {
+  GS_CHECK(mean > 0.0);
+  // 1 - uniform() is in (0, 1], so the log argument is never zero.
+  return -mean * std::log(1.0 - uniform());
+}
+
+}  // namespace gs::util

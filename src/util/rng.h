@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (message loss, latency jitter,
+// daemon start-up skew, random ping targets) draws from an Rng seeded from
+// the scenario seed, so any run is exactly reproducible. The generator is
+// xoshiro256** seeded through SplitMix64, the standard pairing recommended
+// by the xoshiro authors.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace gs::util {
+
+// SplitMix64: used to expand a single seed into generator state and to
+// derive independent child seeds (e.g. one stream per network segment).
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6c7473667547ull /* "GulfStr" */) {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  // Derives an independent stream; children of distinct tags are distinct.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const {
+    SplitMix64 sm(state_[0] ^ (state_[3] + tag * 0x9e3779b97f4a7c15ull));
+    Rng child(sm.next());
+    return child;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface for <random> interop.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  // Uniform integer in [0, bound), bias-free via rejection sampling.
+  std::uint64_t below(std::uint64_t bound) {
+    GS_CHECK(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    GS_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  // Exponential with the given mean (rate = 1/mean); used for jitter models.
+  double exponential(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace gs::util

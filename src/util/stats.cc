@@ -1,0 +1,145 @@
+#include "util/stats.h"
+
+#include <bit>
+#include <cmath>
+
+namespace gs::util {
+
+Histogram::Histogram(int sub_bits) : sub_bits_(sub_bits) {
+  GS_CHECK(sub_bits >= 0 && sub_bits <= 16);
+  // 64 power-of-two bands, each with 2^sub_bits linear sub-buckets.
+  buckets_.resize(static_cast<std::size_t>(64) << sub_bits_, 0);
+}
+
+std::size_t Histogram::bucket_for(std::uint64_t value) const {
+  const auto sub = static_cast<std::uint64_t>(sub_bits_);
+  if (value < (1ull << sub)) return static_cast<std::size_t>(value);
+  const int band = 63 - std::countl_zero(value);
+  const auto offset =
+      (value >> (static_cast<std::uint64_t>(band) - sub)) & ((1ull << sub) - 1);
+  const auto index = ((static_cast<std::uint64_t>(band) - sub + 1) << sub) +
+                     offset;
+  return std::min<std::size_t>(static_cast<std::size_t>(index),
+                               buckets_.size() - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) const {
+  const auto sub = static_cast<std::uint64_t>(sub_bits_);
+  if (index < (1ull << sub)) return index;
+  const std::uint64_t band = (index >> sub) + sub - 1;
+  const std::uint64_t offset = index & ((1ull << sub) - 1);
+  return ((1ull << sub) + offset + 1) << (band - sub);
+}
+
+void Histogram::record(std::int64_t value) {
+  GS_CHECK(value >= 0);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value);
+  ++buckets_[bucket_for(static_cast<std::uint64_t>(value))];
+}
+
+void Histogram::merge(const Histogram& other) {
+  GS_CHECK(sub_bits_ == other.sub_bits_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::reset() {
+  count_ = 0;
+  sum_ = 0;
+  sum_sq_ = 0.0;
+  min_ = max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double m = static_cast<double>(sum_) / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min<std::int64_t>(
+          static_cast<std::int64_t>(bucket_upper_bound(i)), max_);
+    }
+  }
+  return max_;
+}
+
+Counter& StatsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Histogram& StatsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  return it->second;
+}
+
+std::uint64_t StatsRegistry::counter_value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Histogram* StatsRegistry::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void StatsRegistry::reset() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+Summary Summary::of(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0, sum_sq = 0.0;
+  s.min = s.max = samples.front();
+  for (double v : samples) {
+    sum += v;
+    sum_sq += v * v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  const double n = static_cast<double>(s.n);
+  s.mean = sum / n;
+  s.stddev = s.n > 1 ? std::sqrt(std::max(0.0, sum_sq / n - s.mean * s.mean))
+                     : 0.0;
+  return s;
+}
+
+}  // namespace gs::util

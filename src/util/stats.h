@@ -1,0 +1,102 @@
+// Counters and histograms for experiment measurement.
+//
+// Scenario harnesses and library embedders record latencies and counts
+// here; the benches turn them into paper-style tables (the Fabric keeps its
+// own typed wire-load counters, see net::SegmentLoad). Histogram is a fixed
+// log-bucketed latency recorder (HDR-style, base-2 buckets with linear
+// sub-buckets) so percentile queries are O(#buckets) and recording is
+// allocation-free on the hot path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gs::util {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Records non-negative integer samples (microseconds, bytes, counts).
+class Histogram {
+ public:
+  // sub_bucket_bits: linear resolution within each power-of-two band;
+  // 5 bits keeps relative error < ~3%.
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  void record(std::int64_t value);
+  void merge(const Histogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  // q in [0, 1]; returns an upper bound of the bucket holding the quantile.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+  [[nodiscard]] std::int64_t p50() const { return quantile(0.50); }
+  [[nodiscard]] std::int64_t p99() const { return quantile(0.99); }
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t bucket_upper_bound(std::size_t index) const;
+
+  int sub_bits_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  double sum_sq_ = 0.0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+// Named counters/histograms grouped per scenario run. Not thread-safe by
+// design: each simulation owns its registry; parallel trials each have one.
+class StatsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
+      const {
+    return counters_;
+  }
+
+  void reset();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Aggregate of independent trial results (e.g. per-seed convergence times).
+struct Summary {
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Summary of(const std::vector<double>& samples);
+};
+
+}  // namespace gs::util

@@ -1,0 +1,50 @@
+// Fixed-size worker pool for embarrassingly parallel benchmark trials.
+//
+// Simulations are single-threaded and deterministic; the parallelism in this
+// repository lives *between* runs: a parameter sweep dispatches independent
+// (seed, config) trials across hardware threads. parallel_for_each provides
+// the fork-join shape the benches need without exposing futures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gs::util {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  void submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  // Runs fn(i) for i in [0, n) across the pool and joins.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gs::util

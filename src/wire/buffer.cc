@@ -1,0 +1,32 @@
+#include "wire/buffer.h"
+
+#include "util/check.h"
+
+namespace gs::wire {
+
+void Writer::patch_u32(std::size_t offset, std::uint32_t v) {
+  GS_CHECK(offset + 4 <= bytes_.size());
+  for (std::size_t i = 0; i < 4; ++i)
+    bytes_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  if (failed_ || n > remaining()) {
+    fail();
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+void Reader::skip(std::size_t n) {
+  if (failed_ || n > remaining()) {
+    fail();
+    return;
+  }
+  pos_ += n;
+}
+
+}  // namespace gs::wire

@@ -1,0 +1,40 @@
+#include "wire/checksum.h"
+
+#include <array>
+
+namespace gs::wire {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0x82F63B78u;  // reflected CRC-32C
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32c_update(std::uint32_t state,
+                            std::span<const std::uint8_t> data) {
+  for (std::uint8_t byte : data)
+    state = (state >> 8) ^ kTable[(state ^ byte) & 0xFFu];
+  return state;
+}
+
+std::uint32_t crc32c_finish(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data) {
+  return crc32c_finish(crc32c_update(crc32c_init(), data));
+}
+
+}  // namespace gs::wire

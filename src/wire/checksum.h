@@ -1,0 +1,23 @@
+// CRC-32C (Castagnoli) — the polynomial used by iSCSI and ext4.
+//
+// Frames carry a CRC over header-sans-crc plus payload so corruption (and
+// truncation, which shifts the payload under the CRC) is rejected before a
+// byte of it reaches protocol code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gs::wire {
+
+// One-shot CRC of a buffer, seeded with the standard initial value.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data);
+
+// Incremental form: pass the previous return value as `state` to continue.
+// Begin with crc32c_init() and finalize with crc32c_finish().
+[[nodiscard]] std::uint32_t crc32c_init();
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t state,
+                                          std::span<const std::uint8_t> data);
+[[nodiscard]] std::uint32_t crc32c_finish(std::uint32_t state);
+
+}  // namespace gs::wire

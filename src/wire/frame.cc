@@ -1,0 +1,86 @@
+#include "wire/frame.h"
+
+#include "wire/buffer.h"
+#include "wire/checksum.h"
+
+namespace gs::wire {
+
+std::string_view to_string(FrameError err) {
+  switch (err) {
+    case FrameError::kNone: return "none";
+    case FrameError::kTooShort: return "too-short";
+    case FrameError::kBadMagic: return "bad-magic";
+    case FrameError::kBadVersion: return "bad-version";
+    case FrameError::kLengthMismatch: return "length-mismatch";
+    case FrameError::kBadChecksum: return "bad-checksum";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame(std::uint16_t type,
+                                       std::span<const std::uint8_t> payload) {
+  Writer w(kFrameHeaderSize + payload.size());
+  w.u32(kFrameMagic);
+  w.u8(kWireVersion);
+  w.u8(0);  // reserved
+  w.u16(type);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  const std::size_t crc_offset = w.size();
+  w.u32(0);  // crc placeholder
+  w.raw(payload);
+
+  auto bytes = w.take();
+  std::uint32_t crc = crc32c_init();
+  crc = crc32c_update(crc, std::span(bytes).first(kFrameHeaderSize));
+  crc = crc32c_update(crc, payload);
+  crc = crc32c_finish(crc);
+  for (std::size_t i = 0; i < 4; ++i)
+    bytes[crc_offset + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  return bytes;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> bytes) {
+  DecodeResult result;
+  if (bytes.size() < kFrameHeaderSize) {
+    result.error = FrameError::kTooShort;
+    return result;
+  }
+  Reader r(bytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kFrameMagic) {
+    result.error = FrameError::kBadMagic;
+    return result;
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion) {
+    result.error = FrameError::kBadVersion;
+    return result;
+  }
+  r.skip(1);  // reserved
+  const std::uint16_t type = r.u16();
+  const std::uint32_t length = r.u32();
+  const std::uint32_t stated_crc = r.u32();
+  if (bytes.size() != kFrameHeaderSize + length) {
+    result.error = FrameError::kLengthMismatch;
+    return result;
+  }
+
+  // Recompute CRC with the crc field zeroed.
+  std::uint8_t zeroed_header[kFrameHeaderSize];
+  for (std::size_t i = 0; i < kFrameHeaderSize; ++i) zeroed_header[i] = bytes[i];
+  for (std::size_t i = 12; i < 16; ++i) zeroed_header[i] = 0;
+  std::uint32_t crc = crc32c_init();
+  crc = crc32c_update(crc, std::span<const std::uint8_t>(zeroed_header));
+  crc = crc32c_update(crc, bytes.subspan(kFrameHeaderSize));
+  crc = crc32c_finish(crc);
+  if (crc != stated_crc) {
+    result.error = FrameError::kBadChecksum;
+    return result;
+  }
+
+  result.frame.type = type;
+  result.frame.payload.assign(bytes.begin() + kFrameHeaderSize, bytes.end());
+  return result;
+}
+
+}  // namespace gs::wire

@@ -1,0 +1,59 @@
+// Frame layout for every GulfStream datagram.
+//
+//   offset  size  field
+//   0       4     magic   "GSF1"
+//   4       1     version (kWireVersion)
+//   5       1     reserved (0)
+//   6       2     type    (protocol-defined message type)
+//   8       4     payload length
+//   12      4     crc32c over bytes [0, 12) with crc field zeroed, then
+//                 payload
+//   16      n     payload
+//
+// decode() rejects bad magic, unsupported version, length mismatch, and CRC
+// failure with a typed error so the fabric's corruption-injection tests can
+// assert the exact rejection reason.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace gs::wire {
+
+constexpr std::uint32_t kFrameMagic = 0x31465347u;  // "GSF1" little-endian
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::size_t kFrameHeaderSize = 16;
+
+enum class FrameError : std::uint8_t {
+  kNone = 0,
+  kTooShort,
+  kBadMagic,
+  kBadVersion,
+  kLengthMismatch,
+  kBadChecksum,
+};
+
+[[nodiscard]] std::string_view to_string(FrameError err);
+
+struct Frame {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Serializes type+payload into a complete datagram.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    std::uint16_t type, std::span<const std::uint8_t> payload);
+
+struct DecodeResult {
+  FrameError error = FrameError::kNone;
+  Frame frame;
+
+  [[nodiscard]] bool ok() const { return error == FrameError::kNone; }
+};
+
+[[nodiscard]] DecodeResult decode_frame(std::span<const std::uint8_t> bytes);
+
+}  // namespace gs::wire

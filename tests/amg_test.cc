@@ -1,0 +1,122 @@
+// Unit tests for MembershipView: rank order, ring neighbors, succession.
+#include <gtest/gtest.h>
+
+#include "gs/amg.h"
+
+namespace gs::proto {
+namespace {
+
+MemberInfo member(std::uint8_t host) {
+  MemberInfo m;
+  m.ip = util::IpAddress(10, 0, 0, host);
+  m.mac = util::MacAddress(host);
+  m.node = util::NodeId(host);
+  return m;
+}
+
+util::IpAddress ip(std::uint8_t host) { return util::IpAddress(10, 0, 0, host); }
+
+TEST(MembershipView, SortsDescendingByIp) {
+  auto view = MembershipView::make(1, {member(3), member(9), member(5)});
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.member_at(0).ip, ip(9));
+  EXPECT_EQ(view.member_at(1).ip, ip(5));
+  EXPECT_EQ(view.member_at(2).ip, ip(3));
+  EXPECT_EQ(view.leader().ip, ip(9));
+}
+
+TEST(MembershipView, DeduplicatesByIp) {
+  auto view = MembershipView::make(1, {member(3), member(3), member(5)});
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST(MembershipView, RankLookup) {
+  auto view = MembershipView::make(2, {member(1), member(2), member(3)});
+  EXPECT_EQ(view.rank_of(ip(3)), 0u);
+  EXPECT_EQ(view.rank_of(ip(2)), 1u);
+  EXPECT_EQ(view.rank_of(ip(1)), 2u);
+  EXPECT_FALSE(view.rank_of(ip(9)).has_value());
+  EXPECT_TRUE(view.contains(ip(2)));
+  EXPECT_FALSE(view.contains(ip(9)));
+}
+
+TEST(MembershipView, RingNeighborsWrapAround) {
+  auto view = MembershipView::make(1, {member(1), member(2), member(3)});
+  // Rank order: 3, 2, 1.
+  EXPECT_EQ(view.right_of(ip(3)), ip(2));
+  EXPECT_EQ(view.right_of(ip(2)), ip(1));
+  EXPECT_EQ(view.right_of(ip(1)), ip(3));  // wraps
+  EXPECT_EQ(view.left_of(ip(3)), ip(1));   // wraps
+  EXPECT_EQ(view.left_of(ip(1)), ip(2));
+}
+
+TEST(MembershipView, PairRing) {
+  auto view = MembershipView::make(1, {member(1), member(2)});
+  EXPECT_EQ(view.right_of(ip(1)), ip(2));
+  EXPECT_EQ(view.left_of(ip(1)), ip(2));
+}
+
+TEST(MembershipView, SingletonRingPointsAtSelf) {
+  auto view = MembershipView::make(1, {member(1)});
+  EXPECT_EQ(view.right_of(ip(1)), ip(1));
+  EXPECT_EQ(view.left_of(ip(1)), ip(1));
+}
+
+TEST(MembershipView, EmptyView) {
+  MembershipView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.view(), 0u);
+}
+
+TEST(MembershipView, IpsInRankOrder) {
+  auto view = MembershipView::make(1, {member(1), member(9), member(4)});
+  const auto ips = view.ips();
+  ASSERT_EQ(ips.size(), 3u);
+  EXPECT_EQ(ips[0], ip(9));
+  EXPECT_EQ(ips[2], ip(1));
+}
+
+TEST(MembershipView, Equality) {
+  auto a = MembershipView::make(1, {member(1), member(2)});
+  auto b = MembershipView::make(1, {member(2), member(1)});
+  auto c = MembershipView::make(2, {member(1), member(2)});
+  EXPECT_EQ(a, b);  // same view number, same sorted membership
+  EXPECT_NE(a, c);
+}
+
+// Property sweep: ring is a permutation and neighbors are mutually
+// consistent for a range of group sizes.
+class RingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingProperty, NeighborsAreConsistent) {
+  const int n = GetParam();
+  std::vector<MemberInfo> members;
+  for (int i = 1; i <= n; ++i)
+    members.push_back(member(static_cast<std::uint8_t>(i)));
+  auto view = MembershipView::make(1, members);
+  ASSERT_EQ(view.size(), static_cast<std::size_t>(n));
+
+  for (const MemberInfo& m : view.members()) {
+    const util::IpAddress right = view.right_of(m.ip);
+    const util::IpAddress left = view.left_of(m.ip);
+    EXPECT_EQ(view.left_of(right), m.ip);
+    EXPECT_EQ(view.right_of(left), m.ip);
+  }
+
+  // Walking right n times returns to the start and visits everyone.
+  util::IpAddress cursor = view.leader().ip;
+  std::set<util::IpAddress> visited;
+  for (int i = 0; i < n; ++i) {
+    visited.insert(cursor);
+    cursor = view.right_of(cursor);
+  }
+  EXPECT_EQ(cursor, view.leader().ip);
+  EXPECT_EQ(visited.size(), static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 33, 100));
+
+}  // namespace
+}  // namespace gs::proto

@@ -1,0 +1,183 @@
+// Farm builder and scenario-helper unit tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "farm/farm.h"
+#include "farm/scenario.h"
+
+namespace gs::farm {
+namespace {
+
+TEST(FarmSpec, UniformCounts) {
+  const FarmSpec spec = FarmSpec::uniform(55, 3);
+  EXPECT_EQ(spec.total_nodes(), 55);
+  EXPECT_EQ(spec.total_adapters(), 165);
+}
+
+TEST(FarmSpec, OceanoCounts) {
+  const FarmSpec spec = FarmSpec::oceano(2, 2, 2, 2, 2);
+  // 2 mgmt + 2 dispatchers + 2*(2+2) nodes.
+  EXPECT_EQ(spec.total_nodes(), 12);
+  // mgmt: 2*1; dispatchers: 2*(1+2); fronts: 4*3; backs: 4*2.
+  EXPECT_EQ(spec.total_adapters(), 2 + 6 + 12 + 8);
+}
+
+TEST(FarmSpec, VlanNumbering) {
+  EXPECT_EQ(admin_vlan(), util::VlanId(1));
+  EXPECT_EQ(internal_vlan(0), util::VlanId(100));
+  EXPECT_EQ(dispatch_vlan(3), util::VlanId(203));
+  EXPECT_EQ(uniform_vlan(0), admin_vlan());
+  EXPECT_EQ(uniform_vlan(2), util::VlanId(302));
+}
+
+class FarmBuildTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  proto::Params params_;
+};
+
+TEST_F(FarmBuildTest, UniformFarmShape) {
+  Farm farm(sim_, FarmSpec::uniform(6, 3), params_, 1);
+  EXPECT_EQ(farm.node_count(), 6u);
+  EXPECT_EQ(farm.fabric().adapter_count(), 18u);
+  EXPECT_EQ(farm.db().node_count(), 6u);
+  EXPECT_EQ(farm.db().adapter_count(), 18u);
+  // Three VLANs, six adapters each.
+  const auto vlans = farm.vlans();
+  EXPECT_EQ(vlans.size(), 3u);
+  for (util::VlanId vlan : vlans)
+    EXPECT_EQ(farm.fabric().adapters_in_vlan(vlan).size(), 6u);
+}
+
+TEST_F(FarmBuildTest, OceanoRolesAndDomains) {
+  Farm farm(sim_, FarmSpec::oceano(2, 2, 1, 1, 2), params_, 1);
+  EXPECT_EQ(farm.nodes_with_role(NodeRole::kManagement).size(), 2u);
+  EXPECT_EQ(farm.nodes_with_role(NodeRole::kDispatcher).size(), 1u);
+  EXPECT_EQ(farm.nodes_with_role(NodeRole::kFrontEnd).size(), 4u);
+  EXPECT_EQ(farm.nodes_with_role(NodeRole::kBackEnd).size(), 2u);
+
+  // Front ends carry exactly [admin, internal, dispatch].
+  for (std::size_t idx : farm.nodes_with_role(NodeRole::kFrontEnd)) {
+    const auto& adapters = farm.node_adapters(idx);
+    ASSERT_EQ(adapters.size(), 3u);
+    const auto domain = farm.domain_of(idx).value();
+    EXPECT_EQ(farm.fabric().vlan_of(adapters[0]), admin_vlan());
+    EXPECT_EQ(farm.fabric().vlan_of(adapters[1]), internal_vlan(domain));
+    EXPECT_EQ(farm.fabric().vlan_of(adapters[2]), dispatch_vlan(domain));
+  }
+  // Back ends: [admin, internal].
+  for (std::size_t idx : farm.nodes_with_role(NodeRole::kBackEnd)) {
+    ASSERT_EQ(farm.node_adapters(idx).size(), 2u);
+  }
+  // Dispatchers: [admin, dispatch(0), dispatch(1)].
+  for (std::size_t idx : farm.nodes_with_role(NodeRole::kDispatcher)) {
+    const auto& adapters = farm.node_adapters(idx);
+    ASSERT_EQ(adapters.size(), 3u);
+    EXPECT_EQ(farm.fabric().vlan_of(adapters[1]), dispatch_vlan(0));
+    EXPECT_EQ(farm.fabric().vlan_of(adapters[2]), dispatch_vlan(1));
+  }
+}
+
+TEST_F(FarmBuildTest, ManagementNodesHoldHighestAdminIps) {
+  Farm farm(sim_, FarmSpec::oceano(2, 3, 3, 2, 2), params_, 1);
+  util::IpAddress max_regular, min_mgmt(255, 255, 255, 255);
+  for (std::size_t i = 0; i < farm.node_count(); ++i) {
+    const util::IpAddress ip =
+        farm.fabric().adapter(farm.node_adapters(i)[0]).ip();
+    if (farm.role(i) == NodeRole::kManagement)
+      min_mgmt = std::min(min_mgmt, ip);
+    else
+      max_regular = std::max(max_regular, ip);
+  }
+  EXPECT_LT(max_regular, min_mgmt)
+      << "admin-AMG leadership (= GSC) must land on a management node";
+}
+
+TEST_F(FarmBuildTest, OnlyManagementIsCentralEligible) {
+  Farm farm(sim_, FarmSpec::oceano(1, 1, 1, 1, 1), params_, 1);
+  for (std::size_t i = 0; i < farm.node_count(); ++i) {
+    const bool eligible = farm.db().node(util::NodeId(
+        static_cast<std::uint32_t>(i)))->central_eligible;
+    EXPECT_EQ(eligible, farm.role(i) == NodeRole::kManagement);
+    EXPECT_EQ(farm.daemon(i).central() != nullptr, eligible);
+  }
+}
+
+TEST_F(FarmBuildTest, GloballyUniqueIps) {
+  Farm farm(sim_, FarmSpec::oceano(3, 4, 4, 2, 2), params_, 1);
+  std::set<util::IpAddress> ips;
+  for (util::AdapterId id : farm.fabric().all_adapters()) {
+    const util::IpAddress ip = farm.fabric().adapter(id).ip();
+    EXPECT_TRUE(ips.insert(ip).second) << "duplicate " << ip;
+  }
+}
+
+TEST_F(FarmBuildTest, NodesAreRackedOnOneSwitch) {
+  FarmSpec spec = FarmSpec::uniform(10, 3);
+  spec.switch_ports = 7;  // forces multiple switches, 2 nodes + 1 spare port
+  Farm farm(sim_, spec, params_, 1);
+  EXPECT_GT(farm.fabric().switch_count(), 1u);
+  for (std::size_t i = 0; i < farm.node_count(); ++i) {
+    std::set<util::SwitchId> switches;
+    for (util::AdapterId id : farm.node_adapters(i))
+      switches.insert(farm.fabric().adapter(id).attached_switch());
+    EXPECT_EQ(switches.size(), 1u) << "node " << i << " spans switches";
+  }
+}
+
+TEST_F(FarmBuildTest, DbWiringMatchesFabric) {
+  Farm farm(sim_, FarmSpec::oceano(2, 2, 2, 1, 1), params_, 1);
+  for (const auto& rec : farm.db().all_adapters()) {
+    const net::Adapter& adapter = farm.fabric().adapter(rec.adapter);
+    EXPECT_EQ(rec.ip, adapter.ip());
+    EXPECT_EQ(rec.wired_switch, adapter.attached_switch());
+    EXPECT_EQ(rec.wired_port, adapter.attached_port());
+    EXPECT_EQ(rec.expected_vlan, farm.fabric().vlan_of(rec.adapter));
+  }
+}
+
+TEST_F(FarmBuildTest, ConvergedIsFalseBeforeStart) {
+  Farm farm(sim_, FarmSpec::uniform(3, 1), params_, 1);
+  EXPECT_FALSE(farm.converged());
+}
+
+TEST_F(FarmBuildTest, ConsoleGateFollowsActiveCentral) {
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::milliseconds(400);
+  params.gsc_stable_wait = sim::seconds(2);
+  Farm farm(sim_, FarmSpec::uniform(4, 2), params, 1);
+  // Before any Central activates, the console is unreachable.
+  EXPECT_FALSE(farm.console().reachable());
+  farm.start();
+  ASSERT_TRUE(run_until_gsc_stable(farm, sim::seconds(60)));
+  EXPECT_TRUE(farm.console().reachable());
+  // Killing the GSC node's admin adapter cuts console access until failover.
+  const util::AdapterId gsc_admin = farm.node_adapters(3)[0];
+  farm.fabric().set_adapter_health(gsc_admin, net::HealthState::kDown);
+  EXPECT_FALSE(farm.console().reachable());
+}
+
+// --- scenario helpers ---------------------------------------------------------
+
+TEST(Scenario, RunUntilReturnsTimeOfPredicate) {
+  sim::Simulator sim;
+  bool flag = false;
+  sim.after(sim::seconds(3), [&] { flag = true; });
+  auto t = run_until(sim, sim::seconds(10), [&] { return flag; },
+                     sim::milliseconds(500));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GE(*t, sim::seconds(3));
+  EXPECT_LE(*t, sim::seconds(4));
+}
+
+TEST(Scenario, RunUntilTimesOut) {
+  sim::Simulator sim;
+  auto t = run_until(sim, sim::seconds(2), [] { return false; });
+  EXPECT_FALSE(t.has_value());
+  EXPECT_EQ(sim.now(), sim::seconds(2));
+}
+
+}  // namespace
+}  // namespace gs::farm

@@ -1,0 +1,410 @@
+// Cross-module integration scenarios: the narratives of §2.1, §3, and §3.1
+// run end-to-end on a full simulated farm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "farm/farm.h"
+#include "farm/scenario.h"
+
+namespace gs {
+namespace {
+
+using proto::FarmEvent;
+
+proto::Params fast_params() {
+  proto::Params p;
+  p.beacon_phase = sim::seconds(2);
+  p.amg_stable_wait = sim::milliseconds(500);
+  p.gsc_stable_wait = sim::seconds(2);
+  p.move_window = sim::seconds(3);
+  return p;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void build(farm::FarmSpec spec, proto::Params params = fast_params(),
+             std::uint64_t seed = 1) {
+    params_ = params;
+    farm_.emplace(sim_, spec, params_, seed);
+    farm_->start();
+    ASSERT_TRUE(farm::run_until_converged(*farm_, sim::seconds(60)));
+    ASSERT_TRUE(farm::run_until_gsc_stable(*farm_, sim::seconds(120)));
+    farm_->clear_events();
+  }
+
+  void run_for(sim::SimDuration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulator sim_;
+  proto::Params params_;
+  std::optional<farm::Farm> farm_;
+};
+
+// --- Adapter failure (§3) ----------------------------------------------------
+
+TEST_F(IntegrationTest, SingleAdapterFailureIsDetectedAndReported) {
+  build(farm::FarmSpec::uniform(8, 2));
+  // Kill one non-admin adapter of node 3 (adapter index 1).
+  const util::AdapterId victim = farm_->node_adapters(3)[1];
+  const util::IpAddress victim_ip = farm_->fabric().adapter(victim).ip();
+  farm_->fabric().set_adapter_health(victim, net::HealthState::kDown);
+
+  ASSERT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(60)))
+      << "group did not recommit around the dead adapter";
+
+  // GSC receives the delta and, after the move window, declares the failure.
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(30), [&] {
+    return farm_->event_count(FarmEvent::Kind::kAdapterFailed) > 0;
+  }));
+  bool found = false;
+  for (const FarmEvent& e : farm_->events())
+    if (e.kind == FarmEvent::Kind::kAdapterFailed && e.ip == victim_ip)
+      found = true;
+  EXPECT_TRUE(found);
+  // One dead adapter on a two-adapter node is NOT a node failure.
+  EXPECT_EQ(farm_->event_count(FarmEvent::Kind::kNodeFailed), 0u);
+}
+
+TEST_F(IntegrationTest, AdapterRecoveryIsReported) {
+  build(farm::FarmSpec::uniform(6, 2));
+  const util::AdapterId victim = farm_->node_adapters(2)[1];
+  farm_->fabric().set_adapter_health(victim, net::HealthState::kDown);
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(60), [&] {
+    return farm_->event_count(FarmEvent::Kind::kAdapterFailed) > 0;
+  }));
+
+  farm_->fabric().set_adapter_health(victim, net::HealthState::kUp);
+  // The recovered adapter eventually resets (its old group moved on),
+  // beacons, and is re-absorbed; GSC then reports recovery.
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
+    return farm_->event_count(FarmEvent::Kind::kAdapterRecovered) > 0;
+  }));
+  EXPECT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(60))
+                  .has_value());
+}
+
+// --- Node failure correlation (§3) ----------------------------------------------
+
+TEST_F(IntegrationTest, NodeFailureIsInferredFromAllAdaptersFailing) {
+  build(farm::FarmSpec::uniform(8, 3));
+  const util::NodeId victim(5);
+  farm_->fail_node(5);
+
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(90), [&] {
+    return farm_->event_count(FarmEvent::Kind::kNodeFailed) > 0;
+  }));
+  proto::Central* central = farm_->active_central();
+  ASSERT_NE(central, nullptr);
+  EXPECT_TRUE(central->node_down(victim));
+
+  farm_->recover_node(5);
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
+    return farm_->event_count(FarmEvent::Kind::kNodeRecovered) > 0;
+  }));
+  EXPECT_FALSE(farm_->active_central()->node_down(victim));
+}
+
+// --- Leader failure and succession (§2.1) -----------------------------------------
+
+TEST_F(IntegrationTest, LeaderFailureElectsSecondRanked) {
+  build(farm::FarmSpec::uniform(8, 2));
+  const util::VlanId vlan = farm::uniform_vlan(1);
+
+  // Find the current leader of the non-admin AMG and its expected successor.
+  util::AdapterId leader_adapter;
+  util::IpAddress leader_ip, successor_ip;
+  for (util::AdapterId id : farm_->fabric().adapters_in_vlan(vlan)) {
+    proto::AdapterProtocol* proto = farm_->protocol_for(id);
+    ASSERT_NE(proto, nullptr);
+    if (proto->is_leader()) {
+      leader_adapter = id;
+      leader_ip = proto->self().ip;
+      successor_ip = proto->committed().member_at(1).ip;
+    }
+  }
+  ASSERT_TRUE(leader_adapter.valid());
+
+  farm_->fabric().set_adapter_health(leader_adapter, net::HealthState::kDown);
+  ASSERT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(90)));
+
+  // The new leader must be the old second-ranked (= next highest IP).
+  for (util::AdapterId id : farm_->fabric().adapters_in_vlan(vlan)) {
+    if (id == leader_adapter) continue;
+    proto::AdapterProtocol* proto = farm_->protocol_for(id);
+    EXPECT_EQ(proto->leader_ip(), successor_ip);
+    EXPECT_FALSE(proto->committed().contains(leader_ip));
+  }
+}
+
+// --- GSC failover (§2.2) ------------------------------------------------------------
+
+TEST_F(IntegrationTest, GscFailoverElectsNewCentralAndRebuildsView) {
+  build(farm::FarmSpec::uniform(8, 2));
+  proto::Central* central = farm_->active_central();
+  ASSERT_NE(central, nullptr);
+  const util::IpAddress old_gsc = central->self_ip();
+  const std::size_t known_before = central->known_adapter_count();
+
+  // Kill the whole GSC node.
+  std::size_t gsc_node = SIZE_MAX;
+  for (std::size_t i = 0; i < farm_->node_count(); ++i) {
+    const util::AdapterId admin = farm_->node_adapters(i)[0];
+    if (farm_->fabric().adapter(admin).ip() == old_gsc) gsc_node = i;
+  }
+  ASSERT_NE(gsc_node, SIZE_MAX);
+  farm_->fail_node(gsc_node);
+
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
+    proto::Central* c = farm_->active_central();
+    return c != nullptr && c->self_ip() != old_gsc &&
+           c->known_adapter_count() >= known_before - 2;
+  })) << "no replacement GSC rebuilt the farm view";
+
+  proto::Central* replacement = farm_->active_central();
+  EXPECT_NE(replacement->self_ip(), old_gsc);
+  EXPECT_GT(replacement->reports_received(), 0u);
+}
+
+// --- Dynamic domain reconfiguration (§3.1) ---------------------------------------------
+
+TEST_F(IntegrationTest, ExpectedMoveIsSuppressedAndCompleted) {
+  build(farm::FarmSpec::oceano(2, 2, 2, 1, 2));
+  proto::Central* central = farm_->active_central();
+  ASSERT_NE(central, nullptr);
+
+  // Move a back-end node's internal adapter from domain 0 to domain 1.
+  const auto backs = farm_->nodes_with_role(farm::NodeRole::kBackEnd);
+  std::size_t victim = SIZE_MAX;
+  for (std::size_t idx : backs)
+    if (farm_->domain_of(idx) == util::DomainId(0)) victim = idx;
+  ASSERT_NE(victim, SIZE_MAX);
+  const util::AdapterId moved = farm_->node_adapters(victim)[1];
+  const util::IpAddress moved_ip = farm_->fabric().adapter(moved).ip();
+
+  ASSERT_TRUE(central->move_adapter(moved, farm::internal_vlan(1)));
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
+    return farm_->event_count(FarmEvent::Kind::kMoveCompleted) > 0;
+  })) << "move was never completed at GSC";
+
+  // Expected moves suppress external failure notifications entirely.
+  for (const FarmEvent& e : farm_->events()) {
+    if (e.kind == FarmEvent::Kind::kAdapterFailed) {
+      EXPECT_NE(e.ip, moved_ip);
+    }
+  }
+
+  ASSERT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(60)));
+  // Database expectation was updated, so once the post-move reports drain
+  // to GSC, verification is clean again.
+  EXPECT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(60), [&] {
+    return central->verify_now().empty();
+  }));
+}
+
+TEST_F(IntegrationTest, UnexpectedMoveIsInferredNotReportedAsDeath) {
+  proto::Params p = fast_params();
+  p.move_window = sim::seconds(20);  // generous inference window
+  build(farm::FarmSpec::oceano(2, 2, 2, 1, 2), p);
+
+  // Rewire a front end's internal adapter behind GSC's back (no expected-
+  // move record): simulates operator action at the switch.
+  const auto fronts = farm_->nodes_with_role(farm::NodeRole::kFrontEnd);
+  std::size_t victim = SIZE_MAX;
+  for (std::size_t idx : fronts)
+    if (farm_->domain_of(idx) == util::DomainId(0)) victim = idx;
+  ASSERT_NE(victim, SIZE_MAX);
+  const util::AdapterId moved = farm_->node_adapters(victim)[1];
+  const net::Adapter& adapter = farm_->fabric().adapter(moved);
+  farm_->fabric().set_port_vlan(adapter.attached_switch(),
+                                adapter.attached_port(),
+                                farm::internal_vlan(1));
+
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
+    return farm_->event_count(FarmEvent::Kind::kUnexpectedMove) > 0;
+  }));
+  // The held failure was converted into a move, not a death.
+  for (const FarmEvent& e : farm_->events()) {
+    if (e.kind == FarmEvent::Kind::kAdapterFailed) {
+      EXPECT_NE(e.ip, adapter.ip());
+    }
+  }
+
+  // Once the moved adapter is absorbed into the destination VLAN's AMG and
+  // that group re-reports, verification flags it on the wrong VLAN.
+  ASSERT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(60)));
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(60), [&] {
+    proto::Central* c = farm_->active_central();
+    for (const auto& g : c->groups())
+      if (std::find(g.members.begin(), g.members.end(), adapter.ip()) !=
+              g.members.end() &&
+          g.members.size() > 1)
+        return true;
+    return false;
+  }));
+  auto findings = farm_->active_central()->verify_now();
+  bool flagged = false;
+  for (const auto& f : findings)
+    if (f.kind == config::InconsistencyKind::kWrongVlan &&
+        f.ip == adapter.ip())
+      flagged = true;
+  EXPECT_TRUE(flagged);
+}
+
+// A move in flight across a GSC failover: the expected-move record dies
+// with the old Central (it is deliberately centralized, §4.2), so the
+// replacement classifies the observed death+join as an *unexpected* move —
+// still a move, never a spurious death.
+TEST_F(IntegrationTest, MoveInFlightAcrossGscFailoverDegradesToUnexpected) {
+  proto::Params p = fast_params();
+  p.move_window = sim::seconds(20);
+  build(farm::FarmSpec::oceano(2, 2, 2, 1, 3), p);
+  proto::Central* central = farm_->active_central();
+  ASSERT_NE(central, nullptr);
+  const util::IpAddress old_gsc = central->self_ip();
+
+  std::size_t victim = SIZE_MAX;
+  for (std::size_t idx : farm_->nodes_with_role(farm::NodeRole::kBackEnd))
+    if (farm_->domain_of(idx) == util::DomainId(0)) victim = idx;
+  const util::AdapterId moved = farm_->node_adapters(victim)[1];
+  const util::IpAddress moved_ip = farm_->fabric().adapter(moved).ip();
+
+  ASSERT_TRUE(central->move_adapter(moved, farm::internal_vlan(1)));
+  // Kill the GSC node before the move can complete.
+  std::size_t gsc_node = SIZE_MAX;
+  for (std::size_t i = 0; i < farm_->node_count(); ++i)
+    if (farm_->fabric().adapter(farm_->node_adapters(i)[0]).ip() == old_gsc)
+      gsc_node = i;
+  ASSERT_NE(gsc_node, SIZE_MAX);
+  farm_->fail_node(gsc_node);
+
+  // The replacement GSC classifies the move as unexpected (or, if both the
+  // death and join deltas only reach it after failover in join-first order,
+  // as a plain reassignment) — never as an adapter death.
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(180), [&] {
+    proto::Central* c = farm_->active_central();
+    if (c == nullptr || c->self_ip() == old_gsc) return false;
+    const auto status = c->adapter_status(moved_ip);
+    return status.has_value() && status->alive;
+  }));
+  for (const FarmEvent& e : farm_->events()) {
+    if (e.kind == FarmEvent::Kind::kAdapterFailed) {
+      EXPECT_NE(e.ip, moved_ip);
+    }
+  }
+  EXPECT_TRUE(
+      farm::run_until_converged(*farm_, sim_.now() + sim::seconds(120)));
+}
+
+// --- Partition and merge (§2.1) -----------------------------------------------------
+
+TEST_F(IntegrationTest, PartitionFormsTwoGroupsHealMergesThem) {
+  build(farm::FarmSpec::uniform(8, 2));
+  const util::VlanId vlan = farm::uniform_vlan(1);
+  const auto adapters = farm_->fabric().adapters_in_vlan(vlan);
+  ASSERT_EQ(adapters.size(), 8u);
+
+  std::vector<util::AdapterId> left(adapters.begin(), adapters.begin() + 4);
+  std::vector<util::AdapterId> right(adapters.begin() + 4, adapters.end());
+  farm_->fabric().partition_vlan(vlan, {left, right});
+
+  // Each side must settle into its own AMG led by its own highest IP.
+  auto side_converged = [&](const std::vector<util::AdapterId>& side) {
+    util::IpAddress lead;
+    for (util::AdapterId id : side)
+      lead = std::max(lead, farm_->fabric().adapter(id).ip());
+    for (util::AdapterId id : side) {
+      proto::AdapterProtocol* proto = farm_->protocol_for(id);
+      if (!proto->is_committed() || proto->leader_ip() != lead) return false;
+      if (proto->committed().size() != side.size()) return false;
+    }
+    return true;
+  };
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(180), [&] {
+    return side_converged(left) && side_converged(right);
+  })) << "partition sides did not stabilize";
+
+  farm_->fabric().heal_vlan(vlan);
+  ASSERT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(180)))
+      << "groups did not merge after heal";
+}
+
+// --- Switch failure correlation (§3) ---------------------------------------------------
+
+TEST_F(IntegrationTest, SwitchFailureIsCorrelated) {
+  // Small switches so that one switch hosts a few whole nodes.
+  farm::FarmSpec spec = farm::FarmSpec::uniform(9, 2);
+  spec.switch_ports = 6;  // 3 nodes per switch
+  build(spec);
+
+  // Fail a switch that does NOT host the GSC node (node 8 has the highest
+  // admin IP and lives on the last switch).
+  const util::SwitchId victim(0);
+  farm_->fabric().fail_switch(victim);
+
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
+    return farm_->event_count(FarmEvent::Kind::kSwitchFailed) > 0;
+  }));
+  proto::Central* central = farm_->active_central();
+  ASSERT_NE(central, nullptr);
+  EXPECT_TRUE(central->switch_down(victim));
+  // All three nodes behind it are also inferred down.
+  EXPECT_GE(farm_->event_count(FarmEvent::Kind::kNodeFailed), 3u);
+
+  farm_->fabric().recover_switch(victim);
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(180), [&] {
+    return farm_->event_count(FarmEvent::Kind::kSwitchRecovered) > 0;
+  }));
+}
+
+// --- Every failure-detector strategy, end to end ----------------------------------------
+
+class DetectorIntegration : public ::testing::TestWithParam<proto::FdKind> {};
+
+TEST_P(DetectorIntegration, DetectsAndReportsAdapterDeath) {
+  sim::Simulator sim;
+  proto::Params p = fast_params();
+  p.fd_kind = GetParam();
+  farm::Farm farm(sim, farm::FarmSpec::uniform(9, 2), p, 21);
+  farm.start();
+  ASSERT_TRUE(farm::run_until_gsc_stable(farm, sim::seconds(120)));
+  farm.clear_events();
+
+  const util::AdapterId victim = farm.node_adapters(4)[1];
+  const util::IpAddress victim_ip = farm.fabric().adapter(victim).ip();
+  farm.fabric().set_adapter_health(victim, net::HealthState::kDown);
+
+  ASSERT_TRUE(farm::run_until(sim, sim.now() + sim::seconds(120), [&] {
+    for (const FarmEvent& e : farm.events())
+      if (e.kind == FarmEvent::Kind::kAdapterFailed && e.ip == victim_ip)
+        return true;
+    return false;
+  })) << "detector " << to_string(GetParam())
+      << " never got the death to GSC";
+  EXPECT_TRUE(
+      farm::run_until_converged(farm, sim.now() + sim::seconds(60)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DetectorIntegration,
+                         ::testing::Values(proto::FdKind::kUnidirectionalRing,
+                                           proto::FdKind::kBidirectionalRing,
+                                           proto::FdKind::kAllToAll,
+                                           proto::FdKind::kSubgroupRing,
+                                           proto::FdKind::kRandomPing));
+
+// --- Lossy network ---------------------------------------------------------------------
+
+TEST_F(IntegrationTest, ConvergesUnderModerateLoss) {
+  sim::Simulator fresh;
+  proto::Params p = fast_params();
+  farm::Farm farm(fresh, farm::FarmSpec::uniform(10, 2), p, 99);
+  net::ChannelModel lossy;
+  lossy.loss_probability = 0.05;
+  for (util::VlanId vlan : farm.vlans())
+    farm.fabric().segment(vlan).set_model(lossy);
+  farm.start();
+  EXPECT_TRUE(
+      farm::run_until_converged(farm, sim::seconds(120)).has_value());
+}
+
+}  // namespace
+}  // namespace gs

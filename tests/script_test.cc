@@ -1,0 +1,141 @@
+// Scenario-script parser and execution tests.
+#include <gtest/gtest.h>
+
+#include "farm/farm.h"
+#include "farm/scenario.h"
+#include "farm/script.h"
+
+namespace gs::farm {
+namespace {
+
+TEST(ScriptParse, FullGrammar) {
+  const auto result = parse_script(R"(
+# a comment
+at 10s   fail-node 3
+at 25s   recover-node 3
+at 30s   fail-adapter 7
+at 31s   recover-adapter 7
+at 40s   fail-switch 0
+at 41s   recover-switch 0
+at 55s   move-adapter 12 vlan 101
+at 60s   partition-vlan 301
+at 90s   heal-vlan 301
+at 95s   verify
+)");
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.actions.size(), 10u);
+  EXPECT_EQ(result.actions[0].kind, ActionKind::kFailNode);
+  EXPECT_EQ(result.actions[0].at, sim::seconds(10));
+  EXPECT_EQ(result.actions[0].arg, 3u);
+  EXPECT_EQ(result.actions[6].kind, ActionKind::kMoveAdapter);
+  EXPECT_EQ(result.actions[6].arg, 12u);
+  EXPECT_EQ(result.actions[6].vlan_arg, 101u);
+  EXPECT_EQ(result.actions[9].kind, ActionKind::kVerify);
+}
+
+TEST(ScriptParse, TimeUnits) {
+  auto result = parse_script("at 1500ms verify\nat 2.5s verify\nat 3 verify\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.actions[0].at, sim::milliseconds(1500));
+  EXPECT_EQ(result.actions[1].at, sim::milliseconds(2500));
+  EXPECT_EQ(result.actions[2].at, sim::seconds(3));
+}
+
+TEST(ScriptParse, RejectsDecreasingTimes) {
+  auto result = parse_script("at 10s verify\nat 5s verify\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error_line, 2);
+  EXPECT_NE(result.error.find("non-decreasing"), std::string::npos);
+}
+
+TEST(ScriptParse, RejectsUnknownAction) {
+  auto result = parse_script("at 1s explode 3\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("unknown action"), std::string::npos);
+}
+
+TEST(ScriptParse, RejectsBadTime) {
+  EXPECT_FALSE(parse_script("at banana verify\n").ok());
+  EXPECT_FALSE(parse_script("at -3s verify\n").ok());
+}
+
+TEST(ScriptParse, RejectsWrongArity) {
+  EXPECT_FALSE(parse_script("at 1s fail-node\n").ok());
+  EXPECT_FALSE(parse_script("at 1s fail-node 1 2\n").ok());
+  EXPECT_FALSE(parse_script("at 1s verify 9\n").ok());
+  EXPECT_FALSE(parse_script("at 1s move-adapter 3 101\n").ok());
+  EXPECT_FALSE(parse_script("at 1s move-adapter 3 vlan x\n").ok());
+}
+
+TEST(ScriptParse, RejectsBadIds) {
+  EXPECT_FALSE(parse_script("at 1s fail-node abc\n").ok());
+}
+
+TEST(ScriptParse, EmptyScriptIsOk) {
+  auto result = parse_script("\n# nothing here\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.actions.empty());
+}
+
+TEST(ScriptRunTest, ExecutesAgainstFarm) {
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::milliseconds(400);
+  params.gsc_stable_wait = sim::seconds(2);
+  Farm farm(sim, FarmSpec::uniform(6, 2), params, 5);
+  farm.start();
+  ASSERT_TRUE(run_until_gsc_stable(farm, sim::seconds(60)));
+
+  const auto parsed = parse_script(
+      "at 30s fail-node 2\n"
+      "at 60s recover-node 2\n"
+      "at 90s verify\n"
+      "at 90s fail-node 99\n");  // invalid target: counted as failed
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  ScriptRun run;
+  schedule_script(farm, parsed.actions, &run);
+  sim.run_until(sim::seconds(95));
+  EXPECT_EQ(run.executed, 3u);
+  EXPECT_EQ(run.failed, 1u);
+  EXPECT_GE(farm.event_count(proto::FarmEvent::Kind::kNodeFailed), 1u);
+  EXPECT_TRUE(run_until_converged(farm, sim.now() + sim::seconds(60)));
+}
+
+TEST(ScriptRunTest, PartitionAndHealRoundTrip) {
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::milliseconds(400);
+  params.gsc_stable_wait = sim::seconds(2);
+  Farm farm(sim, FarmSpec::uniform(6, 2), params, 5);
+  farm.start();
+  ASSERT_TRUE(run_until_gsc_stable(farm, sim::seconds(60)));
+
+  const std::uint32_t vlan = uniform_vlan(1).value();
+  const auto parsed = parse_script("at 30s partition-vlan " +
+                                   std::to_string(vlan) +
+                                   "\nat 90s heal-vlan " +
+                                   std::to_string(vlan) + "\n");
+  ASSERT_TRUE(parsed.ok());
+  ScriptRun run;
+  schedule_script(farm, parsed.actions, &run);
+
+  // Mid-partition the data VLAN must not be converged...
+  sim.run_until(sim::seconds(70));
+  EXPECT_FALSE(farm.converged(uniform_vlan(1)));
+  // ...and after heal it merges back.
+  sim.run_until(sim::seconds(95));
+  EXPECT_TRUE(run_until_converged(farm, sim.now() + sim::seconds(120)));
+  EXPECT_EQ(run.executed, 2u);
+}
+
+TEST(ScriptActionNames, Strings) {
+  EXPECT_EQ(to_string(ActionKind::kFailNode), "fail-node");
+  EXPECT_EQ(to_string(ActionKind::kMoveAdapter), "move-adapter");
+  EXPECT_EQ(to_string(ActionKind::kVerify), "verify");
+}
+
+}  // namespace
+}  // namespace gs::farm

@@ -1,0 +1,177 @@
+// Unit tests for the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace gs::sim {
+namespace {
+
+// --- EventQueue ------------------------------------------------------------------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.push(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(10, [] {});
+  q.push(20, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+// --- Simulator ----------------------------------------------------------------------
+
+TEST(Simulator, TimeAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.after(seconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, seconds(5));
+  EXPECT_EQ(sim.now(), seconds(5));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(seconds(1), [&] { fired++; });
+  sim.after(seconds(10), [&] { fired++; });
+  sim.run_until(seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), seconds(5));
+  sim.run_until(seconds(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.after(seconds(1), [&] {
+    times.push_back(sim.now());
+    sim.after(seconds(1), [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{seconds(1), seconds(2)}));
+}
+
+TEST(Simulator, TimerCancel) {
+  Simulator sim;
+  bool ran = false;
+  Timer t = sim.after(seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(t.cancel());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  Timer t = sim.after(seconds(1), [] {});
+  sim.run();
+  EXPECT_FALSE(t.cancel());
+}
+
+TEST(Simulator, DefaultTimerIsInert) {
+  Timer t;
+  EXPECT_FALSE(t.armed());
+  EXPECT_FALSE(t.cancel());
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(1, [&] { fired++; });
+  sim.after(2, [&] { fired++; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.after(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, PeriodicSelfRescheduling) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 10) sim.after(seconds(1), tick);
+  };
+  sim.after(seconds(1), tick);
+  sim.run_until(seconds(100));
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(sim.now(), seconds(100));
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(seconds(1), 1'000'000);
+  EXPECT_EQ(milliseconds(1), 1'000);
+  EXPECT_EQ(microseconds(1), 1);
+  EXPECT_EQ(seconds(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+}
+
+}  // namespace
+}  // namespace gs::sim

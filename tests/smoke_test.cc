@@ -1,0 +1,57 @@
+// Early end-to-end smoke: a small uniform farm must converge and GSC must
+// declare the topology stable.
+#include <gtest/gtest.h>
+
+#include "farm/farm.h"
+#include "farm/scenario.h"
+
+namespace gs {
+namespace {
+
+TEST(Smoke, UniformFarmConverges) {
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::seconds(2);
+  params.gsc_stable_wait = sim::seconds(3);
+  farm::Farm farm(sim, farm::FarmSpec::uniform(8, 3), params, /*seed=*/42);
+  farm.start();
+
+  auto converged = farm::run_until_converged(farm, sim::seconds(30));
+  ASSERT_TRUE(converged.has_value()) << "farm did not converge";
+
+  auto stable = farm::run_until_gsc_stable(farm, sim::seconds(60));
+  ASSERT_TRUE(stable.has_value()) << "GSC never declared stability";
+
+  proto::Central* central = farm.active_central();
+  ASSERT_NE(central, nullptr);
+  EXPECT_EQ(central->known_adapter_count(), 24u);
+  EXPECT_EQ(central->alive_adapter_count(), 24u);
+  EXPECT_EQ(central->groups().size(), 3u);
+  EXPECT_TRUE(central->verify_now().empty());
+}
+
+TEST(Smoke, OceanoFarmConverges) {
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::seconds(2);
+  params.gsc_stable_wait = sim::seconds(3);
+  farm::Farm farm(sim, farm::FarmSpec::oceano(2, 2, 2, 2, 2), params, 7);
+  farm.start();
+
+  auto converged = farm::run_until_converged(farm, sim::seconds(30));
+  ASSERT_TRUE(converged.has_value()) << "farm did not converge";
+
+  auto stable = farm::run_until_gsc_stable(farm, sim::seconds(60));
+  ASSERT_TRUE(stable.has_value());
+
+  proto::Central* central = farm.active_central();
+  ASSERT_NE(central, nullptr);
+  // 1 admin AMG + 2 internal + 2 dispatch.
+  EXPECT_EQ(central->groups().size(), 5u);
+  EXPECT_TRUE(central->verify_now().empty());
+}
+
+}  // namespace
+}  // namespace gs

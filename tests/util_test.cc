@@ -1,0 +1,364 @@
+// Unit tests for src/util: ids, ip, rng, stats, flags, thread pool.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/flags.h"
+#include "util/ids.h"
+#include "util/ip.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace gs::util {
+namespace {
+
+// --- Ids ---------------------------------------------------------------------
+
+TEST(Ids, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  AdapterId id(42);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(VlanId(1), VlanId(2));
+  EXPECT_EQ(VlanId(7), VlanId(7));
+  EXPECT_NE(VlanId(7), VlanId(8));
+}
+
+TEST(Ids, StreamFormat) {
+  std::ostringstream os;
+  os << SwitchId(3) << " " << SwitchId();
+  EXPECT_EQ(os.str(), "switch3 switch<invalid>");
+}
+
+TEST(Ids, Hashable) {
+  std::set<NodeId> set;
+  std::unordered_map<AdapterId, int> map;
+  set.insert(NodeId(1));
+  map[AdapterId(2)] = 5;
+  EXPECT_EQ(map[AdapterId(2)], 5);
+}
+
+// --- IpAddress -----------------------------------------------------------------
+
+TEST(IpAddress, OctetConstruction) {
+  IpAddress ip(10, 1, 2, 3);
+  EXPECT_EQ(ip.to_string(), "10.1.2.3");
+  EXPECT_EQ(ip.octet(0), 10);
+  EXPECT_EQ(ip.octet(3), 3);
+}
+
+TEST(IpAddress, NumericOrderMatchesElectionOrder) {
+  EXPECT_LT(IpAddress(10, 0, 0, 1), IpAddress(10, 0, 0, 2));
+  EXPECT_LT(IpAddress(10, 0, 0, 255), IpAddress(10, 0, 1, 0));
+  EXPECT_LT(IpAddress(9, 255, 255, 255), IpAddress(10, 0, 0, 0));
+}
+
+TEST(IpAddress, ParseValid) {
+  auto ip = IpAddress::parse("192.168.1.77");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, IpAddress(192, 168, 1, 77));
+}
+
+TEST(IpAddress, ParseRoundTripsAllOctetBoundaries) {
+  for (const char* text : {"0.0.0.0", "255.255.255.255", "1.0.0.0",
+                           "0.0.0.1", "127.0.0.1"}) {
+    auto ip = IpAddress::parse(text);
+    ASSERT_TRUE(ip.has_value()) << text;
+    EXPECT_EQ(ip->to_string(), text);
+  }
+}
+
+TEST(IpAddress, ParseRejectsMalformed) {
+  for (const char* text :
+       {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x", "1..2.3",
+        "1.2.3.4 ", "a.b.c.d", "-1.2.3.4"}) {
+    EXPECT_FALSE(IpAddress::parse(text).has_value()) << text;
+  }
+}
+
+TEST(IpAddress, Unspecified) {
+  EXPECT_TRUE(IpAddress().is_unspecified());
+  EXPECT_FALSE(IpAddress(1, 0, 0, 0).is_unspecified());
+}
+
+// --- MacAddress -----------------------------------------------------------------
+
+TEST(MacAddress, FormatAndParse) {
+  MacAddress mac(0x0200deadbeefull);
+  EXPECT_EQ(mac.to_string(), "02:00:de:ad:be:ef");
+  auto parsed = MacAddress::parse("02:00:de:ad:be:ef");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, mac);
+}
+
+TEST(MacAddress, ParseDashSeparated) {
+  auto parsed = MacAddress::parse("02-00-00-00-00-01");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bits(), 0x020000000001ull);
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  for (const char* text : {"", "02:00:00:00:00", "02:00:00:00:00:00:00",
+                           "zz:00:00:00:00:01", "0200.dead.beef"}) {
+    EXPECT_FALSE(MacAddress::parse(text).has_value()) << text;
+  }
+}
+
+TEST(MacAddress, TruncatesTo48Bits) {
+  MacAddress mac(0xFFFF'0000'0000'0001ull);
+  EXPECT_EQ(mac.bits(), 0x0000'0000'0001ull);
+}
+
+// --- Rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng base(9);
+  Rng c1 = base.fork(1);
+  Rng c2 = base.fork(2);
+  Rng c1_again = Rng(9).fork(1);
+  EXPECT_EQ(c1.next(), c1_again.next());
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo = lo || v == -2;
+    hi = hi || v == 2;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+// --- Histogram -------------------------------------------------------------------
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (std::int64_t v : {1, 2, 3, 4, 5}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 5);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, QuantileAccuracyWithinRelativeError) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 100000; ++v) h.record(v);
+  // Log-bucketed: answers within ~3% relative error.
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50000.0, 50000.0 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 99000.0, 99000.0 * 0.04);
+  EXPECT_EQ(h.quantile(1.0), 100000);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  a.record(10);
+  b.record(20);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 20);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(7);
+  EXPECT_NEAR(h.stddev(), 0.0, 1e-9);
+}
+
+// --- StatsRegistry ------------------------------------------------------------------
+
+TEST(StatsRegistry, CountersAccumulate) {
+  StatsRegistry stats;
+  stats.counter("x").add();
+  stats.counter("x").add(4);
+  EXPECT_EQ(stats.counter_value("x"), 5u);
+  EXPECT_EQ(stats.counter_value("missing"), 0u);
+}
+
+TEST(StatsRegistry, HistogramLookup) {
+  StatsRegistry stats;
+  stats.histogram("lat").record(100);
+  ASSERT_NE(stats.find_histogram("lat"), nullptr);
+  EXPECT_EQ(stats.find_histogram("lat")->count(), 1u);
+  EXPECT_EQ(stats.find_histogram("none"), nullptr);
+}
+
+// --- Summary ----------------------------------------------------------------------
+
+TEST(Summary, OfSamples) {
+  auto s = Summary::of({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Summary, Empty) {
+  auto s = Summary::of({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+// --- Flags ------------------------------------------------------------------------
+
+TEST(Flags, ParsesTypedValues) {
+  const char* argv[] = {"prog", "--n=5", "--rate=0.25", "--on", "--name=abc"};
+  Flags flags;
+  ASSERT_TRUE(flags.parse(5, argv));
+  EXPECT_EQ(flags.get_int("n", 0, ""), 5);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0, ""), 0.25);
+  EXPECT_TRUE(flags.get_bool("on", false, ""));
+  EXPECT_EQ(flags.get_string("name", "", ""), "abc");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags;
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_EQ(flags.get_int("n", 7, ""), 7);
+  EXPECT_FALSE(flags.get_bool("off", false, ""));
+}
+
+TEST(Flags, HelpRequested) {
+  const char* argv[] = {"prog", "--help"};
+  Flags flags;
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(Flags, RejectsPositional) {
+  const char* argv[] = {"prog", "positional"};
+  Flags flags;
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(Flags, UnknownFlagDetection) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Flags flags;
+  ASSERT_TRUE(flags.parse(2, argv));
+  flags.get_int("n", 0, "");
+  const auto unknown = flags.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+// --- ThreadPool ----------------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZero) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+}
+
+}  // namespace
+}  // namespace gs::util

@@ -1,0 +1,251 @@
+// Unit tests for the wire format: buffers, CRC, frames, corruption handling.
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "wire/buffer.h"
+#include "wire/checksum.h"
+#include "wire/frame.h"
+
+namespace gs::wire {
+namespace {
+
+// --- Writer / Reader ------------------------------------------------------------
+
+TEST(Buffer, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.25);
+  w.boolean(true);
+  w.boolean(false);
+
+  auto bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.finish());
+}
+
+TEST(Buffer, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(Buffer, StringRoundTrip) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  auto bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.finish());
+}
+
+TEST(Buffer, VectorRoundTrip) {
+  Writer w;
+  std::vector<std::uint32_t> values{1, 2, 3};
+  w.vec(values, [](Writer& ww, std::uint32_t v) { ww.u32(v); });
+  auto bytes = w.take();
+  Reader r(bytes);
+  auto out = r.vec<std::uint32_t>([](Reader& rr) { return rr.u32(); });
+  EXPECT_EQ(out, values);
+  EXPECT_TRUE(r.finish());
+}
+
+TEST(Buffer, ReaderUnderflowSticksError) {
+  std::vector<std::uint8_t> bytes{1, 2};
+  Reader r(bytes);
+  EXPECT_EQ(r.u32(), 0u);  // underflow: zero value
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // stays failed
+  EXPECT_FALSE(r.finish());
+}
+
+TEST(Buffer, ReaderRejectsHostileVectorCount) {
+  Writer w;
+  w.u32(0xFFFFFFFF);  // claims 4 billion elements
+  auto bytes = w.take();
+  Reader r(bytes);
+  auto out = r.vec<std::uint8_t>([](Reader& rr) { return rr.u8(); });
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, ReaderRejectsOverlongString) {
+  Writer w;
+  w.u32(100);  // string length 100, but no bytes follow
+  auto bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, FinishRequiresFullConsumption) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  auto bytes = w.take();
+  Reader r(bytes);
+  r.u32();
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.finish());  // one u32 left unread
+}
+
+TEST(Buffer, SkipAndRemaining) {
+  std::vector<std::uint8_t> bytes(10);
+  Reader r(bytes);
+  r.skip(4);
+  EXPECT_EQ(r.remaining(), 6u);
+  r.skip(7);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, PatchU32) {
+  Writer w;
+  w.u32(0);
+  w.u8(9);
+  w.patch_u32(0, 0xAABBCCDD);
+  auto bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(r.u32(), 0xAABBCCDDu);
+}
+
+// --- CRC-32C -----------------------------------------------------------------------
+
+TEST(Checksum, KnownVector) {
+  // Standard test vector: crc32c("123456789") = 0xE3069283.
+  const char* digits = "123456789";
+  std::span<const std::uint8_t> data(
+      reinterpret_cast<const std::uint8_t*>(digits), 9);
+  EXPECT_EQ(crc32c(data), 0xE3069283u);
+}
+
+TEST(Checksum, EmptyInput) {
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Checksum, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(100);
+  util::Rng rng(3);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  std::uint32_t state = crc32c_init();
+  state = crc32c_update(state, std::span(data).first(37));
+  state = crc32c_update(state, std::span(data).subspan(37));
+  EXPECT_EQ(crc32c_finish(state), crc32c(data));
+}
+
+TEST(Checksum, SensitiveToSingleBit) {
+  std::vector<std::uint8_t> data{1, 2, 3, 4};
+  const std::uint32_t before = crc32c(data);
+  data[2] ^= 0x10;
+  EXPECT_NE(crc32c(data), before);
+}
+
+// --- Frames -------------------------------------------------------------------------
+
+TEST(Frame, RoundTrip) {
+  std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  auto bytes = encode_frame(7, payload);
+  EXPECT_EQ(bytes.size(), kFrameHeaderSize + payload.size());
+  auto result = decode_frame(bytes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.frame.type, 7);
+  EXPECT_EQ(result.frame.payload, payload);
+}
+
+TEST(Frame, EmptyPayload) {
+  auto bytes = encode_frame(1, {});
+  auto result = decode_frame(bytes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.frame.payload.empty());
+}
+
+TEST(Frame, RejectsTooShort) {
+  std::vector<std::uint8_t> bytes(kFrameHeaderSize - 1);
+  EXPECT_EQ(decode_frame(bytes).error, FrameError::kTooShort);
+}
+
+TEST(Frame, RejectsBadMagic) {
+  std::vector<std::uint8_t> p9{9};
+  auto bytes = encode_frame(1, p9);
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(decode_frame(bytes).error, FrameError::kBadMagic);
+}
+
+TEST(Frame, RejectsBadVersion) {
+  std::vector<std::uint8_t> p9{9};
+  auto bytes = encode_frame(1, p9);
+  bytes[4] = 99;
+  EXPECT_EQ(decode_frame(bytes).error, FrameError::kBadVersion);
+}
+
+TEST(Frame, RejectsTruncation) {
+  std::vector<std::uint8_t> p4{1, 2, 3, 4};
+  auto bytes = encode_frame(1, p4);
+  bytes.pop_back();
+  EXPECT_EQ(decode_frame(bytes).error, FrameError::kLengthMismatch);
+}
+
+TEST(Frame, RejectsPayloadCorruption) {
+  std::vector<std::uint8_t> p4{1, 2, 3, 4};
+  auto bytes = encode_frame(1, p4);
+  bytes[kFrameHeaderSize + 1] ^= 0x01;
+  EXPECT_EQ(decode_frame(bytes).error, FrameError::kBadChecksum);
+}
+
+TEST(Frame, RejectsHeaderCorruption) {
+  std::vector<std::uint8_t> p4{1, 2, 3, 4};
+  auto bytes = encode_frame(1, p4);
+  bytes[6] ^= 0x01;  // flip the type field
+  EXPECT_EQ(decode_frame(bytes).error, FrameError::kBadChecksum);
+}
+
+// Property sweep: every single-bit flip anywhere in a frame is rejected.
+class FrameBitFlip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrameBitFlip, AnySingleBitFlipIsRejected) {
+  std::vector<std::uint8_t> payload{0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  auto bytes = encode_frame(3, payload);
+  const std::size_t bit = GetParam();
+  ASSERT_LT(bit / 8, bytes.size());
+  bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  auto result = decode_frame(bytes);
+  EXPECT_FALSE(result.ok()) << "bit " << bit << " flip went undetected";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, FrameBitFlip,
+                         ::testing::Range<std::size_t>(0, (16 + 5) * 8));
+
+// Fuzz: random byte strings never crash the decoder.
+TEST(Frame, FuzzRandomInputNeverCrashes) {
+  util::Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    auto result = decode_frame(junk);
+    // Mostly rejected; acceptance would require a valid CRC by chance.
+    (void)result;
+  }
+}
+
+TEST(Frame, ErrorStrings) {
+  EXPECT_EQ(to_string(FrameError::kNone), "none");
+  EXPECT_EQ(to_string(FrameError::kBadChecksum), "bad-checksum");
+}
+
+}  // namespace
+}  // namespace gs::wire
