@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beacon_loss.dir/beacon_loss.cc.o"
+  "CMakeFiles/beacon_loss.dir/beacon_loss.cc.o.d"
+  "beacon_loss"
+  "beacon_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beacon_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_tradeoff.dir/detection_tradeoff.cc.o"
+  "CMakeFiles/detection_tradeoff.dir/detection_tradeoff.cc.o.d"
+  "detection_tradeoff"
+  "detection_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

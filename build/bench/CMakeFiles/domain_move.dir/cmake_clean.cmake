@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_move.dir/domain_move.cc.o"
+  "CMakeFiles/domain_move.dir/domain_move.cc.o.d"
+  "domain_move"
+  "domain_move.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_move.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

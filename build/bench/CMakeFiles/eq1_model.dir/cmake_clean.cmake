@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq1_model.dir/eq1_model.cc.o"
+  "CMakeFiles/eq1_model.dir/eq1_model.cc.o.d"
+  "eq1_model"
+  "eq1_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq1_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

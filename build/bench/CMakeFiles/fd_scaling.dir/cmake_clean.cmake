@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_scaling.dir/fd_scaling.cc.o"
+  "CMakeFiles/fd_scaling.dir/fd_scaling.cc.o.d"
+  "fd_scaling"
+  "fd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

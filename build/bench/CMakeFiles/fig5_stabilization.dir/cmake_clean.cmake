@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_stabilization.dir/fig5_stabilization.cc.o"
+  "CMakeFiles/fig5_stabilization.dir/fig5_stabilization.cc.o.d"
+  "fig5_stabilization"
+  "fig5_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

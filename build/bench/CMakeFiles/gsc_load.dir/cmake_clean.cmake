@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsc_load.dir/gsc_load.cc.o"
+  "CMakeFiles/gsc_load.dir/gsc_load.cc.o.d"
+  "gsc_load"
+  "gsc_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsc_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_reconfiguration.dir/domain_reconfiguration.cpp.o"
+  "CMakeFiles/domain_reconfiguration.dir/domain_reconfiguration.cpp.o.d"
+  "domain_reconfiguration"
+  "domain_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

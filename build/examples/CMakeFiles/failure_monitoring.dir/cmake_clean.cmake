@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_monitoring.dir/failure_monitoring.cpp.o"
+  "CMakeFiles/failure_monitoring.dir/failure_monitoring.cpp.o.d"
+  "failure_monitoring"
+  "failure_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oceano_autoscaler.dir/oceano_autoscaler.cpp.o"
+  "CMakeFiles/oceano_autoscaler.dir/oceano_autoscaler.cpp.o.d"
+  "oceano_autoscaler"
+  "oceano_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oceano_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/partition_heal.cpp" "examples/CMakeFiles/partition_heal.dir/partition_heal.cpp.o" "gcc" "examples/CMakeFiles/partition_heal.dir/partition_heal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/farm/CMakeFiles/gs_farm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gs/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/gs_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gs_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

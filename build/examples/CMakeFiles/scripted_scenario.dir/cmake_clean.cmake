@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripted_scenario.dir/scripted_scenario.cpp.o"
+  "CMakeFiles/scripted_scenario.dir/scripted_scenario.cpp.o.d"
+  "scripted_scenario"
+  "scripted_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripted_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/configdb.cc" "src/config/CMakeFiles/gs_config.dir/configdb.cc.o" "gcc" "src/config/CMakeFiles/gs_config.dir/configdb.cc.o.d"
+  "/root/repo/src/config/verifier.cc" "src/config/CMakeFiles/gs_config.dir/verifier.cc.o" "gcc" "src/config/CMakeFiles/gs_config.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_config.dir/configdb.cc.o"
+  "CMakeFiles/gs_config.dir/configdb.cc.o.d"
+  "CMakeFiles/gs_config.dir/verifier.cc.o"
+  "CMakeFiles/gs_config.dir/verifier.cc.o.d"
+  "libgs_config.a"
+  "libgs_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

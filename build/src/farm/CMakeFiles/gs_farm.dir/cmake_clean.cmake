@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_farm.dir/farm.cc.o"
+  "CMakeFiles/gs_farm.dir/farm.cc.o.d"
+  "CMakeFiles/gs_farm.dir/scenario.cc.o"
+  "CMakeFiles/gs_farm.dir/scenario.cc.o.d"
+  "CMakeFiles/gs_farm.dir/script.cc.o"
+  "CMakeFiles/gs_farm.dir/script.cc.o.d"
+  "CMakeFiles/gs_farm.dir/spec.cc.o"
+  "CMakeFiles/gs_farm.dir/spec.cc.o.d"
+  "libgs_farm.a"
+  "libgs_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gs/adapter_protocol.cc" "src/gs/CMakeFiles/gs_core.dir/adapter_protocol.cc.o" "gcc" "src/gs/CMakeFiles/gs_core.dir/adapter_protocol.cc.o.d"
+  "/root/repo/src/gs/amg.cc" "src/gs/CMakeFiles/gs_core.dir/amg.cc.o" "gcc" "src/gs/CMakeFiles/gs_core.dir/amg.cc.o.d"
+  "/root/repo/src/gs/central.cc" "src/gs/CMakeFiles/gs_core.dir/central.cc.o" "gcc" "src/gs/CMakeFiles/gs_core.dir/central.cc.o.d"
+  "/root/repo/src/gs/daemon.cc" "src/gs/CMakeFiles/gs_core.dir/daemon.cc.o" "gcc" "src/gs/CMakeFiles/gs_core.dir/daemon.cc.o.d"
+  "/root/repo/src/gs/fd.cc" "src/gs/CMakeFiles/gs_core.dir/fd.cc.o" "gcc" "src/gs/CMakeFiles/gs_core.dir/fd.cc.o.d"
+  "/root/repo/src/gs/fd_heartbeat.cc" "src/gs/CMakeFiles/gs_core.dir/fd_heartbeat.cc.o" "gcc" "src/gs/CMakeFiles/gs_core.dir/fd_heartbeat.cc.o.d"
+  "/root/repo/src/gs/fd_randping.cc" "src/gs/CMakeFiles/gs_core.dir/fd_randping.cc.o" "gcc" "src/gs/CMakeFiles/gs_core.dir/fd_randping.cc.o.d"
+  "/root/repo/src/gs/messages.cc" "src/gs/CMakeFiles/gs_core.dir/messages.cc.o" "gcc" "src/gs/CMakeFiles/gs_core.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gs_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/gs_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

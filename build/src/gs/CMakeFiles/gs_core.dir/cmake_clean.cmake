@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_core.dir/adapter_protocol.cc.o"
+  "CMakeFiles/gs_core.dir/adapter_protocol.cc.o.d"
+  "CMakeFiles/gs_core.dir/amg.cc.o"
+  "CMakeFiles/gs_core.dir/amg.cc.o.d"
+  "CMakeFiles/gs_core.dir/central.cc.o"
+  "CMakeFiles/gs_core.dir/central.cc.o.d"
+  "CMakeFiles/gs_core.dir/daemon.cc.o"
+  "CMakeFiles/gs_core.dir/daemon.cc.o.d"
+  "CMakeFiles/gs_core.dir/fd.cc.o"
+  "CMakeFiles/gs_core.dir/fd.cc.o.d"
+  "CMakeFiles/gs_core.dir/fd_heartbeat.cc.o"
+  "CMakeFiles/gs_core.dir/fd_heartbeat.cc.o.d"
+  "CMakeFiles/gs_core.dir/fd_randping.cc.o"
+  "CMakeFiles/gs_core.dir/fd_randping.cc.o.d"
+  "CMakeFiles/gs_core.dir/messages.cc.o"
+  "CMakeFiles/gs_core.dir/messages.cc.o.d"
+  "libgs_core.a"
+  "libgs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_net.dir/console.cc.o"
+  "CMakeFiles/gs_net.dir/console.cc.o.d"
+  "CMakeFiles/gs_net.dir/fabric.cc.o"
+  "CMakeFiles/gs_net.dir/fabric.cc.o.d"
+  "libgs_net.a"
+  "libgs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

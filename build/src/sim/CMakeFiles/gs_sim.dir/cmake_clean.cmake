@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/gs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/gs_sim.dir/simulator.cc.o"
+  "CMakeFiles/gs_sim.dir/simulator.cc.o.d"
+  "libgs_sim.a"
+  "libgs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

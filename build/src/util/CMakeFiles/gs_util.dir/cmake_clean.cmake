@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_util.dir/flags.cc.o"
+  "CMakeFiles/gs_util.dir/flags.cc.o.d"
+  "CMakeFiles/gs_util.dir/ip.cc.o"
+  "CMakeFiles/gs_util.dir/ip.cc.o.d"
+  "CMakeFiles/gs_util.dir/logging.cc.o"
+  "CMakeFiles/gs_util.dir/logging.cc.o.d"
+  "CMakeFiles/gs_util.dir/rng.cc.o"
+  "CMakeFiles/gs_util.dir/rng.cc.o.d"
+  "CMakeFiles/gs_util.dir/stats.cc.o"
+  "CMakeFiles/gs_util.dir/stats.cc.o.d"
+  "CMakeFiles/gs_util.dir/thread_pool.cc.o"
+  "CMakeFiles/gs_util.dir/thread_pool.cc.o.d"
+  "libgs_util.a"
+  "libgs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

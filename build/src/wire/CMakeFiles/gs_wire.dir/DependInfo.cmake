@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/buffer.cc" "src/wire/CMakeFiles/gs_wire.dir/buffer.cc.o" "gcc" "src/wire/CMakeFiles/gs_wire.dir/buffer.cc.o.d"
+  "/root/repo/src/wire/checksum.cc" "src/wire/CMakeFiles/gs_wire.dir/checksum.cc.o" "gcc" "src/wire/CMakeFiles/gs_wire.dir/checksum.cc.o.d"
+  "/root/repo/src/wire/frame.cc" "src/wire/CMakeFiles/gs_wire.dir/frame.cc.o" "gcc" "src/wire/CMakeFiles/gs_wire.dir/frame.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_wire.dir/buffer.cc.o"
+  "CMakeFiles/gs_wire.dir/buffer.cc.o.d"
+  "CMakeFiles/gs_wire.dir/checksum.cc.o"
+  "CMakeFiles/gs_wire.dir/checksum.cc.o.d"
+  "CMakeFiles/gs_wire.dir/frame.cc.o"
+  "CMakeFiles/gs_wire.dir/frame.cc.o.d"
+  "libgs_wire.a"
+  "libgs_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmp_quarantine_test.dir/snmp_quarantine_test.cc.o"
+  "CMakeFiles/snmp_quarantine_test.dir/snmp_quarantine_test.cc.o.d"
+  "snmp_quarantine_test"
+  "snmp_quarantine_test.pdb"
+  "snmp_quarantine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmp_quarantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/messages_test[1]_include.cmake")
+include("/root/repo/build/tests/amg_test[1]_include.cmake")
+include("/root/repo/build/tests/fd_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/central_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/farm_test[1]_include.cmake")
+include("/root/repo/build/tests/snmp_quarantine_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/script_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/model_property_test[1]_include.cmake")
