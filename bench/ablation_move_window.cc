@@ -38,9 +38,10 @@ MoveOutcome run_move(double window_s, std::uint64_t seed) {
   gs::sim::Simulator sim;
   gs::farm::Farm farm(sim, gs::farm::FarmSpec::oceano(2, 3, 3),
                       base_params(window_s), seed);
+  gs::proto::EventLog events(farm.event_bus());
   farm.start();
   if (!gs::farm::run_until_gsc_stable(farm, gs::sim::seconds(180))) return {};
-  farm.clear_events();
+  events.clear();
 
   const auto backs = farm.nodes_with_role(gs::farm::NodeRole::kBackEnd);
   std::size_t victim = SIZE_MAX;
@@ -55,7 +56,7 @@ MoveOutcome run_move(double window_s, std::uint64_t seed) {
 
   sim.run_until(sim.now() + gs::sim::seconds(90 + 2 * window_s));
   MoveOutcome out;
-  for (const FarmEvent& e : farm.events()) {
+  for (const FarmEvent& e : events) {
     if (e.kind == FarmEvent::Kind::kUnexpectedMove && e.ip == ip)
       out.inferred_as_move = true;
     if (e.kind == FarmEvent::Kind::kAdapterFailed && e.ip == ip)
@@ -69,9 +70,10 @@ double run_death(double window_s, std::uint64_t seed) {
   gs::sim::Simulator sim;
   gs::farm::Farm farm(sim, gs::farm::FarmSpec::uniform(8, 2),
                       base_params(window_s), seed);
+  gs::proto::EventLog events(farm.event_bus());
   farm.start();
   if (!gs::farm::run_until_gsc_stable(farm, gs::sim::seconds(120))) return -1;
-  farm.clear_events();
+  events.clear();
 
   const gs::util::AdapterId victim = farm.node_adapters(3)[1];
   const gs::util::IpAddress ip = farm.fabric().adapter(victim).ip();
@@ -80,7 +82,7 @@ double run_death(double window_s, std::uint64_t seed) {
 
   auto reported = gs::farm::run_until(
       sim, death + gs::sim::seconds(120 + 2 * window_s), [&] {
-        for (const FarmEvent& e : farm.events())
+        for (const FarmEvent& e : events)
           if (e.kind == FarmEvent::Kind::kAdapterFailed && e.ip == ip)
             return true;
         return false;

@@ -35,10 +35,11 @@ MoveResult run_moves(bool expected, int moves, std::uint64_t seed,
   params.move_window = gs::sim::seconds(15);
   gs::farm::Farm farm(sim, gs::farm::FarmSpec::oceano(2, 4, 4, 2, 2), params,
                       seed);
+  gs::proto::EventLog events(farm.event_bus());
   farm.start();
   if (!gs::farm::run_until_converged(farm, gs::sim::seconds(120))) return {};
   if (!gs::farm::run_until_gsc_stable(farm, gs::sim::seconds(180))) return {};
-  farm.clear_events();
+  events.clear();
 
   MoveResult out;
   out.spurious_failures = 0;
@@ -55,7 +56,7 @@ MoveResult run_moves(bool expected, int moves, std::uint64_t seed,
     const gs::util::IpAddress ip = farm.fabric().adapter(adapter).ip();
     const std::uint32_t target = 1 - current_domain;
     const gs::sim::SimTime start = sim.now();
-    const std::size_t events_before = farm.events().size();
+    const std::size_t events_before = events.size();
 
     if (expected) {
       if (!farm.active_central()->move_adapter(adapter,
@@ -72,8 +73,8 @@ MoveResult run_moves(bool expected, int moves, std::uint64_t seed,
                                           : FarmEvent::Kind::kUnexpectedMove;
     auto inferred = gs::farm::run_until(
         sim, start + gs::sim::seconds(180), [&] {
-          for (std::size_t i = events_before; i < farm.events().size(); ++i)
-            if (farm.events()[i].kind == want && farm.events()[i].ip == ip)
+          for (std::size_t i = events_before; i < events.size(); ++i)
+            if (events.records()[i].kind == want && events.records()[i].ip == ip)
               return true;
           return false;
         });
@@ -86,9 +87,9 @@ MoveResult run_moves(bool expected, int moves, std::uint64_t seed,
     total_restab += gs::sim::to_seconds(*stable - start);
     ++completed;
 
-    for (std::size_t i = events_before; i < farm.events().size(); ++i)
-      if (farm.events()[i].kind == FarmEvent::Kind::kAdapterFailed &&
-          farm.events()[i].ip == ip)
+    for (std::size_t i = events_before; i < events.size(); ++i)
+      if (events.records()[i].kind == FarmEvent::Kind::kAdapterFailed &&
+          events.records()[i].ip == ip)
         ++out.spurious_failures;
 
     // If this was an unexpected move, re-align the database so verification

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   params.move_window = gs::sim::seconds(10);
 
   gs::farm::Farm farm(sim, gs::farm::FarmSpec::oceano(2, 3, 3), params, 11);
+  gs::proto::EventLog events(farm.event_bus());
   farm.start();
   std::printf("Stabilizing a 2-domain hosting farm...\n");
   if (!gs::farm::run_until_gsc_stable(farm, gs::sim::seconds(300))) return 1;
@@ -66,22 +67,22 @@ int main(int argc, char** argv) {
 
   std::printf("\n== GSC moves %s (node %zu) from domain 0 to domain 1 ==\n",
               ip.to_string().c_str(), mover);
-  const std::size_t before = farm.events().size();
+  const std::size_t before = events.size();
   central->move_adapter(adapter, gs::farm::internal_vlan(1));
 
   auto done = gs::farm::run_until(sim, sim.now() + gs::sim::seconds(120), [&] {
-    return farm.event_count(gs::proto::FarmEvent::Kind::kMoveCompleted) > 0;
+    return events.count(gs::proto::FarmEvent::Kind::kMoveCompleted) > 0;
   });
   gs::farm::run_until_converged(farm, sim.now() + gs::sim::seconds(60));
-  for (std::size_t i = before; i < farm.events().size(); ++i) {
-    const auto& e = farm.events()[i];
+  for (std::size_t i = before; i < events.size(); ++i) {
+    const auto& e = events.records()[i];
     std::printf("  t=%7.2fs  %-16s %s\n", gs::sim::to_seconds(e.time),
                 std::string(to_string(e.kind)).c_str(),
                 e.ip.is_unspecified() ? "" : e.ip.to_string().c_str());
   }
   std::printf("  -> move %s; failure notifications suppressed: %s\n",
               done ? "completed" : "TIMED OUT",
-              farm.event_count(gs::proto::FarmEvent::Kind::kAdapterFailed) == 0
+              events.count(gs::proto::FarmEvent::Kind::kAdapterFailed) == 0
                   ? "yes"
                   : "NO");
 
@@ -97,16 +98,16 @@ int main(int argc, char** argv) {
   const auto& na = farm.fabric().adapter(rogue_adapter);
   std::printf("\n== operator silently rewires %s to domain 0's VLAN ==\n",
               na.ip().to_string().c_str());
-  const std::size_t before2 = farm.events().size();
+  const std::size_t before2 = events.size();
   farm.fabric().set_port_vlan(na.attached_switch(), na.attached_port(),
                               gs::farm::internal_vlan(0));
 
   gs::farm::run_until(sim, sim.now() + gs::sim::seconds(120), [&] {
-    return farm.event_count(gs::proto::FarmEvent::Kind::kUnexpectedMove) > 0;
+    return events.count(gs::proto::FarmEvent::Kind::kUnexpectedMove) > 0;
   });
   gs::farm::run_until_converged(farm, sim.now() + gs::sim::seconds(60));
-  for (std::size_t i = before2; i < farm.events().size(); ++i) {
-    const auto& e = farm.events()[i];
+  for (std::size_t i = before2; i < events.size(); ++i) {
+    const auto& e = events.records()[i];
     std::printf("  t=%7.2fs  %-16s %s\n", gs::sim::to_seconds(e.time),
                 std::string(to_string(e.kind)).c_str(), e.detail.c_str());
   }

@@ -11,8 +11,8 @@
 
 namespace {
 
-void drain_events(gs::farm::Farm& farm, std::size_t& cursor) {
-  const auto& events = farm.events();
+void drain_events(const gs::proto::EventLog& log, std::size_t& cursor) {
+  const auto& events = log.records();
   for (; cursor < events.size(); ++cursor) {
     const gs::proto::FarmEvent& e = events[cursor];
     std::printf("  t=%7.2fs  %-18s", gs::sim::to_seconds(e.time),
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   gs::farm::FarmSpec spec = gs::farm::FarmSpec::uniform(nodes, 2);
   spec.switch_ports = 6;  // three 2-adapter nodes per switch
   gs::farm::Farm farm(sim, spec, params, 7);
+  gs::proto::EventLog log(farm.event_bus());
   farm.start();
 
   std::printf("Waiting for the farm (%d nodes, 2 adapters each) to "
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::size_t cursor = 0;
-  drain_events(farm, cursor);
+  drain_events(log, cursor);
 
   // --- Scenario 1: one NIC dies -------------------------------------------
   std::printf("\n== t=%.0fs: adapter 1 of node 2 fails (one NIC, node "
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
   farm.fabric().set_adapter_health(farm.node_adapters(2)[1],
                                    gs::net::HealthState::kDown);
   sim.run_until(sim.now() + gs::sim::seconds(30));
-  drain_events(farm, cursor);
+  drain_events(log, cursor);
   std::printf("  (no node-failed event: the other adapter still answers)\n");
 
   // --- Scenario 2: a whole node dies --------------------------------------
@@ -71,27 +72,27 @@ int main(int argc, char** argv) {
               gs::sim::to_seconds(sim.now()));
   farm.fail_node(4);
   sim.run_until(sim.now() + gs::sim::seconds(30));
-  drain_events(farm, cursor);
+  drain_events(log, cursor);
 
   // --- Scenario 3: node 4 comes back ---------------------------------------
   std::printf("\n== t=%.0fs: node 4 boots again ==\n",
               gs::sim::to_seconds(sim.now()));
   farm.recover_node(4);
   sim.run_until(sim.now() + gs::sim::seconds(40));
-  drain_events(farm, cursor);
+  drain_events(log, cursor);
 
   // --- Scenario 4: a switch dies --------------------------------------------
   std::printf("\n== t=%.0fs: switch 0 fails (takes its whole rack down) ==\n",
               gs::sim::to_seconds(sim.now()));
   farm.fabric().fail_switch(gs::util::SwitchId(0));
   sim.run_until(sim.now() + gs::sim::seconds(45));
-  drain_events(farm, cursor);
+  drain_events(log, cursor);
 
   std::printf("\n== t=%.0fs: switch 0 recovers ==\n",
               gs::sim::to_seconds(sim.now()));
   farm.fabric().recover_switch(gs::util::SwitchId(0));
   sim.run_until(sim.now() + gs::sim::seconds(60));
-  drain_events(farm, cursor);
+  drain_events(log, cursor);
 
   gs::proto::Central* central = farm.active_central();
   std::printf("\nFinal state: %zu/%zu adapters alive, farm %s\n",

@@ -52,11 +52,12 @@ int main(int argc, char** argv) {
 
   // Two customer domains, a pool of back ends initially split 4/4.
   gs::farm::Farm farm(sim, gs::farm::FarmSpec::oceano(2, 2, 4), params, 2001);
+  gs::proto::EventLog events(farm.event_bus());
   farm.start();
   std::printf("Stabilizing the hosting farm...\n");
   if (!gs::farm::run_until_gsc_stable(farm, gs::sim::seconds(300))) return 1;
   gs::proto::Central* central = farm.active_central();
-  farm.clear_events();
+  events.clear();  // audit only what happens after stabilization
 
   // Track which domain each back end currently serves.
   std::map<std::size_t, int> domain_of_backend;
@@ -113,7 +114,7 @@ int main(int argc, char** argv) {
   sim.run_until(sim.now() + gs::sim::seconds(120));
   gs::farm::run_until_converged(farm, sim.now() + gs::sim::seconds(120));
   std::size_t completed = 0, spurious_failures = 0;
-  for (const auto& e : farm.events()) {
+  for (const auto& e : events) {
     if (e.kind == gs::proto::FarmEvent::Kind::kMoveCompleted) ++completed;
     if (e.kind == gs::proto::FarmEvent::Kind::kAdapterFailed)
       ++spurious_failures;

@@ -2,10 +2,15 @@
 // and print what GulfStream Central learned about the topology.
 //
 //   ./quickstart [--nodes=...] [--domains=...] [--verbose]
+//                [--trace=out.jsonl]
+//
+// With --trace=PATH every protocol trace record (beacon, election, 2PC,
+// reports, ...) is streamed to PATH as JSON Lines while the run progresses.
 #include <cstdio>
 
 #include "farm/farm.h"
 #include "farm/scenario.h"
+#include "obs/jsonl_sink.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -19,6 +24,9 @@ int main(int argc, char** argv) {
   const int backs = static_cast<int>(flags.get_int("backs", 2,
                                                    "back ends per domain"));
   const bool verbose = flags.get_bool("verbose", false, "protocol trace");
+  const std::string trace_path =
+      flags.get_string("trace", "", "stream protocol trace records to this "
+                                    "JSONL file");
   if (flags.help_requested()) {
     flags.print_usage();
     return 0;
@@ -38,12 +46,28 @@ int main(int argc, char** argv) {
   gs::farm::Farm farm(sim, gs::farm::FarmSpec::oceano(domains, fronts, backs),
                       params, /*seed=*/2001);
 
-  // Subscribe to GulfStream Central's event stream.
+  // Subscribe to the farm-wide telemetry buses: a chronological event log,
+  // a phase-transition summary, and (optionally) a streaming JSONL sink.
+  gs::proto::EventLog events(farm.event_bus());
+  gs::obs::Recorder<gs::obs::TraceRecord> phases(farm.trace_bus(),
+                                                 gs::obs::kPhaseMask);
+  gs::obs::JsonlSink sink;
+  gs::obs::Subscription tap;
+  if (!trace_path.empty()) {
+    if (!sink.open(trace_path)) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    tap = sink.tap(farm.trace_bus());
+    farm.fabric().enable_load_sampling(gs::sim::seconds(5));
+  }
+
   std::printf("\n-- farm events --------------------------------------\n");
   farm.start();
 
   auto stable = gs::farm::run_until_gsc_stable(farm, gs::sim::seconds(300));
-  for (const gs::proto::FarmEvent& event : farm.events())
+  for (const gs::proto::FarmEvent& event : events)
     std::printf("  t=%6.2fs  %s\n", gs::sim::to_seconds(event.time),
                 std::string(to_string(event.kind)).c_str());
 
@@ -55,7 +79,35 @@ int main(int argc, char** argv) {
               "(T_b + T_AMG + T_GSC + delta, Equation 1)\n",
               gs::sim::to_seconds(*stable));
 
+  // The protocol storyline that led there: beacon -> election -> 2PC
+  // commit -> views installed -> stable.
+  std::printf("\n-- protocol phases (from the trace bus) ---------------\n");
+  using gs::obs::TraceKind;
+  const TraceKind story[] = {TraceKind::kBeaconSent, TraceKind::kBeaconHeard,
+                             TraceKind::kElectionDeferred,
+                             TraceKind::kElectionWon, TraceKind::kTwoPcPrepare,
+                             TraceKind::kTwoPcCommit,
+                             TraceKind::kViewInstalled};
+  for (TraceKind kind : story) {
+    gs::sim::SimTime first = -1;
+    for (const gs::obs::TraceRecord& r : phases) {
+      if (r.kind == kind) {
+        first = r.time;
+        break;
+      }
+    }
+    if (first < 0) continue;
+    std::printf("  %-18s x%-5zu first at t=%6.2fs\n",
+                std::string(to_string(kind)).c_str(), phases.count(kind),
+                gs::sim::to_seconds(first));
+  }
+
   gs::proto::Central* central = farm.active_central();
+  if (central == nullptr) {
+    std::printf("no active GulfStream Central (admin AMG has no leader with "
+                "an eligible node) — cannot print the discovered topology\n");
+    return 1;
+  }
   std::printf("\n-- discovered topology (GulfStream Central's view) ----\n");
   std::printf("GSC: %s  |  %zu adapters across %zu adapter membership "
               "groups\n\n",
@@ -79,5 +131,10 @@ int main(int argc, char** argv) {
   for (const auto& finding : findings)
     std::printf("  [%s] %s\n", std::string(to_string(finding.kind)).c_str(),
                 finding.detail.c_str());
+
+  if (sink.is_open())
+    std::printf("\nWrote %llu trace records to %s\n",
+                static_cast<unsigned long long>(sink.lines_written()),
+                trace_path.c_str());
   return 0;
 }

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   gs::farm::FarmSpec spec = gs::farm::FarmSpec::uniform(nodes, adapters);
   spec.switch_ports = 3 * adapters;  // a few nodes per switch
   gs::farm::Farm farm(sim, spec, params, 4);
+  gs::proto::EventLog events(farm.event_bus());
   farm.start();
   if (!gs::farm::run_until_gsc_stable(farm, gs::sim::seconds(300))) {
     std::fprintf(stderr, "farm never stabilized\n");
@@ -92,11 +93,11 @@ int main(int argc, char** argv) {
   const gs::sim::SimTime end =
       (parsed.actions.empty() ? sim.now() : parsed.actions.back().at) +
       gs::sim::seconds(horizon);
-  std::size_t cursor = farm.events().size();
+  std::size_t cursor = events.size();
   while (sim.now() < end) {
     sim.run_until(sim.now() + gs::sim::seconds(1));
-    for (; cursor < farm.events().size(); ++cursor) {
-      const auto& e = farm.events()[cursor];
+    for (; cursor < events.size(); ++cursor) {
+      const auto& e = events.records()[cursor];
       std::printf("  t=%7.2fs  %-20s %s %s\n", gs::sim::to_seconds(e.time),
                   std::string(to_string(e.kind)).c_str(),
                   e.ip.is_unspecified() ? "" : e.ip.to_string().c_str(),

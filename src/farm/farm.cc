@@ -24,7 +24,11 @@ util::IpAddress make_ip(util::VlanId vlan, std::uint32_t host) {
 Farm::Farm(sim::Simulator& sim, const FarmSpec& spec,
            const proto::Params& params, std::uint64_t seed)
     : sim_(sim), spec_(spec), params_(params), rng_(seed) {
+  // Every layer built below captures a reference to params_, so pointing it
+  // at the farm-wide trace bus here wires them all at once.
+  params_.trace = &trace_bus_;
   fabric_ = std::make_unique<net::Fabric>(sim_, rng_.fork(0xFAB));
+  fabric_->set_trace(&trace_bus_);
   console_ = std::make_unique<net::SwitchConsole>(*fabric_);
   current_switch_ = fabric_->add_switch(
       static_cast<std::size_t>(spec_.switch_ports));
@@ -121,8 +125,8 @@ void Farm::finish_node(std::size_t index, NodeRole role, util::DomainId domain,
   if (eligible) {
     auto central =
         std::make_unique<proto::Central>(sim_, params_, &db_, console_.get());
-    central->set_event_callback(
-        [this](const proto::FarmEvent& event) { events_.push_back(event); });
+    central_taps_.push_back(central->event_bus().subscribe(
+        [this](const proto::FarmEvent& event) { event_bus_.publish(event); }));
     daemons_.back()->set_central(central.get());
     centrals_.push_back(std::move(central));
   } else {
@@ -303,12 +307,6 @@ proto::AdapterProtocol* Farm::protocol_for(util::AdapterId id) {
   auto it = adapter_owner_.find(id);
   if (it == adapter_owner_.end()) return nullptr;
   return &daemons_[it->second.first]->protocol(it->second.second);
-}
-
-std::size_t Farm::event_count(proto::FarmEvent::Kind kind) const {
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(),
-                    [kind](const proto::FarmEvent& e) { return e.kind == kind; }));
 }
 
 std::vector<util::VlanId> Farm::vlans() const {

@@ -5,7 +5,8 @@
 // receive the highest administrative IPs so a central-eligible node wins
 // the admin-AMG election, per §2.2), populates the configuration database,
 // instantiates one GsDaemon per node and one Central per eligible node, and
-// wires every Central's events into a single chronological log.
+// forwards every Central's events onto one farm-wide EventBus (alongside a
+// farm-wide TraceBus every protocol layer publishes records to).
 #pragma once
 
 #include <memory>
@@ -18,6 +19,7 @@
 #include "gs/gulfstream.h"
 #include "net/console.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -64,12 +66,14 @@ class Farm {
   [[nodiscard]] proto::Central* active_central();
   [[nodiscard]] proto::AdapterProtocol* protocol_for(util::AdapterId id);
 
-  // Chronological log of every FarmEvent any Central emitted.
-  [[nodiscard]] const std::vector<proto::FarmEvent>& events() const {
-    return events_;
-  }
-  [[nodiscard]] std::size_t event_count(proto::FarmEvent::Kind kind) const;
-  void clear_events() { events_.clear(); }
+  // --- Telemetry --------------------------------------------------------------
+  // Farm-wide event stream: every FarmEvent any Central emits is forwarded
+  // here, in chronological (publish) order. Subscribe, or attach a
+  // proto::EventLog, to consume it.
+  [[nodiscard]] proto::EventBus& event_bus() { return event_bus_; }
+  // Farm-wide trace stream: protocol phase transitions, failure-detection
+  // steps, report traffic, Central decisions, and wire-load samples.
+  [[nodiscard]] obs::TraceBus& trace_bus() { return trace_bus_; }
 
   // --- Ground-truth convergence checks ----------------------------------------------
   // True when, for every VLAN, the fully healthy adapters wired to it form
@@ -104,10 +108,15 @@ class Farm {
   std::unique_ptr<net::SwitchConsole> console_;
   config::ConfigDb db_;
 
+  // Buses outlive the daemons/centrals that publish into them (declared
+  // first so they are destroyed last).
+  proto::EventBus event_bus_;
+  obs::TraceBus trace_bus_;
+
   std::vector<NodeInfo> nodes_;
   std::vector<std::unique_ptr<proto::GsDaemon>> daemons_;
   std::vector<std::unique_ptr<proto::Central>> centrals_;  // sparse by node
-  std::vector<proto::FarmEvent> events_;
+  std::vector<obs::Subscription> central_taps_;  // Central -> farm event bus
   std::unordered_map<util::AdapterId, std::pair<std::size_t, std::size_t>>
       adapter_owner_;  // adapter -> (node index, adapter index)
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -27,6 +28,12 @@ AdapterProtocol::AdapterProtocol(sim::Simulator& sim, const Params& params,
       net_(std::move(net)),
       hooks_(std::move(hooks)),
       rng_(rng) {}
+
+void AdapterProtocol::trace(obs::TraceKind kind, util::IpAddress peer,
+                            std::uint64_t a, std::uint64_t b) {
+  obs::emit_trace(params_.trace, kind, sim_.now(), self_.ip, peer, a, b, {},
+                  self_.node);
+}
 
 void AdapterProtocol::start() {
   GS_CHECK(state_ == AdapterState::kIdle);
@@ -93,6 +100,7 @@ void AdapterProtocol::beacon_tick() {
   b.group_size = static_cast<std::uint32_t>(committed_.size());
   if (net_.beacon_multicast) net_.beacon_multicast(to_frame(b));
   ++stats_.beacons_sent;
+  trace(obs::TraceKind::kBeaconSent, {}, b.view, b.group_size);
   beacon_send_timer_ =
       sim_.after(params_.beacon_interval, [this] { beacon_tick(); });
 }
@@ -108,6 +116,7 @@ void AdapterProtocol::end_beacon_phase() {
     // beaconers (non-leaders) become our members; committed groups we
     // overheard are led by lower IPs and will merge into us via
     // JoinRequest once their leaders hear our leader beacons.
+    trace(obs::TraceKind::kElectionWon, {}, heard_.size());
     for (const auto& [ip, heard] : heard_)
       if (!heard.is_leader) pending_adds_[ip] = heard.info;
     if (pending_adds_.empty()) {
@@ -120,6 +129,7 @@ void AdapterProtocol::end_beacon_phase() {
   }
 
   // Defer AMG formation and leadership to the highest IP heard (§2.1).
+  trace(obs::TraceKind::kElectionDeferred, best);
   state_ = AdapterState::kWaitingForLeader;
   beacon_send_timer_.cancel();
   defer_timer_ = sim_.after(params_.defer_timeout, [this] { defer_expired(); });
@@ -243,6 +253,8 @@ void AdapterProtocol::install(MembershipView view) {
 
   const bool lead = committed_.leader().ip == self_ip();
   state_ = lead ? AdapterState::kLeader : AdapterState::kMember;
+  trace(obs::TraceKind::kViewInstalled, committed_.leader().ip,
+        committed_.view(), committed_.size());
   clear_member_duty_state();
 
   if (lead) {
@@ -347,6 +359,8 @@ void AdapterProtocol::propose() {
   prepare.members = proposal.membership.members();
   const auto frame = to_frame(prepare);
   for (util::IpAddress ip : proposal.awaiting) unicast(ip, frame);
+  trace(obs::TraceKind::kTwoPcPrepare, {}, proposal.view,
+        proposal.awaiting.size());
 
   proposal_ = std::move(proposal);
   proposal_->timer =
@@ -452,6 +466,7 @@ void AdapterProtocol::do_commit() {
   const auto frame = to_frame(commit);
   for (const MemberInfo& m : membership.members())
     if (m.ip != self_ip()) unicast(m.ip, frame);
+  trace(obs::TraceKind::kTwoPcCommit, {}, commit.view, membership.size());
 
   install(std::move(membership));
   if (dirty_) {
@@ -474,6 +489,8 @@ void AdapterProtocol::handle_beacon(util::IpAddress src, const Beacon& msg) {
       heard.is_leader = msg.is_leader;
       heard.view = msg.view;
       heard_[msg.self.ip] = heard;
+      trace(obs::TraceKind::kBeaconHeard, msg.self.ip, msg.view,
+            msg.is_leader ? 1 : 0);
       return;
     }
     case AdapterState::kLeader:
@@ -513,6 +530,7 @@ void AdapterProtocol::maybe_send_join(util::IpAddress higher_leader) {
   join_target_ = higher_leader;
   last_join_sent_ = now;
   ++stats_.joins_requested;
+  trace(obs::TraceKind::kJoinRequested, higher_leader);
 
   JoinRequest join{};
   join.view = committed_.empty() ? 0 : committed_.view();
@@ -576,6 +594,7 @@ void AdapterProtocol::start_verification(util::IpAddress suspect) {
   probe.nonce = s.probe_nonce;
   unicast(suspect, to_frame(probe));
   ++stats_.probes_sent;
+  trace(obs::TraceKind::kProbeSent, suspect);
   --s.probes_left;
   s.probe_timer = sim_.after(params_.probe_timeout,
                              [this, suspect] { probe_timeout(suspect); });
@@ -590,6 +609,7 @@ void AdapterProtocol::probe_timeout(util::IpAddress suspect) {
     probe.nonce = s.probe_nonce;
     unicast(suspect, to_frame(probe));
     ++stats_.probes_sent;
+    trace(obs::TraceKind::kProbeSent, suspect);
     --s.probes_left;
     s.probe_timer = sim_.after(params_.probe_timeout,
                                [this, suspect] { probe_timeout(suspect); });
@@ -601,6 +621,7 @@ void AdapterProtocol::probe_timeout(util::IpAddress suspect) {
 void AdapterProtocol::declare_dead(util::IpAddress ip) {
   GS_LOG(kDebug, "amg") << self_ip() << " declares " << ip << " dead";
   ++stats_.deaths_declared;
+  trace(obs::TraceKind::kDeathDeclared, ip);
   auto it = suspicions_.find(ip);
   if (it != suspicions_.end()) {
     it->second.probe_timer.cancel();
@@ -675,6 +696,7 @@ void AdapterProtocol::report_acked(std::uint64_t seq) {
 void AdapterProtocol::raise_suspicion(util::IpAddress suspect) {
   ++stats_.suspicions_raised;
   if (suspect == self_ip()) return;
+  trace(obs::TraceKind::kSuspicionRaised, suspect);
 
   if (state_ == AdapterState::kLeader) {
     leader_handle_suspicion(suspect, self_ip());
@@ -720,6 +742,7 @@ void AdapterProtocol::send_suspect(util::IpAddress suspect,
   msg.suspect = suspect;
   unicast(to, to_frame(msg));
   ++stats_.suspects_sent;
+  trace(obs::TraceKind::kSuspectSent, suspect);
 }
 
 void AdapterProtocol::suspect_retry_expired(util::IpAddress suspect) {
@@ -733,6 +756,7 @@ void AdapterProtocol::suspect_retry_expired(util::IpAddress suspect) {
     msg.suspect = suspect;
     unicast(out.to, to_frame(msg));
     ++stats_.suspects_sent;
+    trace(obs::TraceKind::kSuspectSent, suspect);
     out.timer = sim_.after(params_.suspect_retry,
                            [this, suspect] { suspect_retry_expired(suspect); });
     return;
@@ -791,6 +815,7 @@ void AdapterProtocol::do_takeover() {
   takeover_.reset();
   if (state_ != AdapterState::kMember || committed_.empty()) return;
   ++stats_.takeovers;
+  trace(obs::TraceKind::kTakeover, leader_ip());
   GS_LOG(kDebug, "amg") << self_ip() << " taking over leadership from "
                         << leader_ip();
 
@@ -816,6 +841,7 @@ void AdapterProtocol::do_takeover() {
 
 void AdapterProtocol::reset_to_discovery() {
   ++stats_.resets;
+  trace(obs::TraceKind::kReset);
   GS_LOG(kDebug, "amg") << self_ip() << " resetting to discovery";
   stop_fd();
   clear_member_duty_state();
@@ -988,6 +1014,7 @@ void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
       for (auto it = suspicions_.begin(); it != suspicions_.end(); ++it) {
         if (it->second.probing && it->second.probe_nonce == msg->nonce) {
           ++stats_.probes_refuted;
+          trace(obs::TraceKind::kProbeRefuted, it->first);
           it->second.probe_timer.cancel();
           suspicions_.erase(it);
           return;

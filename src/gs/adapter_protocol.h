@@ -124,6 +124,11 @@ class AdapterProtocol {
   void mark_need_full() { need_full_ = true; }
 
  private:
+  // Emits one protocol-phase trace record onto params_.trace (no-op when
+  // unwired or unobserved).
+  void trace(obs::TraceKind kind, util::IpAddress peer = {},
+             std::uint64_t a = 0, std::uint64_t b = 0);
+
   // --- Discovery ------------------------------------------------------------
   void begin_beaconing();
   void beacon_tick();

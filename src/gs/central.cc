@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -32,12 +33,21 @@ Central::Central(sim::Simulator& sim, const Params& params,
                  config::ConfigDb* db, net::SwitchConsole* console)
     : sim_(sim), params_(params), db_(db), console_(console) {}
 
+void Central::set_event_callback(EventCallback cb) {
+  legacy_subscription_ = event_bus_.subscribe(
+      [cb = std::move(cb)](const FarmEvent& event) { cb(event); });
+}
+
 void Central::emit(FarmEvent event) {
   event.time = sim_.now();
   event.source = self_ip_;
   GS_LOG(kDebug, "gsc") << to_string(event.kind)
                         << (event.detail.empty() ? "" : ": ") << event.detail;
-  if (on_event_) on_event_(event);
+  event_bus_.publish(event);
+}
+
+void Central::trace(obs::TraceKind kind, util::IpAddress ip, std::uint64_t a) {
+  obs::emit_trace(params_.trace, kind, sim_.now(), self_ip_, ip, a);
 }
 
 void Central::clear_all_state() {
@@ -304,6 +314,7 @@ void Central::mark_failed(util::IpAddress ip) {
 
   // Hold the external notification for the move window so a prompt rejoin
   // elsewhere can be recognized as a move rather than a death.
+  trace(obs::TraceKind::kFailureHeld, ip);
   auto& timer = held_failures_[ip];
   timer.cancel();
   timer = sim_.after(params_.move_window, [this, ip] { commit_failure(ip); });
@@ -313,6 +324,7 @@ void Central::commit_failure(util::IpAddress ip) {
   held_failures_.erase(ip);
   auto it = adapters_.find(ip);
   if (it == adapters_.end() || it->second.alive) return;
+  trace(obs::TraceKind::kFailureCommitted, ip);
   FarmEvent event{};
   event.kind = FarmEvent::Kind::kAdapterFailed;
   event.ip = ip;
@@ -510,6 +522,7 @@ std::vector<config::Inconsistency> Central::verify_now() {
   std::erase_if(findings, [this](const config::Inconsistency& f) {
     return quarantined_.count(f.ip) > 0;
   });
+  trace(obs::TraceKind::kVerifyDecision, {}, findings.size());
   for (const config::Inconsistency& finding : findings) {
     FarmEvent event{};
     event.kind = FarmEvent::Kind::kInconsistencyFound;

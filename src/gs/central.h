@@ -47,7 +47,14 @@ class Central {
   Central(const Central&) = delete;
   Central& operator=(const Central&) = delete;
 
-  void set_event_callback(EventCallback cb) { on_event_ = std::move(cb); }
+  // Dissemination bus (§2.2): subscribe for farm events; any number of
+  // subscribers, each holding an RAII obs::Subscription.
+  [[nodiscard]] EventBus& event_bus() { return event_bus_; }
+
+  // Deprecated shim over event_bus().subscribe(); replaces (not stacks) any
+  // previous callback. Will be removed next release.
+  [[deprecated("subscribe on event_bus() instead")]] void set_event_callback(
+      EventCallback cb);
 
   void activate(util::IpAddress self_admin_ip);
   void deactivate();
@@ -185,6 +192,8 @@ class Central {
   };
 
   void emit(FarmEvent event);
+  void trace(obs::TraceKind kind, util::IpAddress ip = {},
+             std::uint64_t a = 0);
   void arm_stability_timer();
   void attest_leader(const MemberInfo& leader);
   void claim_member(const MemberInfo& m, util::IpAddress leader);
@@ -201,7 +210,8 @@ class Central {
   const Params& params_;
   config::ConfigDb* db_;
   net::SwitchConsole* console_;
-  EventCallback on_event_;
+  EventBus event_bus_;
+  obs::Subscription legacy_subscription_;
 
   bool active_ = false;
   util::IpAddress self_ip_;

@@ -1,5 +1,6 @@
 #include "gs/daemon.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "wire/frame.h"
@@ -178,6 +179,11 @@ void GsDaemon::handle_report_ack(const ReportAck& ack) {
     if (proto.self().ip != ack.leader) continue;
     if (!outstanding_[i] || outstanding_[i]->seq != ack.seq) return;
     outstanding_[i].reset();
+    obs::emit_trace(params_.trace,
+                    ack.need_full ? obs::TraceKind::kReportNeedFull
+                                  : obs::TraceKind::kReportAcked,
+                    sim_.now(), proto.self().ip, {}, ack.seq, 0, {},
+                    config_.node);
     if (ack.need_full) {
       proto.mark_need_full();
       report_pending(i);
@@ -208,6 +214,9 @@ void GsDaemon::try_send_report(std::size_t index) {
 
   const util::AdapterId admin_id = adapter_ids_[config_.admin_adapter_index];
   ++reports_sent_;
+  obs::emit_trace(params_.trace, obs::TraceKind::kReportSent, sim_.now(),
+                  protocols_[index]->self().ip, gsc, outstanding_[index]->seq,
+                  outstanding_[index]->report.full ? 1 : 0, {}, config_.node);
   if (gsc == fabric_.adapter(admin_id).ip()) {
     // This node hosts GulfStream Central: deliver without the network.
     if (central_ != nullptr && central_->active()) {
@@ -236,6 +245,9 @@ void GsDaemon::report_retry_tick() {
       continue;
     }
     any = true;
+    obs::emit_trace(params_.trace, obs::TraceKind::kReportRetry, sim_.now(),
+                    protocols_[i]->self().ip, gsc_ip(), outstanding_[i]->seq,
+                    0, {}, config_.node);
     try_send_report(i);
   }
   if (any) arm_report_retry();

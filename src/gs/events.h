@@ -2,13 +2,15 @@
 //
 // "GulfStream Central coordinates the dissemination of failure notifications
 // to other interested administrative nodes" (§2.2). In this library the
-// dissemination bus is a callback; examples and benches subscribe to it.
+// dissemination bus is an obs::Bus: any number of subscribers, each with an
+// RAII Subscription and an optional per-Kind filter mask.
 #pragma once
 
 #include <functional>
 #include <string>
 #include <string_view>
 
+#include "obs/bus.h"
 #include "sim/time.h"
 #include "util/ids.h"
 #include "util/ip.h"
@@ -46,8 +48,24 @@ struct FarmEvent {
   std::string detail;
 };
 
+static_assert(static_cast<unsigned>(FarmEvent::Kind::kAdapterQuarantined) < 64,
+              "FarmEvent::Kind must fit a 64-bit subscription mask");
+
 [[nodiscard]] std::string_view to_string(FarmEvent::Kind kind);
 
+// Multi-subscriber dissemination bus; subscribe(...) returns an RAII
+// Subscription. EventLog replaces the old hand-wired chronological vector.
+using EventBus = obs::Bus<FarmEvent>;
+using EventLog = obs::Recorder<FarmEvent>;
+
+inline constexpr std::uint64_t kAllEvents = obs::kAllKinds;
+
+[[nodiscard]] constexpr std::uint64_t event_bit(FarmEvent::Kind kind) {
+  return obs::kind_bit(kind);
+}
+
+// Deprecated single-callback signature, kept one release for the
+// set_event_callback() shim.
 using EventCallback = std::function<void(const FarmEvent&)>;
 
 }  // namespace gs::proto

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "gs/fd_impl.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -154,6 +155,8 @@ void HeartbeatFd::monitor_expired(util::IpAddress peer) {
     arm_monitor(peer, /*after_suspicion=*/false);
     return;
   }
+  obs::emit_trace(ctx_.params->trace, obs::TraceKind::kHeartbeatMiss,
+                  ctx_.sim->now(), ctx_.self, peer);
   ctx_.suspect(peer);
   arm_monitor(peer, /*after_suspicion=*/true);
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "obs/fwd.h"
 #include "sim/time.h"
 
 namespace gs::proto {
@@ -83,6 +84,12 @@ struct Params {
   sim::SimDuration beacon_setup_max = sim::seconds(2);
   // Per-message handling delay (exponential mean); models thread scheduling.
   sim::SimDuration proc_delay_mean = sim::milliseconds(2);
+
+  // --- Telemetry ------------------------------------------------------------
+  // Non-owning; farm::Farm (or the embedder) points this at its TraceBus so
+  // every protocol layer sharing these Params emits onto the same bus.
+  // Null disables tracing at one-branch cost per would-be record.
+  obs::TraceBus* trace = nullptr;
 };
 
 }  // namespace gs::proto

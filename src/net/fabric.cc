@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -277,6 +278,32 @@ void Fabric::reset_load_accounting() {
   frames_by_type_.clear();
   total_frames_sent_ = 0;
   total_bytes_sent_ = 0;
+}
+
+void Fabric::enable_load_sampling(sim::SimDuration period) {
+  GS_CHECK(period > 0);
+  load_sample_period_ = period;
+  load_sample_timer_.cancel();
+  load_sample_timer_ =
+      sim_.after(load_sample_period_, [this] { sample_loads(); });
+}
+
+void Fabric::sample_loads() {
+  if (trace_ != nullptr &&
+      trace_->wants_kind(obs::TraceKind::kWireSample)) {
+    for (const auto& [vlan, load] : loads_) {
+      obs::TraceRecord record;
+      record.kind = obs::TraceKind::kWireSample;
+      record.severity = obs::Severity::kDebug;
+      record.time = sim_.now();
+      record.vlan = vlan;
+      record.a = load.frames_sent;
+      record.b = load.bytes_sent;
+      trace_->publish(record);
+    }
+  }
+  load_sample_timer_ =
+      sim_.after(load_sample_period_, [this] { sample_loads(); });
 }
 
 }  // namespace gs::net

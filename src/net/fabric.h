@@ -23,6 +23,7 @@
 #include "net/datagram.h"
 #include "net/nic_switch.h"
 #include "net/segment.h"
+#include "obs/fwd.h"
 #include "sim/simulator.h"
 #include "util/ids.h"
 #include "util/rng.h"
@@ -138,6 +139,15 @@ class Fabric {
   }
   void reset_load_accounting();
 
+  // --- Telemetry -----------------------------------------------------------
+
+  // Points wire-load sampling at a trace bus (non-owning; null disables).
+  void set_trace(obs::TraceBus* bus) { trace_ = bus; }
+
+  // Publishes one kWireSample record per VLAN every `period` of simulated
+  // time, for as long as the simulation keeps running.
+  void enable_load_sampling(sim::SimDuration period);
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
@@ -150,6 +160,7 @@ class Fabric {
                      sim::SimDuration latency);
   [[nodiscard]] std::uint16_t peek_frame_type(
       const std::vector<std::uint8_t>& bytes) const;
+  void sample_loads();
 
   sim::Simulator& sim_;
   util::Rng rng_;
@@ -166,6 +177,10 @@ class Fabric {
   std::map<std::uint16_t, std::uint64_t> frames_by_type_;
   std::uint64_t total_frames_sent_ = 0;
   std::uint64_t total_bytes_sent_ = 0;
+
+  obs::TraceBus* trace_ = nullptr;
+  sim::SimDuration load_sample_period_ = 0;
+  sim::Timer load_sample_timer_;
 };
 
 }  // namespace gs::net

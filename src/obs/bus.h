@@ -1,0 +1,252 @@
+// Multi-subscriber event/trace bus.
+//
+// Bus<Record> generalizes the old single-std::function callback: any number
+// of subscribers, each with a per-kind bit-mask filter (and optionally an
+// arbitrary predicate, e.g. to select one source), each holding an RAII
+// Subscription that unsubscribes on destruction. Design constraints, in
+// order:
+//  * negligible cost with no subscriber: publish() tests the record's kind
+//    bit against the OR of every subscriber's mask — one load, one AND —
+//    before anything else happens; emitters gate record *construction* on
+//    wants() so an unobserved record costs nothing at all;
+//  * dangling-safety: a Subscription holds a weak_ptr to the bus state, so
+//    either side may die first in any order;
+//  * reentrancy: a callback may subscribe or unsubscribe (including itself)
+//    mid-publish; removal is deferred until the publish loop unwinds.
+//
+// Not thread-safe by design: buses live inside one deterministic
+// simulation, like everything else in this repository.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace gs::obs {
+
+// Mask accepting every kind.
+inline constexpr std::uint64_t kAllKinds = ~std::uint64_t{0};
+
+// One bit per enum value. Record kind enums stay under 64 entries by
+// design; a static_assert at each enum's definition site enforces it.
+template <typename Kind>
+[[nodiscard]] constexpr std::uint64_t kind_bit(Kind kind) {
+  return std::uint64_t{1} << static_cast<unsigned>(kind);
+}
+
+namespace internal {
+class SubscriberSet {
+ public:
+  virtual ~SubscriberSet() = default;
+  virtual void unsubscribe(std::uint64_t id) = 0;
+};
+}  // namespace internal
+
+// RAII unsubscribe token. Movable, not copyable; default-constructed means
+// "not subscribed". Outliving the bus is fine: reset() becomes a no-op.
+class Subscription {
+ public:
+  Subscription() = default;
+  Subscription(std::weak_ptr<internal::SubscriberSet> owner, std::uint64_t id)
+      : owner_(std::move(owner)), id_(id) {}
+
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  Subscription(Subscription&& other) noexcept
+      : owner_(std::move(other.owner_)), id_(other.id_) {
+    other.owner_.reset();
+  }
+  Subscription& operator=(Subscription&& other) noexcept {
+    if (this != &other) {
+      reset();
+      owner_ = std::move(other.owner_);
+      id_ = other.id_;
+      other.owner_.reset();
+    }
+    return *this;
+  }
+
+  ~Subscription() { reset(); }
+
+  // Unsubscribes immediately (safe if the bus died first).
+  void reset() {
+    if (auto owner = owner_.lock()) owner->unsubscribe(id_);
+    owner_.reset();
+  }
+
+  // True while the subscription is live on a live bus.
+  [[nodiscard]] bool active() const { return !owner_.expired(); }
+
+ private:
+  std::weak_ptr<internal::SubscriberSet> owner_;
+  std::uint64_t id_ = 0;
+};
+
+// Record must expose a `kind` member of an enum type with < 64 values.
+template <typename Record>
+class Bus {
+ public:
+  using Callback = std::function<void(const Record&)>;
+  using Predicate = std::function<bool(const Record&)>;
+
+  Bus() : state_(std::make_shared<State>()) {}
+
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  [[nodiscard]] Subscription subscribe(Callback callback) {
+    return subscribe(kAllKinds, Predicate(), std::move(callback));
+  }
+
+  [[nodiscard]] Subscription subscribe(std::uint64_t kind_mask,
+                                       Callback callback) {
+    return subscribe(kind_mask, Predicate(), std::move(callback));
+  }
+
+  // Full form: the callback fires for records whose kind bit is in
+  // `kind_mask` AND that satisfy `predicate` (when given) — the predicate
+  // carries filters a bit-mask cannot, e.g. "only from this source".
+  [[nodiscard]] Subscription subscribe(std::uint64_t kind_mask,
+                                       Predicate predicate,
+                                       Callback callback) {
+    State& state = *state_;
+    Entry entry;
+    entry.id = state.next_id++;
+    entry.mask = kind_mask;
+    entry.predicate = std::move(predicate);
+    entry.callback = std::move(callback);
+    const std::uint64_t id = entry.id;
+    state.entries.push_back(std::move(entry));
+    state.combined_mask |= kind_mask;
+    return Subscription(state_, id);
+  }
+
+  // Does any subscriber want this kind bit? One load and one AND — the
+  // entire cost of an unobserved publish. Emitters should gate record
+  // construction on this.
+  [[nodiscard]] bool wants(std::uint64_t bit) const {
+    return (state_->combined_mask & bit) != 0;
+  }
+  template <typename Kind>
+  [[nodiscard]] bool wants_kind(Kind kind) const {
+    return wants(kind_bit(kind));
+  }
+
+  [[nodiscard]] std::size_t subscriber_count() const {
+    std::size_t n = 0;
+    for (const Entry& entry : state_->entries)
+      if (!entry.dead) ++n;
+    return n;
+  }
+  [[nodiscard]] bool has_subscribers() const {
+    return subscriber_count() > 0;
+  }
+
+  void publish(const Record& record) const {
+    State& state = *state_;
+    const std::uint64_t bit = kind_bit(record.kind);
+    if ((state.combined_mask & bit) == 0) return;
+    ++state.publish_depth;
+    // Index loop over the pre-publish size: callbacks may subscribe
+    // (growing the vector — new subscribers see only later records) or
+    // unsubscribe (flagging entries dead) while we iterate.
+    const std::size_t n = state.entries.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state.entries[i].dead || (state.entries[i].mask & bit) == 0)
+        continue;
+      if (state.entries[i].predicate && !state.entries[i].predicate(record))
+        continue;
+      // Copy the callback: a subscribe() inside it may reallocate entries.
+      Callback callback = state.entries[i].callback;
+      callback(record);
+    }
+    if (--state.publish_depth == 0 && state.has_dead) state.sweep();
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::uint64_t mask = 0;
+    Predicate predicate;
+    Callback callback;
+    bool dead = false;
+  };
+
+  struct State final : internal::SubscriberSet {
+    std::vector<Entry> entries;
+    std::uint64_t combined_mask = 0;
+    std::uint64_t next_id = 1;
+    int publish_depth = 0;
+    bool has_dead = false;
+
+    void unsubscribe(std::uint64_t id) override {
+      for (Entry& entry : entries) {
+        if (entry.id != id) continue;
+        entry.dead = true;
+        if (publish_depth > 0)
+          has_dead = true;  // erased once the publish loop unwinds
+        break;
+      }
+      if (publish_depth == 0) sweep();
+    }
+
+    void sweep() {
+      std::erase_if(entries, [](const Entry& entry) { return entry.dead; });
+      has_dead = false;
+      combined_mask = 0;
+      for (const Entry& entry : entries) combined_mask |= entry.mask;
+    }
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+// Accumulates every record its subscription admits, in publish order — the
+// migration target for consumers of the old hand-wired chronological log.
+// Pin it in place after attach(): the subscription captures `this`.
+template <typename Record>
+class Recorder {
+ public:
+  Recorder() = default;
+  explicit Recorder(Bus<Record>& bus, std::uint64_t kind_mask = kAllKinds) {
+    attach(bus, kind_mask);
+  }
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // (Re)subscribes to `bus`, dropping any previous subscription. Already
+  // accumulated records are kept; clear() separately if starting over.
+  void attach(Bus<Record>& bus, std::uint64_t kind_mask = kAllKinds) {
+    subscription_ = bus.subscribe(kind_mask, [this](const Record& record) {
+      records_.push_back(record);
+    });
+  }
+  void detach() { subscription_.reset(); }
+  [[nodiscard]] bool attached() const { return subscription_.active(); }
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] auto begin() const { return records_.begin(); }
+  [[nodiscard]] auto end() const { return records_.end(); }
+
+  template <typename Kind>
+  [[nodiscard]] std::size_t count(Kind kind) const {
+    std::size_t n = 0;
+    for (const Record& record : records_)
+      if (record.kind == kind) ++n;
+    return n;
+  }
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<Record> records_;
+  Subscription subscription_;
+};
+
+}  // namespace gs::obs

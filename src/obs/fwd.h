@@ -1,0 +1,19 @@
+// Forward declarations for the telemetry layer, so low-level headers
+// (proto::Params, net::Fabric) can carry a TraceBus* without pulling in the
+// full obs headers.
+#pragma once
+
+#include <cstdint>
+
+namespace gs::obs {
+
+template <typename Record>
+class Bus;
+
+enum class TraceKind : std::uint8_t;
+enum class Severity : std::uint8_t;
+struct TraceRecord;
+
+using TraceBus = Bus<TraceRecord>;
+
+}  // namespace gs::obs

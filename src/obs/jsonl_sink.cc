@@ -1,0 +1,70 @@
+#include "obs/jsonl_sink.h"
+
+#include <cstdio>
+
+#include "util/stats.h"
+
+namespace gs::obs {
+
+bool JsonlSink::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) return false;
+  path_ = path;
+  lines_ = 0;
+  return true;
+}
+
+void JsonlSink::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_.clear();
+}
+
+void JsonlSink::write_line(std::string_view json) {
+  if (file_ == nullptr) return;
+  std::fwrite(json.data(), 1, json.size(), file_);
+  std::fputc('\n', file_);
+  ++lines_;
+}
+
+Subscription JsonlSink::tap(TraceBus& bus, std::uint64_t kind_mask) {
+  return bus.subscribe(kind_mask, [this](const TraceRecord& record) {
+    write_line(to_json(record));
+  });
+}
+
+void JsonlSink::dump_stats(const util::StatsRegistry& stats) {
+  std::string line;
+  for (const auto& [name, counter] : stats.counters()) {
+    line = "{\"type\":\"counter\",\"name\":\"";
+    append_json_escaped(line, name);
+    line += "\",\"value\":";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(counter.value()));
+    line += buf;
+    line += '}';
+    write_line(line);
+  }
+  for (const auto& [name, histogram] : stats.histograms()) {
+    line = "{\"type\":\"histogram\",\"name\":\"";
+    append_json_escaped(line, name);
+    line += '"';
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  ",\"count\":%llu,\"min\":%lld,\"max\":%lld,\"mean\":%.3f,"
+                  "\"stddev\":%.3f,\"p50\":%lld,\"p99\":%lld}",
+                  static_cast<unsigned long long>(histogram.count()),
+                  static_cast<long long>(histogram.min()),
+                  static_cast<long long>(histogram.max()), histogram.mean(),
+                  histogram.stddev(), static_cast<long long>(histogram.p50()),
+                  static_cast<long long>(histogram.p99()));
+    line += buf;
+    write_line(line);
+  }
+}
+
+}  // namespace gs::obs

@@ -1,0 +1,58 @@
+// JSON Lines output: one JSON object per line, streaming.
+//
+// The sink writes trace records as they are published (tap a TraceBus) and
+// dumps a StatsRegistry's final counters/histograms, so a bench run leaves
+// behind one machine-readable file carrying both the timeline and the
+// aggregates. Not thread-safe — benches write JSONL from the main thread
+// after their parallel trial phase, and trace runs are single-simulation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.h"
+
+namespace gs::util {
+class StatsRegistry;
+}  // namespace gs::util
+
+namespace gs::obs {
+
+class JsonlSink {
+ public:
+  JsonlSink() = default;
+  explicit JsonlSink(const std::string& path) { open(path); }
+
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  ~JsonlSink() { close(); }
+
+  // Opens (truncating) `path` for writing. Returns false on failure.
+  bool open(const std::string& path);
+  void close();
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+  // Writes one line; `json` must be a complete JSON value without newline.
+  void write_line(std::string_view json);
+
+  // Subscribes this sink to `bus`: every admitted record is streamed as one
+  // JSON line. Keep the returned Subscription alive (and the sink pinned in
+  // place) for as long as records should flow.
+  [[nodiscard]] Subscription tap(TraceBus& bus,
+                                 std::uint64_t kind_mask = kAllKinds);
+
+  // One {"type":"counter"|"histogram",...} line per registered stat.
+  void dump_stats(const util::StatsRegistry& stats);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace gs::obs

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace gs::obs {
+
+std::string_view to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBeaconSent: return "beacon-sent";
+    case TraceKind::kBeaconHeard: return "beacon-heard";
+    case TraceKind::kElectionDeferred: return "election-deferred";
+    case TraceKind::kElectionWon: return "election-won";
+    case TraceKind::kTwoPcPrepare: return "2pc-prepare";
+    case TraceKind::kTwoPcCommit: return "2pc-commit";
+    case TraceKind::kViewInstalled: return "view-installed";
+    case TraceKind::kJoinRequested: return "join-requested";
+    case TraceKind::kHeartbeatMiss: return "heartbeat-miss";
+    case TraceKind::kSuspicionRaised: return "suspicion-raised";
+    case TraceKind::kSuspectSent: return "suspect-sent";
+    case TraceKind::kProbeSent: return "probe-sent";
+    case TraceKind::kProbeRefuted: return "probe-refuted";
+    case TraceKind::kDeathDeclared: return "death-declared";
+    case TraceKind::kTakeover: return "takeover";
+    case TraceKind::kReset: return "reset";
+    case TraceKind::kReportSent: return "report-sent";
+    case TraceKind::kReportRetry: return "report-retry";
+    case TraceKind::kReportAcked: return "report-acked";
+    case TraceKind::kReportNeedFull: return "report-need-full";
+    case TraceKind::kFailureHeld: return "failure-held";
+    case TraceKind::kFailureCommitted: return "failure-committed";
+    case TraceKind::kVerifyDecision: return "verify-decision";
+    case TraceKind::kWireSample: return "wire-sample";
+    case TraceKind::kCount_: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+Severity default_severity(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBeaconSent:
+    case TraceKind::kBeaconHeard:
+    case TraceKind::kWireSample:
+      return Severity::kDebug;
+    case TraceKind::kHeartbeatMiss:
+    case TraceKind::kSuspicionRaised:
+    case TraceKind::kSuspectSent:
+    case TraceKind::kProbeRefuted:
+    case TraceKind::kFailureHeld:
+    case TraceKind::kReset:
+    case TraceKind::kReportNeedFull:
+      return Severity::kWarn;
+    case TraceKind::kDeathDeclared:
+    case TraceKind::kFailureCommitted:
+      return Severity::kError;
+    default:
+      return Severity::kInfo;
+  }
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const TraceRecord& record) {
+  std::string out;
+  out.reserve(128);
+  out += "{\"type\":\"trace\",\"kind\":\"";
+  out += to_string(record.kind);
+  out += "\",\"sev\":\"";
+  out += to_string(record.severity);
+  out += "\",\"t_us\":";
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld",
+                static_cast<long long>(record.time));
+  out += buf;
+  if (!record.source.is_unspecified()) {
+    out += ",\"src\":\"";
+    out += record.source.to_string();
+    out += '"';
+  }
+  if (!record.peer.is_unspecified()) {
+    out += ",\"peer\":\"";
+    out += record.peer.to_string();
+    out += '"';
+  }
+  if (record.node.valid()) {
+    out += ",\"node\":";
+    append_u64(out, record.node.value());
+  }
+  if (record.vlan.valid()) {
+    out += ",\"vlan\":";
+    append_u64(out, record.vlan.value());
+  }
+  out += ",\"a\":";
+  append_u64(out, record.a);
+  out += ",\"b\":";
+  append_u64(out, record.b);
+  if (!record.detail.empty()) {
+    out += ",\"detail\":\"";
+    append_json_escaped(out, record.detail);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void emit_trace(TraceBus* bus, TraceKind kind, sim::SimTime time,
+                util::IpAddress source, util::IpAddress peer, std::uint64_t a,
+                std::uint64_t b, std::string_view detail, util::NodeId node,
+                util::VlanId vlan) {
+  if (bus == nullptr || !bus->wants_kind(kind)) return;
+  TraceRecord record;
+  record.kind = kind;
+  record.severity = default_severity(kind);
+  record.time = time;
+  record.source = source;
+  record.peer = peer;
+  record.node = node;
+  record.vlan = vlan;
+  record.a = a;
+  record.b = b;
+  record.detail = std::string(detail);
+  bus->publish(record);
+}
+
+}  // namespace gs::obs

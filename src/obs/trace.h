@@ -1,0 +1,128 @@
+// Typed, sim-timestamped trace records from every layer of the stack.
+//
+// Where FarmEvent is the operator-facing outcome stream (what GulfStream
+// Central concluded), TraceRecord is the protocol-facing mechanism stream:
+// BEACON/election/2PC phase transitions and failure-detection steps from
+// AdapterProtocol and the detectors, report send/retry/ack from GsDaemon,
+// correlation/verification decisions from Central, and per-segment
+// wire-load samples from net::Fabric. Records flow over a TraceBus
+// (obs::Bus) and cost nothing when nobody subscribed to their kind:
+// emitters test wants() before even building the record.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/bus.h"
+#include "sim/time.h"
+#include "util/ids.h"
+#include "util/ip.h"
+
+namespace gs::obs {
+
+enum class TraceKind : std::uint8_t {
+  // --- AdapterProtocol: discovery & election (§2.1) ------------------------
+  kBeaconSent = 0,    // a=view, b=group size carried in the beacon
+  kBeaconHeard,       // peer=beaconer, a=its view, b=1 if it claimed leader
+  kElectionDeferred,  // peer=the higher IP deferred to
+  kElectionWon,       // a=#distinct beaconers heard
+  // --- AdapterProtocol: membership 2PC -------------------------------------
+  kTwoPcPrepare,   // coordinator sent Prepares; a=view, b=#participants
+  kTwoPcCommit,    // coordinator sent Commits;  a=view, b=final size
+  kViewInstalled,  // peer=leader, a=view, b=size (every member emits one)
+  kJoinRequested,  // lower leader merges upward; peer=higher leader
+  // --- Failure detection (§3) ----------------------------------------------
+  kHeartbeatMiss,    // detector deadline expired; peer=silent neighbor
+  kSuspicionRaised,  // peer=suspect
+  kSuspectSent,      // peer=suspect (report sent toward leader/successor)
+  kProbeSent,        // leader verification probe; peer=suspect
+  kProbeRefuted,     // suspect answered — false report; peer=suspect
+  kDeathDeclared,    // peer=the member being removed
+  kTakeover,         // successor assumes leadership; peer=old leader
+  kReset,            // fell back to discovery (§3.1 moved-adapter path)
+  // --- GsDaemon: reporting toward GSC (§2.2) -------------------------------
+  kReportSent,      // peer=GSC, a=seq, b=1 if full snapshot
+  kReportRetry,     // peer=GSC, a=seq
+  kReportAcked,     // a=seq
+  kReportNeedFull,  // GSC asked for a full snapshot; a=seq
+  // --- Central -------------------------------------------------------------
+  kFailureHeld,       // failure held for the move window (§3.1); peer=adapter
+  kFailureCommitted,  // window expired, failure is real; peer=adapter
+  kVerifyDecision,    // verification pass ran; a=#inconsistencies
+  // --- net::Fabric ---------------------------------------------------------
+  kWireSample,  // periodic per-VLAN load; a=frames_sent, b=bytes_sent
+
+  kCount_,  // sentinel, keep last
+};
+
+static_assert(static_cast<unsigned>(TraceKind::kCount_) <= 64,
+              "TraceKind must fit a 64-bit subscription mask");
+
+enum class Severity : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+struct TraceRecord {
+  TraceKind kind = TraceKind::kBeaconSent;
+  Severity severity = Severity::kInfo;
+  sim::SimTime time = 0;        // simulated microseconds
+  util::IpAddress source;       // emitting adapter / Central
+  util::IpAddress peer;         // counterparty, when there is one
+  util::NodeId node;            // emitting node, when known
+  util::VlanId vlan;            // segment, for wire samples
+  std::uint64_t a = 0;          // kind-specific (see enum comments)
+  std::uint64_t b = 0;          // kind-specific
+  std::string detail;           // free-form, usually empty
+};
+
+[[nodiscard]] std::string_view to_string(TraceKind kind);
+[[nodiscard]] std::string_view to_string(Severity severity);
+[[nodiscard]] Severity default_severity(TraceKind kind);
+
+// One JSON object (no trailing newline) per record; JsonlSink streams these.
+[[nodiscard]] std::string to_json(const TraceRecord& record);
+
+// Appends `s` JSON-escaped (no surrounding quotes) to `out`.
+void append_json_escaped(std::string& out, std::string_view s);
+
+using TraceBus = Bus<TraceRecord>;
+
+// Mask helpers ---------------------------------------------------------------
+
+[[nodiscard]] constexpr std::uint64_t trace_mask(
+    std::initializer_list<TraceKind> kinds) {
+  std::uint64_t mask = 0;
+  for (TraceKind kind : kinds) mask |= kind_bit(kind);
+  return mask;
+}
+
+// The protocol phase transitions a stabilization timeline is made of.
+inline constexpr std::uint64_t kPhaseMask = trace_mask(
+    {TraceKind::kBeaconSent, TraceKind::kBeaconHeard,
+     TraceKind::kElectionDeferred, TraceKind::kElectionWon,
+     TraceKind::kTwoPcPrepare, TraceKind::kTwoPcCommit,
+     TraceKind::kViewInstalled, TraceKind::kJoinRequested});
+
+// Everything on the failure-detection path, detector through Central.
+inline constexpr std::uint64_t kFailureMask = trace_mask(
+    {TraceKind::kHeartbeatMiss, TraceKind::kSuspicionRaised,
+     TraceKind::kSuspectSent, TraceKind::kProbeSent, TraceKind::kProbeRefuted,
+     TraceKind::kDeathDeclared, TraceKind::kTakeover, TraceKind::kReset,
+     TraceKind::kFailureHeld, TraceKind::kFailureCommitted});
+
+inline constexpr std::uint64_t kReportMask = trace_mask(
+    {TraceKind::kReportSent, TraceKind::kReportRetry, TraceKind::kReportAcked,
+     TraceKind::kReportNeedFull});
+
+// Subscription predicate selecting records at or above `min` severity.
+[[nodiscard]] inline TraceBus::Predicate severity_at_least(Severity min) {
+  return [min](const TraceRecord& record) { return record.severity >= min; };
+}
+
+// Builds and publishes a record, gated on wants(): with no bus or no
+// subscriber for `kind`, the cost is one branch (plus one AND).
+void emit_trace(TraceBus* bus, TraceKind kind, sim::SimTime time,
+                util::IpAddress source, util::IpAddress peer = {},
+                std::uint64_t a = 0, std::uint64_t b = 0,
+                std::string_view detail = {}, util::NodeId node = {},
+                util::VlanId vlan = {});
+
+}  // namespace gs::obs

@@ -81,6 +81,11 @@ class StatsRegistry {
     return counters_;
   }
 
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+  histograms() const {
+    return histograms_;
+  }
+
   void reset();
 
  private:

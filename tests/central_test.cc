@@ -26,7 +26,7 @@ class CentralTest : public ::testing::Test {
     params_.gsc_stable_wait = sim::seconds(2);
     params_.move_window = sim::seconds(5);
     central_ = std::make_unique<Central>(sim_, params_, &db_, &console_);
-    central_->set_event_callback(
+    sub_ = central_->event_bus().subscribe(
         [this](const FarmEvent& e) { events_.push_back(e); });
     central_->activate(ip(200));
   }
@@ -66,6 +66,7 @@ class CentralTest : public ::testing::Test {
   net::SwitchConsole console_;
   std::unique_ptr<Central> central_;
   std::vector<FarmEvent> events_;
+  obs::Subscription sub_;
 };
 
 TEST_F(CentralTest, FullReportEstablishesGroup) {

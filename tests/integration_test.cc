@@ -27,10 +27,11 @@ class IntegrationTest : public ::testing::Test {
              std::uint64_t seed = 1) {
     params_ = params;
     farm_.emplace(sim_, spec, params_, seed);
+    events_.attach(farm_->event_bus());
     farm_->start();
     ASSERT_TRUE(farm::run_until_converged(*farm_, sim::seconds(60)));
     ASSERT_TRUE(farm::run_until_gsc_stable(*farm_, sim::seconds(120)));
-    farm_->clear_events();
+    events_.clear();
   }
 
   void run_for(sim::SimDuration d) { sim_.run_until(sim_.now() + d); }
@@ -38,6 +39,7 @@ class IntegrationTest : public ::testing::Test {
   sim::Simulator sim_;
   proto::Params params_;
   std::optional<farm::Farm> farm_;
+  proto::EventLog events_;
 };
 
 // --- Adapter failure (§3) ----------------------------------------------------
@@ -54,15 +56,15 @@ TEST_F(IntegrationTest, SingleAdapterFailureIsDetectedAndReported) {
 
   // GSC receives the delta and, after the move window, declares the failure.
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(30), [&] {
-    return farm_->event_count(FarmEvent::Kind::kAdapterFailed) > 0;
+    return events_.count(FarmEvent::Kind::kAdapterFailed) > 0;
   }));
   bool found = false;
-  for (const FarmEvent& e : farm_->events())
+  for (const FarmEvent& e : events_)
     if (e.kind == FarmEvent::Kind::kAdapterFailed && e.ip == victim_ip)
       found = true;
   EXPECT_TRUE(found);
   // One dead adapter on a two-adapter node is NOT a node failure.
-  EXPECT_EQ(farm_->event_count(FarmEvent::Kind::kNodeFailed), 0u);
+  EXPECT_EQ(events_.count(FarmEvent::Kind::kNodeFailed), 0u);
 }
 
 TEST_F(IntegrationTest, AdapterRecoveryIsReported) {
@@ -70,14 +72,14 @@ TEST_F(IntegrationTest, AdapterRecoveryIsReported) {
   const util::AdapterId victim = farm_->node_adapters(2)[1];
   farm_->fabric().set_adapter_health(victim, net::HealthState::kDown);
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(60), [&] {
-    return farm_->event_count(FarmEvent::Kind::kAdapterFailed) > 0;
+    return events_.count(FarmEvent::Kind::kAdapterFailed) > 0;
   }));
 
   farm_->fabric().set_adapter_health(victim, net::HealthState::kUp);
   // The recovered adapter eventually resets (its old group moved on),
   // beacons, and is re-absorbed; GSC then reports recovery.
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
-    return farm_->event_count(FarmEvent::Kind::kAdapterRecovered) > 0;
+    return events_.count(FarmEvent::Kind::kAdapterRecovered) > 0;
   }));
   EXPECT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(60))
                   .has_value());
@@ -91,7 +93,7 @@ TEST_F(IntegrationTest, NodeFailureIsInferredFromAllAdaptersFailing) {
   farm_->fail_node(5);
 
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(90), [&] {
-    return farm_->event_count(FarmEvent::Kind::kNodeFailed) > 0;
+    return events_.count(FarmEvent::Kind::kNodeFailed) > 0;
   }));
   proto::Central* central = farm_->active_central();
   ASSERT_NE(central, nullptr);
@@ -99,9 +101,54 @@ TEST_F(IntegrationTest, NodeFailureIsInferredFromAllAdaptersFailing) {
 
   farm_->recover_node(5);
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
-    return farm_->event_count(FarmEvent::Kind::kNodeRecovered) > 0;
+    return events_.count(FarmEvent::Kind::kNodeRecovered) > 0;
   }));
   EXPECT_FALSE(farm_->active_central()->node_down(victim));
+}
+
+// The trace bus must tell the §3 failure story in order: a missed
+// heartbeat raises suspicion, the leader probes, declares the death, and
+// Central holds the failure for the move window before committing it.
+TEST_F(IntegrationTest, NodeFailureEmitsTracePhaseSequence) {
+  build(farm::FarmSpec::uniform(8, 2));
+  obs::Recorder<obs::TraceRecord> trace(farm_->trace_bus(), obs::kFailureMask);
+
+  farm_->fail_node(5);
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(90), [&] {
+    return events_.count(FarmEvent::Kind::kNodeFailed) > 0;
+  }));
+
+  // Records arrive in nondecreasing sim-time order.
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_LE(trace.records()[i - 1].time, trace.records()[i].time);
+
+  auto first_of = [&](obs::TraceKind kind) {
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      if (trace.records()[i].kind == kind) return static_cast<long>(i);
+    return -1L;
+  };
+  const long miss = first_of(obs::TraceKind::kHeartbeatMiss);
+  const long suspicion = first_of(obs::TraceKind::kSuspicionRaised);
+  const long probe = first_of(obs::TraceKind::kProbeSent);
+  const long death = first_of(obs::TraceKind::kDeathDeclared);
+  const long held = first_of(obs::TraceKind::kFailureHeld);
+  const long committed = first_of(obs::TraceKind::kFailureCommitted);
+  ASSERT_GE(miss, 0) << "no heartbeat-miss record";
+  ASSERT_GE(suspicion, 0) << "no suspicion-raised record";
+  ASSERT_GE(death, 0) << "no death-declared record";
+  ASSERT_GE(held, 0) << "no failure-held record";
+  ASSERT_GE(committed, 0) << "no failure-committed record";
+  EXPECT_LT(miss, suspicion);
+  EXPECT_LT(suspicion, death);
+  if (probe >= 0) {
+    EXPECT_LT(probe, death);
+  }
+  EXPECT_LT(death, held);
+  EXPECT_LT(held, committed);
+  // The move window (§3.1) separates hold from commit in sim time.
+  EXPECT_GE(trace.records()[static_cast<std::size_t>(committed)].time -
+                trace.records()[static_cast<std::size_t>(held)].time,
+            params_.move_window);
 }
 
 // --- Leader failure and succession (§2.1) -----------------------------------------
@@ -183,11 +230,11 @@ TEST_F(IntegrationTest, ExpectedMoveIsSuppressedAndCompleted) {
 
   ASSERT_TRUE(central->move_adapter(moved, farm::internal_vlan(1)));
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
-    return farm_->event_count(FarmEvent::Kind::kMoveCompleted) > 0;
+    return events_.count(FarmEvent::Kind::kMoveCompleted) > 0;
   })) << "move was never completed at GSC";
 
   // Expected moves suppress external failure notifications entirely.
-  for (const FarmEvent& e : farm_->events()) {
+  for (const FarmEvent& e : events_) {
     if (e.kind == FarmEvent::Kind::kAdapterFailed) {
       EXPECT_NE(e.ip, moved_ip);
     }
@@ -220,10 +267,10 @@ TEST_F(IntegrationTest, UnexpectedMoveIsInferredNotReportedAsDeath) {
                                 farm::internal_vlan(1));
 
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
-    return farm_->event_count(FarmEvent::Kind::kUnexpectedMove) > 0;
+    return events_.count(FarmEvent::Kind::kUnexpectedMove) > 0;
   }));
   // The held failure was converted into a move, not a death.
-  for (const FarmEvent& e : farm_->events()) {
+  for (const FarmEvent& e : events_) {
     if (e.kind == FarmEvent::Kind::kAdapterFailed) {
       EXPECT_NE(e.ip, adapter.ip());
     }
@@ -286,7 +333,7 @@ TEST_F(IntegrationTest, MoveInFlightAcrossGscFailoverDegradesToUnexpected) {
     const auto status = c->adapter_status(moved_ip);
     return status.has_value() && status->alive;
   }));
-  for (const FarmEvent& e : farm_->events()) {
+  for (const FarmEvent& e : events_) {
     if (e.kind == FarmEvent::Kind::kAdapterFailed) {
       EXPECT_NE(e.ip, moved_ip);
     }
@@ -342,17 +389,17 @@ TEST_F(IntegrationTest, SwitchFailureIsCorrelated) {
   farm_->fabric().fail_switch(victim);
 
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
-    return farm_->event_count(FarmEvent::Kind::kSwitchFailed) > 0;
+    return events_.count(FarmEvent::Kind::kSwitchFailed) > 0;
   }));
   proto::Central* central = farm_->active_central();
   ASSERT_NE(central, nullptr);
   EXPECT_TRUE(central->switch_down(victim));
   // All three nodes behind it are also inferred down.
-  EXPECT_GE(farm_->event_count(FarmEvent::Kind::kNodeFailed), 3u);
+  EXPECT_GE(events_.count(FarmEvent::Kind::kNodeFailed), 3u);
 
   farm_->fabric().recover_switch(victim);
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(180), [&] {
-    return farm_->event_count(FarmEvent::Kind::kSwitchRecovered) > 0;
+    return events_.count(FarmEvent::Kind::kSwitchRecovered) > 0;
   }));
 }
 
@@ -365,16 +412,17 @@ TEST_P(DetectorIntegration, DetectsAndReportsAdapterDeath) {
   proto::Params p = fast_params();
   p.fd_kind = GetParam();
   farm::Farm farm(sim, farm::FarmSpec::uniform(9, 2), p, 21);
+  proto::EventLog events(farm.event_bus());
   farm.start();
   ASSERT_TRUE(farm::run_until_gsc_stable(farm, sim::seconds(120)));
-  farm.clear_events();
+  events.clear();
 
   const util::AdapterId victim = farm.node_adapters(4)[1];
   const util::IpAddress victim_ip = farm.fabric().adapter(victim).ip();
   farm.fabric().set_adapter_health(victim, net::HealthState::kDown);
 
   ASSERT_TRUE(farm::run_until(sim, sim.now() + sim::seconds(120), [&] {
-    for (const FarmEvent& e : farm.events())
+    for (const FarmEvent& e : events)
       if (e.kind == FarmEvent::Kind::kAdapterFailed && e.ip == victim_ip)
         return true;
     return false;

@@ -136,6 +136,7 @@ TEST(Determinism, SameSeedSameRun) {
     params.amg_stable_wait = sim::seconds(1);
     params.gsc_stable_wait = sim::seconds(2);
     farm::Farm farm(sim, farm::FarmSpec::uniform(8, 2), params, seed);
+    proto::EventLog log(farm.event_bus());
     net::ChannelModel lossy;
     lossy.loss_probability = 0.05;  // stochastic path included
     for (util::VlanId vlan : farm.vlans())
@@ -145,7 +146,7 @@ TEST(Determinism, SameSeedSameRun) {
     farm.fail_node(3);
     sim.run_until(sim.now() + sim::seconds(30));
     std::vector<std::pair<proto::FarmEvent::Kind, sim::SimTime>> events;
-    for (const auto& e : farm.events()) events.emplace_back(e.kind, e.time);
+    for (const auto& e : log) events.emplace_back(e.kind, e.time);
     return std::make_tuple(stable.value_or(-1),
                            farm.fabric().total_frames_sent(), events);
   };

@@ -1,0 +1,373 @@
+// Telemetry-bus coverage: subscription lifecycle, filtering, reentrancy,
+// Recorder semantics, trace emission from a live farm (records arrive in
+// sim-time order with the right phase sequence), and the JSONL sink.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "farm/farm.h"
+#include "farm/scenario.h"
+#include "gs/events.h"
+#include "obs/bus.h"
+#include "obs/jsonl_sink.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace gs {
+namespace {
+
+enum class TestKind : std::uint8_t { kAlpha = 0, kBeta, kGamma };
+
+struct TestRecord {
+  TestKind kind = TestKind::kAlpha;
+  int value = 0;
+};
+
+using TestBus = obs::Bus<TestRecord>;
+
+// --- Bus: subscription lifecycle ---------------------------------------------
+
+TEST(Bus, TwoSubscribersBothReceive) {
+  TestBus bus;
+  int a = 0, b = 0;
+  auto sub_a = bus.subscribe([&a](const TestRecord&) { ++a; });
+  auto sub_b = bus.subscribe([&b](const TestRecord&) { ++b; });
+  bus.publish({TestKind::kAlpha, 1});
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(bus.subscriber_count(), 2u);
+}
+
+TEST(Bus, UnsubscribeMidRunStopsDelivery) {
+  TestBus bus;
+  int seen = 0;
+  auto sub = bus.subscribe([&seen](const TestRecord&) { ++seen; });
+  bus.publish({TestKind::kAlpha, 1});
+  EXPECT_TRUE(sub.active());
+  sub.reset();
+  EXPECT_FALSE(sub.active());
+  bus.publish({TestKind::kAlpha, 2});
+  EXPECT_EQ(seen, 1);
+  EXPECT_FALSE(bus.has_subscribers());
+}
+
+TEST(Bus, SubscriptionDestructorUnsubscribes) {
+  TestBus bus;
+  int seen = 0;
+  {
+    auto sub = bus.subscribe([&seen](const TestRecord&) { ++seen; });
+    bus.publish({TestKind::kAlpha, 1});
+  }
+  bus.publish({TestKind::kAlpha, 2});
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Bus, SubscriptionOutlivesBusSafely) {
+  obs::Subscription sub;
+  {
+    TestBus bus;
+    sub = bus.subscribe([](const TestRecord&) {});
+    EXPECT_TRUE(sub.active());
+  }
+  EXPECT_FALSE(sub.active());
+  sub.reset();  // must not crash on a dead bus
+}
+
+TEST(Bus, MoveTransfersOwnership) {
+  TestBus bus;
+  int seen = 0;
+  auto sub = bus.subscribe([&seen](const TestRecord&) { ++seen; });
+  obs::Subscription moved = std::move(sub);
+  EXPECT_FALSE(sub.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.active());
+  bus.publish({TestKind::kAlpha, 1});
+  EXPECT_EQ(seen, 1);
+  moved.reset();
+  bus.publish({TestKind::kAlpha, 2});
+  EXPECT_EQ(seen, 1);
+}
+
+// --- Bus: filtering -----------------------------------------------------------
+
+TEST(Bus, KindMaskFilters) {
+  TestBus bus;
+  std::vector<int> alpha_only, everything;
+  auto sub_a = bus.subscribe(
+      obs::kind_bit(TestKind::kAlpha),
+      [&alpha_only](const TestRecord& r) { alpha_only.push_back(r.value); });
+  auto sub_all = bus.subscribe(
+      [&everything](const TestRecord& r) { everything.push_back(r.value); });
+  bus.publish({TestKind::kAlpha, 1});
+  bus.publish({TestKind::kBeta, 2});
+  bus.publish({TestKind::kGamma, 3});
+  EXPECT_EQ(alpha_only, (std::vector<int>{1}));
+  EXPECT_EQ(everything, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Bus, PredicateFilters) {
+  TestBus bus;
+  std::vector<int> odd;
+  auto sub = bus.subscribe(
+      obs::kAllKinds, [](const TestRecord& r) { return r.value % 2 == 1; },
+      [&odd](const TestRecord& r) { odd.push_back(r.value); });
+  for (int i = 0; i < 5; ++i) bus.publish({TestKind::kAlpha, i});
+  EXPECT_EQ(odd, (std::vector<int>{1, 3}));
+}
+
+TEST(Bus, WantsReflectsCombinedMask) {
+  TestBus bus;
+  EXPECT_FALSE(bus.wants_kind(TestKind::kAlpha));
+  auto sub = bus.subscribe(obs::kind_bit(TestKind::kBeta),
+                           [](const TestRecord&) {});
+  EXPECT_TRUE(bus.wants_kind(TestKind::kBeta));
+  EXPECT_FALSE(bus.wants_kind(TestKind::kAlpha));
+  sub.reset();
+  EXPECT_FALSE(bus.wants_kind(TestKind::kBeta));
+}
+
+// --- Bus: reentrancy ----------------------------------------------------------
+
+TEST(Bus, CallbackMayUnsubscribeItself) {
+  TestBus bus;
+  int seen = 0;
+  obs::Subscription sub;
+  sub = bus.subscribe([&](const TestRecord&) {
+    ++seen;
+    sub.reset();  // unsubscribe from inside the publish loop
+  });
+  int other = 0;
+  auto sub2 = bus.subscribe([&other](const TestRecord&) { ++other; });
+  bus.publish({TestKind::kAlpha, 1});
+  bus.publish({TestKind::kAlpha, 2});
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(other, 2);
+  EXPECT_EQ(bus.subscriber_count(), 1u);
+}
+
+TEST(Bus, CallbackMaySubscribeNewSubscriberSeesOnlyLaterRecords) {
+  TestBus bus;
+  int late = 0;
+  obs::Subscription late_sub;
+  bool armed = false;
+  auto sub = bus.subscribe([&](const TestRecord&) {
+    if (!armed) {
+      armed = true;
+      late_sub = bus.subscribe([&late](const TestRecord&) { ++late; });
+    }
+  });
+  bus.publish({TestKind::kAlpha, 1});  // late_sub added mid-publish: misses it
+  EXPECT_EQ(late, 0);
+  bus.publish({TestKind::kAlpha, 2});
+  EXPECT_EQ(late, 1);
+}
+
+// --- Recorder -----------------------------------------------------------------
+
+TEST(Recorder, AccumulatesCountsAndClears) {
+  TestBus bus;
+  obs::Recorder<TestRecord> log(bus);
+  bus.publish({TestKind::kAlpha, 1});
+  bus.publish({TestKind::kBeta, 2});
+  bus.publish({TestKind::kAlpha, 3});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.count(TestKind::kAlpha), 2u);
+  EXPECT_EQ(log.count(TestKind::kGamma), 0u);
+  EXPECT_EQ(log.records()[1].value, 2);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_TRUE(log.attached());
+  log.detach();
+  bus.publish({TestKind::kAlpha, 4});
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(Recorder, MaskScopedAttach) {
+  TestBus bus;
+  obs::Recorder<TestRecord> log(bus, obs::kind_bit(TestKind::kGamma));
+  bus.publish({TestKind::kAlpha, 1});
+  bus.publish({TestKind::kGamma, 2});
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.records()[0].value, 2);
+}
+
+// --- Trace plumbing -----------------------------------------------------------
+
+TEST(Trace, EmitGatesOnSubscriberMask) {
+  obs::TraceBus bus;
+  // No subscriber: emit is a no-op.
+  obs::emit_trace(&bus, obs::TraceKind::kBeaconSent, 0, {});
+  obs::Recorder<obs::TraceRecord> log(bus, obs::kPhaseMask);
+  obs::emit_trace(&bus, obs::TraceKind::kBeaconSent, 5, {});
+  obs::emit_trace(&bus, obs::TraceKind::kHeartbeatMiss, 6, {});  // filtered
+  obs::emit_trace(nullptr, obs::TraceKind::kBeaconSent, 7, {});  // null bus ok
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.records()[0].kind, obs::TraceKind::kBeaconSent);
+  EXPECT_EQ(log.records()[0].time, 5);
+  EXPECT_EQ(log.records()[0].severity, obs::Severity::kDebug);
+}
+
+TEST(Trace, SeverityPredicateFilters) {
+  obs::TraceBus bus;
+  std::vector<obs::TraceKind> seen;
+  auto sub = bus.subscribe(
+      obs::kAllKinds, obs::severity_at_least(obs::Severity::kWarn),
+      [&seen](const obs::TraceRecord& r) { seen.push_back(r.kind); });
+  obs::emit_trace(&bus, obs::TraceKind::kBeaconSent, 1, {});      // debug
+  obs::emit_trace(&bus, obs::TraceKind::kViewInstalled, 2, {});   // info
+  obs::emit_trace(&bus, obs::TraceKind::kHeartbeatMiss, 3, {});   // warn
+  obs::emit_trace(&bus, obs::TraceKind::kDeathDeclared, 4, {});   // error
+  EXPECT_EQ(seen, (std::vector<obs::TraceKind>{
+                      obs::TraceKind::kHeartbeatMiss,
+                      obs::TraceKind::kDeathDeclared}));
+}
+
+// --- Farm integration: records arrive in sim-time order with the expected
+// phase sequence ---------------------------------------------------------------
+
+TEST(FarmTrace, PhaseRecordsOrderedBySimTime) {
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::seconds(1);
+  params.gsc_stable_wait = sim::seconds(2);
+  farm::Farm farm(sim, farm::FarmSpec::uniform(4, 1), params, 7);
+  obs::Recorder<obs::TraceRecord> log(farm.trace_bus());
+  farm.start();
+  auto stable = farm::run_until_gsc_stable(farm, sim::seconds(120));
+  ASSERT_TRUE(stable.has_value());
+
+  ASSERT_FALSE(log.empty());
+  sim::SimTime prev = 0;
+  for (const obs::TraceRecord& r : log) {
+    EXPECT_GE(r.time, prev) << "records must be chronological";
+    prev = r.time;
+  }
+
+  // The boot storyline: beacons fly, the highest IP wins the election, 2PC
+  // prepares and commits, everyone installs the view, reports reach GSC.
+  EXPECT_GT(log.count(obs::TraceKind::kBeaconSent), 0u);
+  EXPECT_GT(log.count(obs::TraceKind::kBeaconHeard), 0u);
+  EXPECT_EQ(log.count(obs::TraceKind::kElectionWon), 1u);
+  // Not every non-leader defers explicitly: an adapter that receives the
+  // winner's 2PC Prepare while still beaconing joins without a defer step.
+  EXPECT_GE(log.count(obs::TraceKind::kElectionDeferred), 1u);
+  EXPECT_GT(log.count(obs::TraceKind::kTwoPcPrepare), 0u);
+  EXPECT_GT(log.count(obs::TraceKind::kTwoPcCommit), 0u);
+  EXPECT_GE(log.count(obs::TraceKind::kViewInstalled), 4u);
+  EXPECT_GT(log.count(obs::TraceKind::kReportSent), 0u);
+
+  auto first_of = [&log](obs::TraceKind kind) {
+    for (const obs::TraceRecord& r : log)
+      if (r.kind == kind) return r.time;
+    return sim::SimTime{-1};
+  };
+  EXPECT_LT(first_of(obs::TraceKind::kBeaconSent),
+            first_of(obs::TraceKind::kElectionWon));
+  EXPECT_LE(first_of(obs::TraceKind::kElectionWon),
+            first_of(obs::TraceKind::kTwoPcPrepare));
+  EXPECT_LT(first_of(obs::TraceKind::kTwoPcPrepare),
+            first_of(obs::TraceKind::kTwoPcCommit));
+  EXPECT_LE(first_of(obs::TraceKind::kTwoPcCommit),
+            first_of(obs::TraceKind::kReportSent));
+}
+
+TEST(FarmTrace, WireSamplesFlowWhenEnabled) {
+  sim::Simulator sim;
+  proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  farm::Farm farm(sim, farm::FarmSpec::uniform(4, 1), params, 11);
+  obs::Recorder<obs::TraceRecord> log(
+      farm.trace_bus(), obs::trace_mask({obs::TraceKind::kWireSample}));
+  farm.fabric().enable_load_sampling(sim::seconds(1));
+  farm.start();
+  sim.run_until(sim::seconds(10));
+  EXPECT_GE(log.count(obs::TraceKind::kWireSample), 5u);
+  for (const obs::TraceRecord& r : log) {
+    EXPECT_TRUE(r.vlan.valid());
+    EXPECT_EQ(r.severity, obs::Severity::kDebug);
+  }
+}
+
+// --- JSONL sink ---------------------------------------------------------------
+
+TEST(JsonlSink, StreamsRecordsAndStats) {
+  const std::string path = ::testing::TempDir() + "/obs_test_out.jsonl";
+  {
+    obs::TraceBus bus;
+    obs::JsonlSink sink;
+    ASSERT_TRUE(sink.open(path));
+    auto tap = sink.tap(bus);
+    obs::emit_trace(&bus, obs::TraceKind::kElectionWon, 1500,
+                    util::IpAddress(0x0A000001), util::IpAddress(0x0A000002),
+                    3, 0, "quoted \"detail\"");
+    obs::emit_trace(&bus, obs::TraceKind::kTwoPcCommit, 2500,
+                    util::IpAddress(0x0A000001), {}, 7, 4);
+
+    util::StatsRegistry stats;
+    stats.counter("frames").add(42);
+    stats.histogram("latency_us").record(100);
+    stats.histogram("latency_us").record(300);
+    sink.dump_stats(stats);
+    EXPECT_EQ(sink.lines_written(), 4u);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+
+  EXPECT_NE(lines[0].find("\"type\":\"trace\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"kind\":\"election-won\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"t_us\":1500"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"src\":\"10.0.0.1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"peer\":\"10.0.0.2\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"a\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\\\"detail\\\""), std::string::npos);
+
+  EXPECT_NE(lines[1].find("\"kind\":\"2pc-commit\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"peer\""), std::string::npos)
+      << "unspecified peer must be omitted";
+
+  EXPECT_NE(lines[2].find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"name\":\"frames\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"value\":42"), std::string::npos);
+
+  EXPECT_NE(lines[3].find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"count\":2"), std::string::npos);
+
+  // Every line is a braced object — the JSONL contract.
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSink, OpenFailureReportsFalse) {
+  obs::JsonlSink sink;
+  EXPECT_FALSE(sink.open("/nonexistent-dir-zzz/out.jsonl"));
+  EXPECT_FALSE(sink.is_open());
+  sink.write_line("{}");  // no-op, must not crash
+  EXPECT_EQ(sink.lines_written(), 0u);
+}
+
+// --- String tables ------------------------------------------------------------
+
+TEST(TraceStrings, KindAndSeverity) {
+  EXPECT_EQ(obs::to_string(obs::TraceKind::kBeaconSent), "beacon-sent");
+  EXPECT_EQ(obs::to_string(obs::TraceKind::kWireSample), "wire-sample");
+  EXPECT_EQ(obs::to_string(obs::Severity::kWarn), "warn");
+  EXPECT_EQ(obs::default_severity(obs::TraceKind::kDeathDeclared),
+            obs::Severity::kError);
+  EXPECT_EQ(obs::default_severity(obs::TraceKind::kViewInstalled),
+            obs::Severity::kInfo);
+}
+
+}  // namespace
+}  // namespace gs

@@ -84,6 +84,7 @@ TEST(ScriptRunTest, ExecutesAgainstFarm) {
   params.amg_stable_wait = sim::milliseconds(400);
   params.gsc_stable_wait = sim::seconds(2);
   Farm farm(sim, FarmSpec::uniform(6, 2), params, 5);
+  proto::EventLog events(farm.event_bus());
   farm.start();
   ASSERT_TRUE(run_until_gsc_stable(farm, sim::seconds(60)));
 
@@ -99,7 +100,7 @@ TEST(ScriptRunTest, ExecutesAgainstFarm) {
   sim.run_until(sim::seconds(95));
   EXPECT_EQ(run.executed, 3u);
   EXPECT_EQ(run.failed, 1u);
-  EXPECT_GE(farm.event_count(proto::FarmEvent::Kind::kNodeFailed), 1u);
+  EXPECT_GE(events.count(proto::FarmEvent::Kind::kNodeFailed), 1u);
   EXPECT_TRUE(run_until_converged(farm, sim.now() + sim::seconds(60)));
 }
 

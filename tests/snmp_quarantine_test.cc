@@ -28,6 +28,7 @@ class SnmpQuarantineTest : public ::testing::Test {
  protected:
   void build(farm::FarmSpec spec, std::uint64_t seed = 1) {
     farm_.emplace(sim_, spec, quick_params(), seed);
+    events_.attach(farm_->event_bus());
     farm_->start();
     ASSERT_TRUE(farm::run_until_gsc_stable(*farm_, sim::seconds(120)));
     central_ = farm_->active_central();
@@ -37,6 +38,7 @@ class SnmpQuarantineTest : public ::testing::Test {
   sim::Simulator sim_;
   std::optional<farm::Farm> farm_;
   Central* central_ = nullptr;
+  EventLog events_;
 };
 
 // --- SNMP wiring discovery ---------------------------------------------------
@@ -77,9 +79,7 @@ TEST_F(SnmpQuarantineTest, SwitchCorrelationWorksFromSnmpWithoutDb) {
   net::SwitchConsole bare_console(farm_->fabric());
   Params params = quick_params();
   Central bare(sim_, params, /*db=*/nullptr, &bare_console);
-  std::vector<FarmEvent> events;
-  bare.set_event_callback(
-      [&events](const FarmEvent& e) { events.push_back(e); });
+  EventLog events(bare.event_bus());
   bare.activate(util::IpAddress(10, 99, 0, 1));
 
   // Feed it the farm view by replaying full reports from real protocols.
@@ -146,7 +146,7 @@ TEST_F(SnmpQuarantineTest, AuditFindsDatabaseWiringErrors) {
   EXPECT_EQ(mismatches[0].ip, farm_->fabric().adapter(victim).ip());
   EXPECT_EQ(mismatches[0].db_port, util::PortId(77));
   EXPECT_EQ(mismatches[0].actual_port, true_port);
-  EXPECT_GE(farm_->event_count(FarmEvent::Kind::kInconsistencyFound), 1u);
+  EXPECT_GE(events_.count(FarmEvent::Kind::kInconsistencyFound), 1u);
 }
 
 // --- Quarantine --------------------------------------------------------------------
@@ -154,7 +154,7 @@ TEST_F(SnmpQuarantineTest, AuditFindsDatabaseWiringErrors) {
 TEST_F(SnmpQuarantineTest, WrongVlanAdapterIsQuarantined) {
   build(farm::FarmSpec::oceano(2, 2, 2, 1, 2));
   central_->set_quarantine_vlan(kQuarantineVlan);
-  farm_->clear_events();
+  events_.clear();
 
   // An operator rewires a back end's internal adapter behind GSC's back.
   std::size_t victim = SIZE_MAX;
@@ -169,14 +169,14 @@ TEST_F(SnmpQuarantineTest, WrongVlanAdapterIsQuarantined) {
 
   // Wait until it surfaces inside the destination AMG at GSC, then verify.
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
-    return farm_->event_count(FarmEvent::Kind::kUnexpectedMove) > 0;
+    return events_.count(FarmEvent::Kind::kUnexpectedMove) > 0;
   }));
   ASSERT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(90)));
   sim_.run_until(sim_.now() + sim::seconds(10));
   central_->verify_now();
 
   EXPECT_TRUE(central_->quarantined(moved_ip));
-  EXPECT_EQ(farm_->event_count(FarmEvent::Kind::kAdapterQuarantined), 1u);
+  EXPECT_EQ(events_.count(FarmEvent::Kind::kAdapterQuarantined), 1u);
   EXPECT_EQ(farm_->fabric().vlan_of(moved), kQuarantineVlan);
 
   // Re-verification does not re-flag the handled adapter.
@@ -184,7 +184,7 @@ TEST_F(SnmpQuarantineTest, WrongVlanAdapterIsQuarantined) {
   EXPECT_TRUE(central_->verify_now().empty());
 
   // The quarantine suppressed the failure cascade it caused.
-  for (const FarmEvent& e : farm_->events()) {
+  for (const FarmEvent& e : events_) {
     if (e.kind == FarmEvent::Kind::kAdapterFailed) {
       EXPECT_NE(e.ip, moved_ip);
     }
@@ -205,7 +205,7 @@ TEST_F(SnmpQuarantineTest, ReleaseQuarantineRestoresExpectedVlan) {
                                 adapter.attached_port(),
                                 farm::internal_vlan(1));
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(120), [&] {
-    return farm_->event_count(FarmEvent::Kind::kUnexpectedMove) > 0;
+    return events_.count(FarmEvent::Kind::kUnexpectedMove) > 0;
   }));
   ASSERT_TRUE(farm::run_until_converged(*farm_, sim_.now() + sim::seconds(90)));
   sim_.run_until(sim_.now() + sim::seconds(10));
@@ -232,7 +232,7 @@ TEST_F(SnmpQuarantineTest, NoQuarantineWithoutConfiguredVlan) {
                                 farm::dispatch_vlan(0));
   sim_.run_until(sim_.now() + sim::seconds(60));
   central_->verify_now();
-  EXPECT_EQ(farm_->event_count(FarmEvent::Kind::kAdapterQuarantined), 0u);
+  EXPECT_EQ(events_.count(FarmEvent::Kind::kAdapterQuarantined), 0u);
   EXPECT_FALSE(central_->quarantined(adapter.ip()));
 }
 
