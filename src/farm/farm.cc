@@ -319,12 +319,45 @@ std::vector<util::VlanId> Farm::vlans() const {
   return {seen.begin(), seen.end()};
 }
 
-bool Farm::converged(util::VlanId vlan) {
-  // Ground truth: the fully healthy adapters currently wired to this VLAN.
+std::vector<util::AdapterId> Farm::healthy_adapters_in_vlan(
+    util::VlanId vlan) const {
   std::vector<util::AdapterId> healthy;
   for (util::AdapterId id : fabric_->adapters_in_vlan(vlan))
     if (fabric_->adapter(id).health() == net::HealthState::kUp)
       healthy.push_back(id);
+  return healthy;
+}
+
+std::optional<std::size_t> Farm::expected_gsc_node() const {
+  // Mirrors active_central()'s healthy test, but from ground truth alone:
+  // who *ought* to win the admin-AMG election right now.
+  std::optional<std::size_t> best;
+  util::IpAddress best_ip;
+  for (std::size_t i = 0; i < centrals_.size(); ++i) {
+    if (centrals_[i] == nullptr) continue;  // not central-eligible
+    const std::size_t admin = daemons_[i]->config().admin_adapter_index;
+    const util::AdapterId id = nodes_[i].adapters[admin];
+    if (fabric_->adapter(id).health() != net::HealthState::kUp ||
+        !fabric_->vlan_of(id).valid())
+      continue;
+    const util::IpAddress ip = fabric_->adapter(id).ip();
+    if (!best || ip > best_ip) {
+      best = i;
+      best_ip = ip;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> Farm::node_of(util::AdapterId id) const {
+  auto it = adapter_owner_.find(id);
+  if (it == adapter_owner_.end()) return std::nullopt;
+  return it->second.first;
+}
+
+bool Farm::converged(util::VlanId vlan) {
+  // Ground truth: the fully healthy adapters currently wired to this VLAN.
+  const std::vector<util::AdapterId> healthy = healthy_adapters_in_vlan(vlan);
   if (healthy.empty()) return true;
 
   std::set<util::IpAddress> expected_ips;

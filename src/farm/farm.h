@@ -83,6 +83,19 @@ class Farm {
   [[nodiscard]] bool converged(util::VlanId vlan);
   [[nodiscard]] std::vector<util::VlanId> vlans() const;
 
+  // Simulator ground truth the soak invariant checker compares protocol and
+  // Central state against.
+  //
+  // The fully healthy (kUp) adapters currently wired to `vlan`.
+  [[nodiscard]] std::vector<util::AdapterId> healthy_adapters_in_vlan(
+      util::VlanId vlan) const;
+  // The node whose Central instance *should* be active: the central-eligible
+  // node holding the highest healthy admin adapter IP (the legitimate
+  // admin-AMG leader). nullopt when no eligible node is healthy.
+  [[nodiscard]] std::optional<std::size_t> expected_gsc_node() const;
+  // The node owning an adapter; nullopt for unknown ids.
+  [[nodiscard]] std::optional<std::size_t> node_of(util::AdapterId id) const;
+
  private:
   struct NodeInfo {
     NodeRole role = NodeRole::kGeneric;

@@ -36,7 +36,10 @@ std::optional<sim::SimDuration> parse_time(std::string_view text) {
   double value = 0;
   std::string_view digits = text;
   sim::SimDuration unit = sim::kSecond;
-  if (text.ends_with("ms")) {
+  if (text.ends_with("us")) {
+    unit = sim::kMicrosecond;
+    digits = text.substr(0, text.size() - 2);
+  } else if (text.ends_with("ms")) {
     unit = sim::kMillisecond;
     digits = text.substr(0, text.size() - 2);
   } else if (text.ends_with("s")) {
@@ -62,6 +65,8 @@ std::optional<ActionKind> kind_of(std::string_view verb) {
   if (verb == "recover-node") return ActionKind::kRecoverNode;
   if (verb == "fail-adapter") return ActionKind::kFailAdapter;
   if (verb == "recover-adapter") return ActionKind::kRecoverAdapter;
+  if (verb == "fail-adapter-recv") return ActionKind::kFailAdapterRecv;
+  if (verb == "fail-adapter-send") return ActionKind::kFailAdapterSend;
   if (verb == "fail-switch") return ActionKind::kFailSwitch;
   if (verb == "recover-switch") return ActionKind::kRecoverSwitch;
   if (verb == "move-adapter") return ActionKind::kMoveAdapter;
@@ -89,6 +94,8 @@ std::string_view to_string(ActionKind kind) {
     case ActionKind::kRecoverNode: return "recover-node";
     case ActionKind::kFailAdapter: return "fail-adapter";
     case ActionKind::kRecoverAdapter: return "recover-adapter";
+    case ActionKind::kFailAdapterRecv: return "fail-adapter-recv";
+    case ActionKind::kFailAdapterSend: return "fail-adapter-send";
     case ActionKind::kFailSwitch: return "fail-switch";
     case ActionKind::kRecoverSwitch: return "recover-switch";
     case ActionKind::kMoveAdapter: return "move-adapter";
@@ -174,6 +181,26 @@ ScriptParseResult parse_script(std::string_view text) {
   return result;
 }
 
+std::string format_script(const std::vector<ScriptAction>& actions) {
+  std::ostringstream out;
+  for (const ScriptAction& action : actions) {
+    out << "at ";
+    if (action.at % sim::kSecond == 0)
+      out << action.at / sim::kSecond << "s";
+    else if (action.at % sim::kMillisecond == 0)
+      out << action.at / sim::kMillisecond << "ms";
+    else
+      out << action.at << "us";
+    out << " " << to_string(action.kind);
+    if (action.kind == ActionKind::kMoveAdapter)
+      out << " " << action.arg << " vlan " << action.vlan_arg;
+    else if (action.kind != ActionKind::kVerify)
+      out << " " << action.arg;
+    out << "\n";
+  }
+  return out.str();
+}
+
 namespace {
 
 bool execute(Farm& farm, const ScriptAction& action) {
@@ -196,6 +223,16 @@ bool execute(Farm& farm, const ScriptAction& action) {
       if (action.arg >= fabric.adapter_count()) return false;
       fabric.set_adapter_health(util::AdapterId(action.arg),
                                 net::HealthState::kUp);
+      return true;
+    case ActionKind::kFailAdapterRecv:
+      if (action.arg >= fabric.adapter_count()) return false;
+      fabric.set_adapter_health(util::AdapterId(action.arg),
+                                net::HealthState::kRecvDead);
+      return true;
+    case ActionKind::kFailAdapterSend:
+      if (action.arg >= fabric.adapter_count()) return false;
+      fabric.set_adapter_health(util::AdapterId(action.arg),
+                                net::HealthState::kSendDead);
       return true;
     case ActionKind::kFailSwitch:
       if (action.arg >= fabric.switch_count()) return false;

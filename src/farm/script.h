@@ -14,8 +14,8 @@
 //     at 130s  heal-vlan 301
 //     at 150s  verify
 //
-// Times accept `s`/`ms` suffixes (plain numbers are seconds) and must be
-// non-decreasing. parse() reports the first syntax error with its line
+// Times accept `s`/`ms`/`us` suffixes (plain numbers are seconds) and must
+// be non-decreasing. parse() reports the first syntax error with its line
 // number; run() schedules every action on the simulator and executes the
 // script against a Farm. `partition-vlan` splits the VLAN's current
 // adapters into two halves (the scripted stand-in for a segment fault).
@@ -36,6 +36,11 @@ enum class ActionKind : std::uint8_t {
   kRecoverNode,
   kFailAdapter,
   kRecoverAdapter,
+  // The paper's §3 partial-failure modes: an adapter that "ceases to
+  // receive" (or to send) while its other direction still works. Recovery
+  // is recover-adapter either way.
+  kFailAdapterRecv,
+  kFailAdapterSend,
   kFailSwitch,
   kRecoverSwitch,
   kMoveAdapter,
@@ -63,6 +68,12 @@ struct ScriptParseResult {
 
 // Parses a whole script text (one action per line).
 [[nodiscard]] ScriptParseResult parse_script(std::string_view text);
+
+// Renders actions back into script text, one line per action, such that
+// parse_script(format_script(a)).actions == a for any valid action list.
+// Times print in the coarsest exact unit (s, ms, or us).
+[[nodiscard]] std::string format_script(
+    const std::vector<ScriptAction>& actions);
 
 // Executed-action record, for logs and assertions.
 struct ScriptRun {

@@ -8,6 +8,12 @@
 
 namespace gs::proto {
 
+namespace {
+// A stale ex-member heartbeats at full rate; one StaleNotice per peer per
+// window is plenty to get it to rejoin.
+constexpr sim::SimDuration kStaleNoticeWindow = sim::seconds(1);
+}  // namespace
+
 std::string_view to_string(AdapterState s) {
   switch (s) {
     case AdapterState::kIdle: return "idle";
@@ -54,6 +60,10 @@ void AdapterProtocol::shutdown() {
   defer_timer_.cancel();
   heard_.clear();
   stale_notice_sent_.clear();
+  // The report counter dies with the daemon process: after a restart this
+  // adapter numbers its reports from scratch (GSC recognizes the fresh
+  // instance by the full snapshot, not by the counter).
+  report_seq_ = 0;
   state_ = AdapterState::kIdle;
 }
 
@@ -73,6 +83,7 @@ bool AdapterProtocol::unicast(util::IpAddress to,
 void AdapterProtocol::begin_beaconing() {
   state_ = AdapterState::kBeaconing;
   heard_.clear();
+  defer_join_attempted_ = false;
   beacon_send_timer_.cancel();
   beacon_end_timer_.cancel();
   defer_timer_.cancel();
@@ -138,7 +149,25 @@ void AdapterProtocol::end_beacon_phase() {
 void AdapterProtocol::defer_expired() {
   if (state_ != AdapterState::kWaitingForLeader) return;
   // The expected leader never committed us (its beacons or our 2PC traffic
-  // were lost, or it died). Form a singleton AMG; merging repairs the rest.
+  // were lost, or it died). If a committed higher-IP leader was heard while
+  // we waited, ask it directly for membership before falling back: forming
+  // a singleton beside a live group only to merge moments later puts every
+  // member of the segment through an extra view change. One join attempt,
+  // one more defer period; then the singleton fallback repairs the rest.
+  if (!defer_join_attempted_) {
+    util::IpAddress target;
+    for (const auto& [ip, heard] : heard_)
+      if (heard.is_leader && ip > self_ip()) target = std::max(target, ip);
+    if (!target.is_unspecified()) {
+      defer_join_attempted_ = true;
+      GS_LOG(kDebug, "amg") << self_ip() << " defer timeout; joining leader "
+                            << target;
+      maybe_send_join(target);
+      defer_timer_ =
+          sim_.after(params_.defer_timeout, [this] { defer_expired(); });
+      return;
+    }
+  }
   GS_LOG(kDebug, "amg") << self_ip() << " defer timeout; forming singleton";
   install_singleton();
 }
@@ -256,6 +285,19 @@ void AdapterProtocol::install(MembershipView view) {
   trace(obs::TraceKind::kViewInstalled, committed_.leader().ip,
         committed_.view(), committed_.size());
   clear_member_duty_state();
+
+  // Prune the StaleNotice rate-limit map: entries for peers in the new view
+  // are moot (their heartbeats go to the detector now), and entries past
+  // the rate window carry no information. Otherwise the map accumulates one
+  // entry per stale peer ever heard, for as long as we stay committed.
+  for (auto stale = stale_notice_sent_.begin();
+       stale != stale_notice_sent_.end();) {
+    if (committed_.contains(stale->first) ||
+        sim_.now() - stale->second >= kStaleNoticeWindow)
+      stale = stale_notice_sent_.erase(stale);
+    else
+      ++stale;
+  }
 
   if (lead) {
     // Drop bookkeeping that the new view made moot.
@@ -851,6 +893,7 @@ void AdapterProtocol::reset_to_discovery() {
     pending_prepare_->expiry.cancel();
     pending_prepare_.reset();
   }
+  stale_notice_sent_.clear();
   if (hooks_.on_reset) hooks_.on_reset();
   begin_beaconing();
 }
@@ -946,10 +989,15 @@ void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
         if (fd_) fd_->on_heartbeat(src, *msg);
         return;
       }
-      if (is_committed() && msg->view < committed_.view()) {
+      if (is_committed() && msg->view <= committed_.view()) {
         // A stale ex-member is still heartbeating us: tell it to rejoin.
+        // Equality counts as stale too — view numbers of *different* group
+        // incarnations are not ordered, and a restarted neighbor's new group
+        // can land on exactly our number. A genuinely newer view that adds
+        // us keeps msg->view strictly above anything we have committed, so
+        // healthy group-mates are never told off.
         auto& last = stale_notice_sent_[src];
-        if (last == 0 || sim_.now() - last >= sim::seconds(1)) {
+        if (last == 0 || sim_.now() - last >= kStaleNoticeWindow) {
           last = sim_.now();
           StaleNotice notice{};
           notice.current_view = committed_.view();
@@ -993,10 +1041,15 @@ void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
     }
     case MsgType::kProbe: {
       // Liveness probes are answered in every state: the question is "is
-      // this adapter alive", not "is it in my group".
+      // this adapter alive", not "is it in my group". The ack additionally
+      // states whether we lead a committed view containing the prober, so a
+      // takeover probe can distinguish "leader alive and still mine" from
+      // "alive, but it restarted and abandoned us".
       if (auto msg = decode_Probe(payload)) {
         ProbeAck ack{};
         ack.nonce = msg->nonce;
+        ack.leads_prober = state_ == AdapterState::kLeader && is_committed() &&
+                           committed_.contains(src);
         unicast(src, to_frame(ack));
       }
       return;
@@ -1005,10 +1058,18 @@ void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
       auto msg = decode_ProbeAck(payload);
       if (!msg) return;
       if (takeover_ && msg->nonce == takeover_->nonce) {
-        // The leader is alive after all; stand down.
         takeover_->timer.cancel();
-        takeover_.reset();
-        locally_suspected_.erase(leader_ip());
+        if (msg->leads_prober) {
+          // The leader is alive and still counts us a member; stand down.
+          takeover_.reset();
+          locally_suspected_.erase(leader_ip());
+          return;
+        }
+        // Alive, but it no longer leads a view containing us: the leader
+        // restarted (sub-detection-threshold blip) or was absorbed into
+        // another group, silently orphaning this one. Mere liveness must
+        // not veto the succession — leadership of our view is vacant.
+        do_takeover();
         return;
       }
       for (auto it = suspicions_.begin(); it != suspicions_.end(); ++it) {

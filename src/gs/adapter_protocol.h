@@ -116,6 +116,10 @@ class AdapterProtocol {
   }
   [[nodiscard]] const MemberInfo& self() const { return self_; }
   [[nodiscard]] const ProtocolStats& stats() const { return stats_; }
+  // Size of the StaleNotice rate-limit map (tests assert it stays pruned).
+  [[nodiscard]] std::size_t stale_notice_entries() const {
+    return stale_notice_sent_.size();
+  }
 
   // --- Reporting interface (leader only; driven by the daemon) --------------
 
@@ -205,6 +209,9 @@ class AdapterProtocol {
   sim::Timer beacon_send_timer_;
   sim::Timer beacon_end_timer_;
   sim::Timer defer_timer_;
+  // Set once defer_expired() has tried joining a heard leader, so the
+  // second expiry falls back to the singleton instead of looping.
+  bool defer_join_attempted_ = false;
 
   // Participant 2PC.
   struct PendingPrepare {

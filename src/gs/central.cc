@@ -58,6 +58,7 @@ void Central::clear_all_state() {
   for (auto& [ip, timer] : held_failures_) timer.cancel();
   held_failures_.clear();
   stability_timer_.cancel();
+  lease_timer_.cancel();
   stable_ = false;
   stable_time_ = -1;
   nodes_down_.clear();
@@ -72,6 +73,7 @@ void Central::activate(util::IpAddress self_admin_ip) {
   clear_all_state();
   active_ = true;
   self_ip_ = self_admin_ip;
+  arm_lease_sweep();
   FarmEvent event{};
   event.kind = FarmEvent::Kind::kGscActivated;
   event.ip = self_admin_ip;
@@ -107,15 +109,30 @@ void Central::handle_report(util::IpAddress from,
   (void)from;
   if (!active_) return;
   ++reports_received_;
-  arm_stability_timer();
 
   ReportAck ack{};
   ack.seq = report.seq;
   ack.leader = report.leader.ip;
 
   auto it = groups_.find(report.leader.ip);
-  if (it != groups_.end() && report.seq <= it->second.last_seq) {
-    reply(ack);  // duplicate of something already applied — idempotent ack
+  if (it != groups_.end() && report.seq <= it->second.last_seq &&
+      (!report.full || report.seq == it->second.last_seq)) {
+    // Duplicate of something already applied — idempotent ack. A *full*
+    // report whose seq regressed below last_seq is not a duplicate, though:
+    // the leader's daemon restarted (its seq counter died with the process)
+    // and is establishing the group anew. Ack-without-apply would wedge the
+    // group here forever, every fresh report looking "stale". Let the
+    // snapshot fall through and reset last_seq.
+    //
+    // Even a duplicate renews the group's lease: it is first-hand evidence
+    // the leader is alive and still claims the group. Without this, a
+    // leader whose reports all look stale would have its group lease-expired
+    // and every member declared dead while the leader is healthy.
+    it->second.last_report = sim_.now();
+    if (report.full)
+      obs::emit_trace(params_.trace, obs::TraceKind::kGscReportDup, sim_.now(),
+                      self_ip_, report.leader.ip, report.seq, report.view);
+    reply(ack);
     return;
   }
   if (!report.full &&
@@ -126,10 +143,25 @@ void Central::handle_report(util::IpAddress from,
     return;
   }
 
+  // Initial-topology stability means no *news* for gsc_stable_wait. A
+  // periodic lease refresh re-states the view and member set we already
+  // hold and must not push stability out, or a farm with report_refresh <
+  // gsc_stable_wait would never stabilize.
+  bool news = it == groups_.end() || report.view != it->second.view;
+  if (!news && report.full) {
+    std::set<util::IpAddress> incoming;
+    for (const MemberInfo& m : report.added) incoming.insert(m.ip);
+    news = incoming != it->second.members;
+  } else if (!news) {
+    news = !report.added.empty() || !report.removed.empty();
+  }
+  if (news) arm_stability_timer();
+
   Group& group = groups_[report.leader.ip];
   group.leader = report.leader;
   group.view = report.view;
   group.last_seq = report.seq;
+  group.last_report = sim_.now();
   // Every report is first-hand evidence that its sending leader is alive,
   // overriding any stale death claim a third party may have lodged.
   attest_leader(report.leader);
@@ -138,7 +170,7 @@ void Central::handle_report(util::IpAddress from,
     const std::set<util::IpAddress> old_members = group.members;
     group.members.clear();
     for (const MemberInfo& m : report.added) {
-      claim_member(m, report.leader.ip);
+      if (!claim_member(m, report.leader.ip, report.view)) continue;
       mark_alive(m, report.leader.ip);
     }
     // Members silently absent from the snapshot departed without a death
@@ -185,7 +217,7 @@ void Central::handle_report(util::IpAddress from,
     }
   } else {
     for (const MemberInfo& m : report.added) {
-      claim_member(m, report.leader.ip);
+      if (!claim_member(m, report.leader.ip, report.view)) continue;
       mark_alive(m, report.leader.ip);
     }
     for (const RemovedMember& rm : report.removed) {
@@ -200,7 +232,55 @@ void Central::handle_report(util::IpAddress from,
         unassign(rm.ip);
     }
   }
+  // A record left with no members — every claim fenced as stale, or the
+  // leader itself held by a fresher view — carries no information; drop it
+  // now rather than letting it sit until its lease expires.
+  auto emptied = groups_.find(report.leader.ip);
+  if (emptied != groups_.end() && emptied->second.members.empty())
+    groups_.erase(emptied);
+  obs::emit_trace(params_.trace, obs::TraceKind::kGscReportApplied, sim_.now(),
+                  self_ip_, report.leader.ip, report.seq, report.view);
   reply(ack);
+}
+
+void Central::arm_lease_sweep() {
+  if (params_.group_lease <= 0) return;
+  const sim::SimDuration period =
+      std::max<sim::SimDuration>(params_.group_lease / 4, sim::kSecond);
+  lease_timer_ = sim_.after(period, [this] { lease_sweep(); });
+}
+
+void Central::lease_sweep() {
+  lease_timer_ = sim::Timer();
+  if (!active_) return;
+  // A group whose leader has been silent past its lease died wholesale:
+  // there was no survivor left to send the death notice (§3's partition
+  // corner — the last node of an isolated segment half going down). Leaders
+  // refresh every report_refresh, so a live group never goes this quiet.
+  std::vector<util::IpAddress> expired;
+  for (const auto& [leader_ip, group] : groups_)
+    if (sim_.now() - group.last_report > params_.group_lease)
+      expired.push_back(leader_ip);
+  for (util::IpAddress leader_ip : expired) {
+    auto it = groups_.find(leader_ip);
+    if (it == groups_.end()) continue;  // retired by an earlier expiry
+    GS_LOG(kDebug, "gsc") << "group lease expired for leader " << leader_ip;
+    const std::set<util::IpAddress> members = it->second.members;
+    for (util::IpAddress ip : members) {
+      if (ip == leader_ip) continue;
+      auto rec = adapters_.find(ip);
+      // Only members the expired group still owns: anyone a fresher group
+      // has claimed since is accounted for by that group's lease.
+      if (rec != adapters_.end() && rec->second.group_leader == leader_ip)
+        mark_failed(ip);
+    }
+    auto leader_rec = adapters_.find(leader_ip);
+    if (leader_rec != adapters_.end() &&
+        leader_rec->second.group_leader == leader_ip)
+      mark_failed(leader_ip);
+    retire_group(leader_ip);  // mark_failed no-ops if already recorded dead
+  }
+  arm_lease_sweep();
 }
 
 void Central::attest_leader(const MemberInfo& leader) {
@@ -215,11 +295,21 @@ void Central::attest_leader(const MemberInfo& leader) {
   mark_alive(leader, leader.ip);
 }
 
-void Central::claim_member(const MemberInfo& m, util::IpAddress leader) {
+bool Central::claim_member(const MemberInfo& m, util::IpAddress leader,
+                           std::uint64_t view) {
   AdapterRec& rec = adapters_[m.ip];
   const util::IpAddress previous = rec.group_leader;
   if (!previous.is_unspecified() && previous != leader) {
     auto prev_group = groups_.find(previous);
+    if (prev_group != groups_.end() && prev_group->second.members.count(m.ip) &&
+        prev_group->second.view > view) {
+      // View fence: a report must not steal a member a fresher view holds.
+      // The race: a deposed leader's last report (sent before it learned of
+      // the takeover) arrives after the new leader's snapshot — applying it
+      // would resurrect the dead group with the members inside, and nothing
+      // in the new leader's delta stream would ever claim them back.
+      return false;
+    }
     if (prev_group != groups_.end()) prev_group->second.members.erase(m.ip);
   }
   rec.group_leader = leader;
@@ -241,6 +331,7 @@ void Central::claim_member(const MemberInfo& m, util::IpAddress leader) {
       }
     }
   }
+  return true;
 }
 
 void Central::unassign(util::IpAddress ip) {
@@ -297,11 +388,30 @@ void Central::mark_alive(const MemberInfo& m, util::IpAddress leader) {
   }
 }
 
+void Central::retire_group(util::IpAddress leader_ip) {
+  // A dead adapter leads nothing: drop any group still recorded under it.
+  // Its surviving members were claimed by the successor's full report;
+  // whoever remains goes unassigned until some leader claims them.
+  auto led = groups_.find(leader_ip);
+  if (led == groups_.end()) return;
+  const std::set<util::IpAddress> orphans = led->second.members;
+  groups_.erase(led);
+  for (util::IpAddress orphan : orphans) {
+    if (orphan == leader_ip) continue;
+    auto rec = adapters_.find(orphan);
+    if (rec != adapters_.end() && rec->second.group_leader == leader_ip)
+      rec->second.group_leader = util::IpAddress();
+  }
+}
+
 void Central::mark_failed(util::IpAddress ip) {
   auto it = adapters_.find(ip);
   if (it == adapters_.end() || !it->second.alive) return;
   it->second.alive = false;
   it->second.last_change = sim_.now();
+
+  retire_group(ip);
+  if (it->second.group_leader == ip) it->second.group_leader = util::IpAddress();
 
   auto move = expected_moves_.find(ip);
   if (move != expected_moves_.end()) {

@@ -174,6 +174,7 @@ class Central {
     MemberInfo leader;
     std::uint64_t view = 0;
     std::uint64_t last_seq = 0;
+    sim::SimTime last_report = 0;  // lease: when the leader last reported
     std::set<util::IpAddress> members;
   };
 
@@ -195,11 +196,15 @@ class Central {
   void trace(obs::TraceKind kind, util::IpAddress ip = {},
              std::uint64_t a = 0);
   void arm_stability_timer();
+  void arm_lease_sweep();
+  void lease_sweep();
   void attest_leader(const MemberInfo& leader);
-  void claim_member(const MemberInfo& m, util::IpAddress leader);
+  bool claim_member(const MemberInfo& m, util::IpAddress leader,
+                    std::uint64_t view);
   void unassign(util::IpAddress ip);
   void mark_alive(const MemberInfo& m, util::IpAddress leader);
   void mark_failed(util::IpAddress ip);
+  void retire_group(util::IpAddress leader_ip);
   void commit_failure(util::IpAddress ip);  // after the move window
   void correlate_failure(util::IpAddress ip);
   void correlate_recovery(util::IpAddress ip);
@@ -230,6 +235,7 @@ class Central {
       util::SwitchId sw) const;
 
   sim::Timer stability_timer_;
+  sim::Timer lease_timer_;
   bool stable_ = false;
   sim::SimTime stable_time_ = -1;
 

@@ -100,6 +100,7 @@ void GsDaemon::start() {
           });
       if (!halted_) protocols_[i]->start();
     }
+    if (!halted_) arm_report_refresh();
   });
 }
 
@@ -111,6 +112,7 @@ void GsDaemon::halt() {
   for (auto& proto : protocols_) proto->shutdown();
   for (auto& outstanding : outstanding_) outstanding.reset();
   report_retry_timer_.cancel();
+  report_refresh_timer_.cancel();
   last_gsc_ = util::IpAddress();
 }
 
@@ -118,6 +120,7 @@ void GsDaemon::resume() {
   if (!halted_) return;
   halted_ = false;
   for (auto& proto : protocols_) proto->restart();
+  arm_report_refresh();
 }
 
 void GsDaemon::on_datagram(std::size_t index, const net::Datagram& dgram) {
@@ -251,6 +254,29 @@ void GsDaemon::report_retry_tick() {
     try_send_report(i);
   }
   if (any) arm_report_retry();
+}
+
+void GsDaemon::arm_report_refresh() {
+  if (params_.report_refresh <= 0) return;
+  report_refresh_timer_ =
+      sim_.after(params_.report_refresh, [this] { report_refresh_tick(); });
+}
+
+void GsDaemon::report_refresh_tick() {
+  report_refresh_timer_ = sim::Timer();
+  if (halted_) return;
+  // Re-establish each hosted group's lease at the GSC, even when nothing
+  // changed: silence is indistinguishable from a whole group dying at once.
+  for (std::size_t i = 0; i < protocols_.size(); ++i) {
+    if (outstanding_[i]) continue;  // a report is already in flight
+    if (!protocols_[i]->is_leader() || !protocols_[i]->is_committed()) continue;
+    // Refreshes are full snapshots: soft state re-asserted wholesale, so a
+    // member claim the GSC fenced off (or lost to a stale report) heals on
+    // the next cycle without any rejection/renegotiation machinery.
+    protocols_[i]->mark_need_full();
+    report_pending(i);
+  }
+  arm_report_refresh();
 }
 
 void GsDaemon::on_admin_committed(const MembershipView& view) {

@@ -97,6 +97,8 @@ class GsDaemon {
   void try_send_report(std::size_t index);
   void arm_report_retry();
   void report_retry_tick();
+  void arm_report_refresh();
+  void report_refresh_tick();
   void on_admin_committed(const MembershipView& view);
 
   sim::Simulator& sim_;
@@ -111,6 +113,7 @@ class GsDaemon {
   util::IpAddress last_gsc_;
   std::vector<std::optional<OutstandingReport>> outstanding_;
   sim::Timer report_retry_timer_;
+  sim::Timer report_refresh_timer_;
   bool started_ = false;
   bool halted_ = false;
 

@@ -235,6 +235,7 @@ std::optional<Probe> decode_Probe(std::span<const std::uint8_t> payload) {
 std::vector<std::uint8_t> encode(const ProbeAck& msg) {
   wire::Writer w;
   w.u64(msg.nonce);
+  w.boolean(msg.leads_prober);
   return w.take();
 }
 
@@ -242,6 +243,7 @@ std::optional<ProbeAck> decode_ProbeAck(std::span<const std::uint8_t> payload) {
   wire::Reader r(payload);
   ProbeAck msg;
   msg.nonce = r.u64();
+  msg.leads_prober = r.u8() != 0;
   if (!r.finish()) return std::nullopt;
   return msg;
 }

@@ -130,6 +130,11 @@ struct Probe {
 struct ProbeAck {
   static constexpr MsgType kType = MsgType::kProbeAck;
   std::uint64_t nonce = 0;
+  // True iff the responder is a committed leader whose view contains the
+  // prober. A takeover probe needs more than liveness: a leader that
+  // restarted (and, say, joined some other group) is alive yet has silently
+  // abandoned its old members, and its leadership must be treated as vacant.
+  bool leads_prober = false;
 };
 
 // Tells a peer its group state is obsolete (it was removed or its group was

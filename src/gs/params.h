@@ -71,6 +71,14 @@ struct Params {
   sim::SimDuration amg_stable_wait = sim::seconds(5);   // T_AMG
   sim::SimDuration gsc_stable_wait = sim::seconds(15);  // T_GSC
   sim::SimDuration report_retry = sim::seconds(2);
+  // Soft-state lease on the GSC's group table. Leaders re-send their report
+  // every report_refresh even without membership changes, and the GSC
+  // retires any group whose leader stayed silent for group_lease: when a
+  // whole group dies at once (e.g. the last node of a partition half), no
+  // survivor exists to report the death, so silence is the only signal.
+  // Zero disables refresh / expiry respectively.
+  sim::SimDuration report_refresh = sim::seconds(10);
+  sim::SimDuration group_lease = sim::seconds(25);
 
   // --- GulfStream Central (§3, §3.1) ---------------------------------------
   sim::SimDuration move_window = sim::seconds(10);  // move-inference hold

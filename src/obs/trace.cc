@@ -29,6 +29,8 @@ std::string_view to_string(TraceKind kind) {
     case TraceKind::kFailureHeld: return "failure-held";
     case TraceKind::kFailureCommitted: return "failure-committed";
     case TraceKind::kVerifyDecision: return "verify-decision";
+    case TraceKind::kGscReportApplied: return "gsc-report-applied";
+    case TraceKind::kGscReportDup: return "gsc-report-dup";
     case TraceKind::kWireSample: return "wire-sample";
     case TraceKind::kCount_: break;
   }
@@ -50,6 +52,7 @@ Severity default_severity(TraceKind kind) {
     case TraceKind::kBeaconSent:
     case TraceKind::kBeaconHeard:
     case TraceKind::kWireSample:
+    case TraceKind::kGscReportApplied:
       return Severity::kDebug;
     case TraceKind::kHeartbeatMiss:
     case TraceKind::kSuspicionRaised:

@@ -49,6 +49,8 @@ enum class TraceKind : std::uint8_t {
   kFailureHeld,       // failure held for the move window (§3.1); peer=adapter
   kFailureCommitted,  // window expired, failure is real; peer=adapter
   kVerifyDecision,    // verification pass ran; a=#inconsistencies
+  kGscReportApplied,  // report applied to the tables; peer=leader, a=seq, b=view
+  kGscReportDup,      // FULL snapshot acked as duplicate; peer=leader, a=seq, b=view
   // --- net::Fabric ---------------------------------------------------------
   kWireSample,  // periodic per-VLAN load; a=frames_sent, b=bytes_sent
 

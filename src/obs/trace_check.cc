@@ -1,0 +1,68 @@
+#include "obs/trace_check.h"
+
+#include <sstream>
+
+namespace gs::obs {
+
+TraceInvariants::TraceInvariants(TraceBus& bus)
+    : subscription_(bus.subscribe(
+          trace_mask({TraceKind::kTwoPcPrepare, TraceKind::kTwoPcCommit,
+                      TraceKind::kGscReportApplied, TraceKind::kGscReportDup}),
+          [this](const TraceRecord& record) { on_record(record); })) {}
+
+void TraceInvariants::on_record(const TraceRecord& record) {
+  ++records_checked_;
+
+  if (record.kind == TraceKind::kGscReportApplied) {
+    applied_[{record.source, record.peer}] = {record.a, record.b};
+    return;
+  }
+  if (record.kind == TraceKind::kGscReportDup) {
+    // The daemon is stop-and-wait, so the only report a leader can
+    // legitimately have in duplicate flight is the last one applied. A full
+    // snapshot dup-acked against anything else was fresh state Central
+    // threw away (the restarted leader's regressed seq counter).
+    auto it = applied_.find({record.source, record.peer});
+    if (it == applied_.end() || it->second.seq != record.a ||
+        it->second.view != record.b) {
+      std::ostringstream detail;
+      detail << "full snapshot from " << record.peer << " (seq " << record.a
+             << ", view " << record.b
+             << ") acked as a duplicate but never applied";
+      if (it != applied_.end())
+        detail << " (last applied: seq " << it->second.seq << ", view "
+               << it->second.view << ")";
+      violations_.push_back({record.time, record.source, detail.str()});
+    }
+    return;
+  }
+
+  CoordinatorState& state = coordinators_[record.source];
+  const std::uint64_t view = record.a;
+
+  if (record.kind == TraceKind::kTwoPcPrepare) {
+    state.prepared_views.insert(view);
+    return;
+  }
+
+  // kTwoPcCommit.
+  if (!state.prepared_views.count(view)) {
+    std::ostringstream detail;
+    detail << "2PC commit for view " << view
+           << " that this coordinator never prepared";
+    violations_.push_back({record.time, record.source, detail.str()});
+  }
+  if (view <= state.last_commit_view) {
+    std::ostringstream detail;
+    detail << "2PC commit view went backwards: " << view << " after "
+           << state.last_commit_view;
+    violations_.push_back({record.time, record.source, detail.str()});
+  }
+  state.last_commit_view = std::max(state.last_commit_view, view);
+  // Committed views retire every prepared view at or below them; the set
+  // stays bounded by in-flight proposals.
+  state.prepared_views.erase(state.prepared_views.begin(),
+                             state.prepared_views.upper_bound(view));
+}
+
+}  // namespace gs::obs

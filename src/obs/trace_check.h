@@ -1,0 +1,72 @@
+// Online protocol-invariant checking over the trace stream.
+//
+// TraceInvariants subscribes to a TraceBus and cross-checks protocol records
+// as they happen, catching bugs that end-state inspection cannot — a wedge
+// or phantom state that the recovery machinery later papers over leaves no
+// end-state evidence, but it cannot erase the trace. Checks:
+//  * a 2PC Commit must be for a view the coordinator Prepared;
+//  * a coordinator's committed views never go backwards;
+//  * a FULL membership snapshot Central acks as a duplicate must match the
+//    (seq, view) of the last report Central actually applied for that
+//    leader. The daemon is stop-and-wait, so a genuine duplicate is always
+//    a retry of exactly the last applied report; anything else means
+//    Central discarded fresh state — the restarted-leader regressed-seq
+//    wedge, invisible in the end state whenever a peer takeover happens to
+//    retire the wedged record before the run finishes.
+// The soak harness attaches one per run; any consumer of a TraceBus can do
+// the same.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gs::obs {
+
+struct TraceViolation {
+  sim::SimTime time = 0;
+  util::IpAddress source;
+  std::string detail;
+};
+
+class TraceInvariants {
+ public:
+  explicit TraceInvariants(TraceBus& bus);
+
+  TraceInvariants(const TraceInvariants&) = delete;
+  TraceInvariants& operator=(const TraceInvariants&) = delete;
+
+  [[nodiscard]] const std::vector<TraceViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t records_checked() const {
+    return records_checked_;
+  }
+
+ private:
+  void on_record(const TraceRecord& record);
+
+  struct CoordinatorState {
+    std::set<std::uint64_t> prepared_views;
+    std::uint64_t last_commit_view = 0;
+  };
+  std::map<util::IpAddress, CoordinatorState> coordinators_;
+  struct AppliedReport {
+    std::uint64_t seq = 0;
+    std::uint64_t view = 0;
+  };
+  // Last report each Central applied per reporting leader. Keyed by the
+  // (Central, leader) pair: a duplicate-ack is a claim about what *that*
+  // Central's tables hold, so it is judged against that Central's applies.
+  std::map<std::pair<util::IpAddress, util::IpAddress>, AppliedReport>
+      applied_;
+  std::vector<TraceViolation> violations_;
+  std::uint64_t records_checked_ = 0;
+  Subscription subscription_;  // last: unsubscribes before state dies
+};
+
+}  // namespace gs::obs

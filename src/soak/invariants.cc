@@ -1,0 +1,244 @@
+#include "soak/invariants.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gs::soak {
+
+std::string_view to_string(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kNotConverged: return "not-converged";
+    case Violation::Kind::kAmgMembership: return "amg-membership";
+    case Violation::Kind::kAmgLeadership: return "amg-leadership";
+    case Violation::Kind::kNoActiveCentral: return "no-active-central";
+    case Violation::Kind::kGscAdapter: return "gsc-adapter";
+    case Violation::Kind::kGscGroup: return "gsc-group";
+    case Violation::Kind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+std::string format_violations(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  for (const Violation& v : violations)
+    out << "[" << to_string(v.kind) << "] " << v.detail << "\n";
+  return out.str();
+}
+
+namespace {
+
+struct VlanTruth {
+  std::set<util::IpAddress> healthy;
+  util::IpAddress leader;  // highest healthy IP on the segment
+};
+
+class Checker {
+ public:
+  explicit Checker(farm::Farm& farm) : farm_(farm) {
+    net::Fabric& fabric = farm_.fabric();
+    for (std::size_t i = 0; i < fabric.adapter_count(); ++i) {
+      const util::AdapterId id(static_cast<std::uint32_t>(i));
+      by_ip_[fabric.adapter(id).ip()] = id;
+    }
+    for (util::VlanId vlan : farm_.vlans()) {
+      VlanTruth t;
+      for (util::AdapterId id : farm_.healthy_adapters_in_vlan(vlan)) {
+        const util::IpAddress ip = fabric.adapter(id).ip();
+        t.healthy.insert(ip);
+        t.leader = std::max(t.leader, ip);
+      }
+      if (!t.healthy.empty()) truth_[vlan] = std::move(t);
+    }
+  }
+
+  std::vector<Violation> run() {
+    check_amgs();
+    check_central();
+    return std::move(violations_);
+  }
+
+ private:
+  void add(Violation::Kind kind, const std::string& detail) {
+    violations_.push_back({kind, detail});
+  }
+
+  void check_amgs() {
+    for (const auto& [vlan, t] : truth_) {
+      std::optional<std::uint64_t> view_number;
+      for (util::IpAddress ip : t.healthy) {
+        proto::AdapterProtocol* proto = farm_.protocol_for(by_ip_.at(ip));
+        std::ostringstream who;
+        who << ip << " (vlan " << vlan.value() << ")";
+        if (proto == nullptr || !proto->is_committed()) {
+          add(Violation::Kind::kAmgMembership,
+              who.str() + " is healthy but not committed into any AMG");
+          continue;
+        }
+        const proto::MembershipView& view = proto->committed();
+        std::set<util::IpAddress> members;
+        util::IpAddress highest;
+        for (const proto::MemberInfo& m : view.members()) {
+          members.insert(m.ip);
+          highest = std::max(highest, m.ip);
+        }
+        if (members != t.healthy) {
+          std::ostringstream detail;
+          detail << who.str() << " committed view has " << members.size()
+                 << " member(s), ground truth has " << t.healthy.size();
+          add(Violation::Kind::kAmgMembership, detail.str());
+        }
+        if (view.leader().ip != highest) {
+          std::ostringstream detail;
+          detail << who.str() << " view leader " << view.leader().ip
+                 << " is not the highest IP in the view (" << highest << ")";
+          add(Violation::Kind::kAmgLeadership, detail.str());
+        }
+        if (proto->leader_ip() != t.leader) {
+          std::ostringstream detail;
+          detail << who.str() << " follows leader " << proto->leader_ip()
+                 << ", ground truth elects " << t.leader;
+          add(Violation::Kind::kAmgLeadership, detail.str());
+        }
+        if (!view_number) view_number = view.view();
+        if (*view_number != view.view()) {
+          std::ostringstream detail;
+          detail << who.str() << " holds view " << view.view()
+                 << ", its segment peers hold " << *view_number
+                 << " — more than one AMG on the segment";
+          add(Violation::Kind::kAmgMembership, detail.str());
+        }
+      }
+    }
+  }
+
+  void check_central() {
+    const auto expected_node = farm_.expected_gsc_node();
+    if (!expected_node) return;  // no eligible node healthy: nothing to host GSC
+    proto::Central* central = farm_.active_central();
+    if (central == nullptr) {
+      add(Violation::Kind::kNoActiveCentral,
+          "an eligible node is healthy but no Central instance is active");
+      return;
+    }
+    net::Fabric& fabric = farm_.fabric();
+    const std::size_t admin_index =
+        farm_.daemon(*expected_node).config().admin_adapter_index;
+    const util::IpAddress expected_ip =
+        fabric.adapter(farm_.node_adapters(*expected_node)[admin_index]).ip();
+    if (central->self_ip() != expected_ip) {
+      std::ostringstream detail;
+      detail << "active Central is " << central->self_ip()
+             << ", admin-AMG election says it should be " << expected_ip;
+      add(Violation::Kind::kNoActiveCentral, detail.str());
+    }
+
+    // Per-adapter table vs ground truth, both directions.
+    for (const auto& [vlan, t] : truth_) {
+      for (util::IpAddress ip : t.healthy) {
+        const auto status = central->adapter_status(ip);
+        std::ostringstream who;
+        who << ip << " (vlan " << vlan.value() << ")";
+        if (!status) {
+          add(Violation::Kind::kGscAdapter,
+              who.str() + " is healthy but unknown to Central");
+          continue;
+        }
+        if (!status->alive)
+          add(Violation::Kind::kGscAdapter,
+              who.str() + " is healthy but Central records it dead");
+        if (status->group_leader != t.leader) {
+          std::ostringstream detail;
+          detail << who.str() << " assigned to leader " << status->group_leader
+                 << " at Central, ground truth elects " << t.leader;
+          add(Violation::Kind::kGscAdapter, detail.str());
+        }
+      }
+    }
+    for (const auto& [ip, id] : by_ip_) {
+      const auto status = central->adapter_status(ip);
+      if (!status || !status->alive) continue;
+      if (fabric.adapter(id).health() != net::HealthState::kUp) {
+        std::ostringstream detail;
+        detail << ip << " is down but Central still records it alive"
+               << " (missed death)";
+        add(Violation::Kind::kGscAdapter, detail.str());
+      }
+    }
+
+    // Group table: exactly one group per populated segment, led and
+    // populated exactly as ground truth says.
+    std::map<util::VlanId, int> groups_seen;
+    for (const proto::Central::GroupInfo& group : central->groups()) {
+      auto leader_adapter = by_ip_.find(group.leader.ip);
+      if (leader_adapter == by_ip_.end()) {
+        std::ostringstream detail;
+        detail << "Central group led by unknown adapter " << group.leader.ip;
+        add(Violation::Kind::kGscGroup, detail.str());
+        continue;
+      }
+      const util::VlanId vlan = fabric.vlan_of(leader_adapter->second);
+      auto t = vlan.valid() ? truth_.find(vlan) : truth_.end();
+      if (t == truth_.end()) {
+        std::ostringstream detail;
+        detail << "stale Central group led by " << group.leader.ip
+               << " on a segment with no healthy adapters";
+        add(Violation::Kind::kGscGroup, detail.str());
+        continue;
+      }
+      ++groups_seen[vlan];
+      if (group.leader.ip != t->second.leader) {
+        std::ostringstream detail;
+        detail << "Central group on vlan " << vlan.value() << " led by "
+               << group.leader.ip << ", ground truth elects "
+               << t->second.leader;
+        add(Violation::Kind::kGscGroup, detail.str());
+      }
+      // The recorded view must be the one the leader actually committed: a
+      // lag here means the leader's reports are being dropped or misfiled
+      // (e.g. acked as duplicates), so the rest of the record is stale too.
+      proto::AdapterProtocol* leader_proto =
+          farm_.protocol_for(leader_adapter->second);
+      if (leader_proto != nullptr && leader_proto->is_committed() &&
+          leader_proto->is_leader() &&
+          group.view != leader_proto->committed().view()) {
+        std::ostringstream detail;
+        detail << "Central holds view " << group.view << " for the group led by "
+               << group.leader.ip << ", the leader's committed view is "
+               << leader_proto->committed().view()
+               << " — its reports are not being applied";
+        add(Violation::Kind::kGscGroup, detail.str());
+      }
+      const std::set<util::IpAddress> members(group.members.begin(),
+                                              group.members.end());
+      if (members != t->second.healthy) {
+        std::ostringstream detail;
+        detail << "Central group on vlan " << vlan.value() << " has "
+               << members.size() << " member(s), ground truth has "
+               << t->second.healthy.size();
+        add(Violation::Kind::kGscGroup, detail.str());
+      }
+    }
+    for (const auto& [vlan, t] : truth_) {
+      const int seen = groups_seen.count(vlan) ? groups_seen.at(vlan) : 0;
+      if (seen == 1) continue;
+      std::ostringstream detail;
+      detail << "Central records " << seen << " group(s) for vlan "
+             << vlan.value() << ", expected exactly one";
+      add(Violation::Kind::kGscGroup, detail.str());
+    }
+  }
+
+  farm::Farm& farm_;
+  std::map<util::IpAddress, util::AdapterId> by_ip_;
+  std::map<util::VlanId, VlanTruth> truth_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+std::vector<Violation> check_farm_invariants(farm::Farm& farm) {
+  return Checker(farm).run();
+}
+
+}  // namespace gs::soak

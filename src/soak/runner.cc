@@ -1,0 +1,86 @@
+#include "soak/runner.h"
+
+#include <sstream>
+
+#include "farm/scenario.h"
+#include "obs/trace_check.h"
+
+namespace gs::soak {
+
+namespace {
+
+SoakResult execute(const SoakOptions& opts,
+                   const std::vector<farm::ScriptAction>* fixed_schedule) {
+  sim::Simulator sim;
+  farm::Farm farm(sim, opts.spec, opts.params, opts.seed);
+  obs::TraceInvariants trace_check(farm.trace_bus());
+
+  SoakResult result;
+  result.schedule =
+      fixed_schedule ? *fixed_schedule : generate_schedule(farm, opts);
+
+  farm.start();
+  const auto converged = farm::run_until_converged(farm, opts.converge_deadline);
+  const auto stable =
+      converged ? farm::run_until_gsc_stable(farm, sim.now() +
+                                                       opts.converge_deadline)
+                : std::nullopt;
+  if (!converged || !stable) {
+    result.violations.push_back(
+        {Violation::Kind::kNotConverged,
+         "farm failed to converge before any fault was injected"});
+    result.sim_end = sim.now();
+    return result;
+  }
+  result.converged_initially = true;
+
+  // Shift the relative schedule past the convergence point, to the next
+  // whole second (keeping times deterministic for a given seed and spec).
+  const sim::SimTime offset = (sim.now() / sim::kSecond + 2) * sim::kSecond;
+  std::vector<farm::ScriptAction> shifted = result.schedule;
+  for (farm::ScriptAction& action : shifted) action.at += offset;
+  farm::schedule_script(farm, shifted, &result.script_run);
+  sim.run_until(offset + opts.horizon);
+
+  result.reconverged_at =
+      farm::run_until_converged(farm, sim.now() + opts.quiesce);
+  if (!result.reconverged_at) {
+    result.violations.push_back(
+        {Violation::Kind::kNotConverged,
+         "farm failed to re-converge within the quiesce window"});
+  } else {
+    // Protocol state has converged; give Central's tables time to catch up
+    // (report debounce, retries, the move-window hold on failures, and a
+    // full group-lease cycle so stale groups can expire).
+    const sim::SimDuration settle =
+        opts.settle > 0 ? opts.settle
+                        : opts.params.group_lease + opts.params.move_window +
+                              opts.params.amg_stable_wait +
+                              2 * opts.params.report_retry + sim::seconds(3);
+    sim.run_until(sim.now() + settle);
+    std::vector<Violation> violations = check_farm_invariants(farm);
+    result.violations.insert(result.violations.end(), violations.begin(),
+                             violations.end());
+  }
+
+  for (const obs::TraceViolation& tv : trace_check.violations()) {
+    std::ostringstream detail;
+    detail << tv.source << " at t=" << sim::to_seconds(tv.time)
+           << "s: " << tv.detail;
+    result.violations.push_back({Violation::Kind::kTrace, detail.str()});
+  }
+  result.trace_records_checked = trace_check.records_checked();
+  result.sim_end = sim.now();
+  return result;
+}
+
+}  // namespace
+
+SoakResult run_soak(const SoakOptions& opts) { return execute(opts, nullptr); }
+
+SoakResult run_schedule(const SoakOptions& opts,
+                        const std::vector<farm::ScriptAction>& schedule) {
+  return execute(opts, &schedule);
+}
+
+}  // namespace gs::soak

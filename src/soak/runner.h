@@ -1,0 +1,42 @@
+// Soak executor: one seeded fault-schedule run on a fresh farm.
+//
+// A run builds its own Simulator and Farm (so runs are independent and
+// thread-parallel), converges the initial topology, executes the schedule,
+// waits out a quiescent window, and checks every farm invariant — protocol
+// state, Central's tables, and the trace-derived 2PC checks that an
+// obs::TraceInvariants subscriber accumulated over the whole run.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "soak/invariants.h"
+#include "soak/schedule.h"
+
+namespace gs::soak {
+
+struct SoakResult {
+  bool converged_initially = false;
+  // Sim time at which the farm re-converged after the schedule; nullopt if
+  // it never did inside the quiesce window.
+  std::optional<sim::SimTime> reconverged_at;
+  // The schedule that ran, in *relative* time (as generated); print with
+  // farm::format_script().
+  std::vector<farm::ScriptAction> schedule;
+  farm::ScriptRun script_run;
+  std::vector<Violation> violations;
+  std::uint64_t trace_records_checked = 0;
+  sim::SimTime sim_end = 0;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+// Generates the schedule for opts.seed and executes it.
+[[nodiscard]] SoakResult run_soak(const SoakOptions& opts);
+
+// Executes a fixed schedule (relative times) on a fresh farm built from
+// `opts` — the replay path the shrinker and regression tests use.
+[[nodiscard]] SoakResult run_schedule(
+    const SoakOptions& opts, const std::vector<farm::ScriptAction>& schedule);
+
+}  // namespace gs::soak

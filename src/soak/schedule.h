@@ -1,0 +1,75 @@
+// Seeded fault-schedule generation for the soak harness.
+//
+// A schedule is an ordinary farm::Script action list with *relative* times
+// (the runner shifts it past the farm's initial convergence), sampled from
+// the farm's whole fault surface: node death/boot, adapter down/recv-dead/
+// send-dead, switch failure, VLAN partitions, GSC-driven domain moves, and
+// at least one kill of the node hosting GulfStream Central. Generation is
+// pure — the same (spec, seed, options) always yields the same schedule —
+// so any schedule replays bit-identically on a fresh farm of the same spec,
+// which is what lets the shrinker re-run subsets and lets a failing
+// schedule become a regression test verbatim via farm::format_script().
+#pragma once
+
+#include <vector>
+
+#include "farm/farm.h"
+#include "farm/script.h"
+#include "gs/params.h"
+
+namespace gs::soak {
+
+// Protocol timers tuned for soak throughput: short discovery and stability
+// waits (semantics unchanged), so one run costs a few sim-minutes instead
+// of tens.
+[[nodiscard]] proto::Params default_soak_params();
+
+struct SoakOptions {
+  std::uint64_t seed = 1;
+  farm::FarmSpec spec = farm::FarmSpec::oceano(2, 2, 2, 1, 2);
+  proto::Params params = default_soak_params();
+
+  // Fault-injection window (schedule times fall inside it) and how many
+  // faults to sample (a fault and its paired recovery count once).
+  sim::SimDuration horizon = sim::seconds(60);
+  int fault_count = 10;
+
+  // Relative sampling weights per fault family. Zero disables a family.
+  int weight_node = 3;
+  int weight_adapter_down = 2;
+  int weight_adapter_recv = 1;
+  int weight_adapter_send = 1;
+  int weight_switch = 1;
+  int weight_partition = 2;
+  int weight_move = 2;
+
+  // Fail (and recover) the node hosting GulfStream Central at least once,
+  // forcing an admin-AMG failover mid-run.
+  bool force_gsc_failover = true;
+
+  // Runner budgets: initial convergence deadline, post-schedule window to
+  // re-converge in, and extra settle time for Central's tables (0 derives
+  // it from the params' move window and report timers).
+  sim::SimDuration converge_deadline = sim::seconds(120);
+  sim::SimDuration quiesce = sim::seconds(60);
+  sim::SimDuration settle = 0;
+};
+
+// Samples a schedule for `farm` (which must be in its initial, pre-fault
+// topology; only static topology is read). Guarantees:
+//  * times are millisecond-aligned, non-decreasing, inside the horizon;
+//  * every fault is paired with its recovery before the horizon, except
+//    that at most one non-management node may stay dead (exercising
+//    Central's missed-death accounting) — and never a node whose death
+//    would empty some VLAN of adapters entirely; some node restarts are
+//    sub-second "blips", faster than peer failure detection, so volatile
+//    daemon state resets while every remote record of the node survives;
+//  * no two faults touch overlapping equipment at overlapping times, so
+//    recovery order is always well-defined;
+//  * domain moves only touch non-administrative adapters and VLANs (an
+//    adapter moved onto the admin VLAN would outrank every management node
+//    and hijack the GSC election — operator error, not a protocol case).
+[[nodiscard]] std::vector<farm::ScriptAction> generate_schedule(
+    farm::Farm& farm, const SoakOptions& opts);
+
+}  // namespace gs::soak

@@ -1,0 +1,125 @@
+#include "soak/shrink.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace gs::soak {
+
+namespace {
+
+using Unit = std::vector<farm::ScriptAction>;
+
+std::vector<farm::ScriptAction> flatten(const std::vector<Unit>& units) {
+  std::vector<farm::ScriptAction> out;
+  for (const Unit& unit : units)
+    out.insert(out.end(), unit.begin(), unit.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const farm::ScriptAction& a, const farm::ScriptAction& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+std::optional<farm::ActionKind> recovery_of(farm::ActionKind kind) {
+  switch (kind) {
+    case farm::ActionKind::kFailNode: return farm::ActionKind::kRecoverNode;
+    case farm::ActionKind::kFailAdapter:
+    case farm::ActionKind::kFailAdapterRecv:
+    case farm::ActionKind::kFailAdapterSend:
+      return farm::ActionKind::kRecoverAdapter;
+    case farm::ActionKind::kFailSwitch: return farm::ActionKind::kRecoverSwitch;
+    case farm::ActionKind::kPartitionVlan: return farm::ActionKind::kHealVlan;
+    default: return std::nullopt;
+  }
+}
+
+// Groups each fault with its matching recovery (the next unconsumed
+// recovery action for the same target); everything else is its own unit.
+std::vector<Unit> pair_units(const std::vector<farm::ScriptAction>& schedule) {
+  std::vector<bool> used(schedule.size(), false);
+  std::vector<Unit> units;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    Unit unit{schedule[i]};
+    if (const auto recovery = recovery_of(schedule[i].kind)) {
+      for (std::size_t j = i + 1; j < schedule.size(); ++j) {
+        if (used[j] || schedule[j].kind != *recovery ||
+            schedule[j].arg != schedule[i].arg)
+          continue;
+        used[j] = true;
+        unit.push_back(schedule[j]);
+        break;
+      }
+    }
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+ShrinkResult shrink_units(std::vector<Unit> units, const Oracle& oracle,
+                          std::size_t max_oracle_runs) {
+  ShrinkResult result;
+  bool budget_hit = false;
+  std::size_t chunk = units.size() / 2;
+  while (chunk >= 1 && !budget_hit) {
+    bool shrank = false;
+    std::size_t start = 0;
+    while (start < units.size()) {
+      if (result.oracle_runs >= max_oracle_runs) {
+        budget_hit = true;
+        break;
+      }
+      const std::size_t len = std::min(chunk, units.size() - start);
+      std::vector<Unit> candidate;
+      candidate.reserve(units.size() - len);
+      candidate.insert(candidate.end(), units.begin(),
+                       units.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       units.begin() +
+                           static_cast<std::ptrdiff_t>(start + len),
+                       units.end());
+      ++result.oracle_runs;
+      if (oracle(flatten(candidate))) {
+        units = std::move(candidate);
+        shrank = true;
+        // Do not advance: the chunk now at `start` has not been tried.
+      } else {
+        start += chunk;
+      }
+    }
+    // A successful removal can unlock earlier chunks; only narrow the
+    // chunk size once a full pass removes nothing at this granularity.
+    if (!shrank) chunk /= 2;
+  }
+  // If we ran to completion the last chunk==1 pass removed nothing, so the
+  // schedule is 1-minimal (per unit).
+  result.minimal = !budget_hit;
+  result.schedule = flatten(units);
+  return result;
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(std::vector<farm::ScriptAction> schedule,
+                             const Oracle& oracle,
+                             std::size_t max_oracle_runs) {
+  std::vector<Unit> units;
+  units.reserve(schedule.size());
+  for (const farm::ScriptAction& action : schedule) units.push_back({action});
+  return shrink_units(std::move(units), oracle, max_oracle_runs);
+}
+
+ShrinkResult shrink_schedule_paired(
+    const std::vector<farm::ScriptAction>& schedule, const Oracle& oracle,
+    std::size_t max_oracle_runs) {
+  return shrink_units(pair_units(schedule), oracle, max_oracle_runs);
+}
+
+Oracle make_soak_oracle(const SoakOptions& opts) {
+  return [opts](const std::vector<farm::ScriptAction>& candidate) {
+    return !run_schedule(opts, candidate).passed();
+  };
+}
+
+}  // namespace gs::soak

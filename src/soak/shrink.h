@@ -1,0 +1,48 @@
+// Greedy schedule shrinker (delta-debugging style).
+//
+// Given a fault schedule that makes some oracle fail, repeatedly try
+// dropping contiguous chunks — halving the chunk size from n/2 down to 1 —
+// and keep any reduction that still fails. The result is 1-minimal with
+// respect to single-event removal (deleting any one remaining event makes
+// the failure disappear), which in practice turns a 10-fault soak schedule
+// into the 2-3 events that actually matter.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "soak/runner.h"
+
+namespace gs::soak {
+
+// Returns true when the candidate schedule still reproduces the failure.
+using Oracle = std::function<bool(const std::vector<farm::ScriptAction>&)>;
+
+struct ShrinkResult {
+  std::vector<farm::ScriptAction> schedule;  // smallest failing schedule found
+  std::size_t oracle_runs = 0;
+  bool minimal = false;  // true if shrinking ran to completion within budget
+};
+
+// Precondition: oracle(schedule) is true. Each oracle run replays a full
+// soak, so `max_oracle_runs` bounds total work.
+[[nodiscard]] ShrinkResult shrink_schedule(
+    std::vector<farm::ScriptAction> schedule, const Oracle& oracle,
+    std::size_t max_oracle_runs = 250);
+
+// Like shrink_schedule, but a fault and its matching recovery (fail/recover
+// node, partition/heal, ...) are removed together, so every candidate stays
+// well-formed. Shrinking raw actions independently mostly rediscovers
+// "partition and never heal", which trivially violates the convergence
+// invariants without reproducing the original bug. Use this for schedules
+// from generate_schedule; the minimality guarantee is per *pair*.
+[[nodiscard]] ShrinkResult shrink_schedule_paired(
+    const std::vector<farm::ScriptAction>& schedule, const Oracle& oracle,
+    std::size_t max_oracle_runs = 250);
+
+// Oracle that replays a candidate schedule via run_schedule(opts, ...) and
+// reports whether any invariant is still violated.
+[[nodiscard]] Oracle make_soak_oracle(const SoakOptions& opts);
+
+}  // namespace gs::soak

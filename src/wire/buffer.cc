@@ -4,6 +4,11 @@
 
 namespace gs::wire {
 
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
 void Writer::patch_u32(std::size_t offset, std::uint32_t v) {
   GS_CHECK(offset + 4 <= bytes_.size());
   for (std::size_t i = 0; i < 4; ++i)

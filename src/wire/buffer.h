@@ -35,10 +35,9 @@ class Writer {
   }
   void boolean(bool v) { u8(v ? 1 : 0); }
 
-  void str(std::string_view s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    bytes_.insert(bytes_.end(), s.begin(), s.end());
-  }
+  // Out of line: GCC 12 at -O3 inlines the vector append into callers and
+  // issues spurious stringop-overflow errors for it.
+  void str(std::string_view s);
 
   void raw(std::span<const std::uint8_t> data) {
     bytes_.insert(bytes_.end(), data.begin(), data.end());

@@ -109,6 +109,52 @@ TEST_F(CentralTest, DuplicateReportIsIdempotent) {
   EXPECT_EQ(central_->known_adapter_count(), 2u);
 }
 
+TEST_F(CentralTest, RegressedSeqFullSnapshotIsAppliedNotDupAcked) {
+  // The leader's record sits at seq 5 when its daemon restarts; the reborn
+  // process numbers reports from 1 again. Its full snapshot must be applied
+  // — acking it as a duplicate would wedge the record, with every later
+  // report from this leader looking stale too.
+  report(full_report(9, 5, {member(9, 0), member(5, 1)}));
+  auto ack = report(full_report(9, 1, {member(9, 0), member(4, 2)}, 2));
+  EXPECT_FALSE(ack.need_full);
+  ASSERT_EQ(central_->groups().size(), 1u);
+  EXPECT_EQ(central_->groups()[0].view, 2u);
+  ASSERT_EQ(central_->groups()[0].members.size(), 2u);
+  EXPECT_TRUE(central_->adapter_status(ip(4)).has_value());
+
+  // And the record chains off the new numbering: delta seq 2 is no gap.
+  MembershipReport delta;
+  delta.seq = 2;
+  delta.view = 2;
+  delta.leader = member(9, 0);
+  delta.added = {member(3, 3)};
+  EXPECT_FALSE(report(delta).need_full);
+  EXPECT_EQ(central_->groups()[0].members.size(), 3u);
+}
+
+TEST_F(CentralTest, DuplicateFullReportRenewsGroupLease) {
+  params_.group_lease = sim::seconds(8);
+  Central central(sim_, params_, &db_, &console_);
+  central.activate(ip(200));
+  auto rep = full_report(9, 1, {member(9, 0), member(5, 1)});
+  const auto send = [&] {
+    central.handle_report(rep.leader.ip, rep, [](const ReportAck&) {});
+  };
+  send();
+  // Retransmissions of an already-applied report are first-hand evidence
+  // the leader is alive: each duplicate ack must renew the lease, or a
+  // leader whose acks keep getting lost would have its whole live group
+  // declared dead.
+  for (int i = 0; i < 4; ++i) {
+    sim_.run_until(sim_.now() + sim::seconds(5));
+    send();
+  }
+  EXPECT_EQ(central.groups().size(), 1u);
+  // Real silence past the lease still retires the group.
+  sim_.run_until(sim_.now() + sim::seconds(12));
+  EXPECT_TRUE(central.groups().empty());
+}
+
 TEST_F(CentralTest, FailureDeltaEmitsAdapterFailedAfterMoveWindow) {
   report(full_report(9, 1, {member(9, 0), member(5, 1)}));
   MembershipReport delta;

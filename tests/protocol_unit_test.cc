@@ -464,5 +464,131 @@ TEST_F(ProtocolUnit, ShutdownGoesSilentRestartRediscovers) {
   EXPECT_TRUE(proto_->is_committed());  // singleton re-formation
 }
 
+TEST_F(ProtocolUnit, DeferTimeoutTriesHeardLeaderBeforeSingleton) {
+  make_protocol(5);
+  proto_->start();
+  // A committed higher-IP leader beacons, but its Prepare never arrives
+  // (one-way loss, or it never noticed us).
+  Beacon b{};
+  b.self = member(9);
+  b.is_leader = true;
+  b.view = 4;
+  b.group_size = 2;
+  inject(ip(9), b);
+  sim_.run_until(sim_.now() + params_.beacon_phase + sim::milliseconds(1));
+  ASSERT_EQ(proto_->state(), AdapterState::kWaitingForLeader);
+
+  // First defer expiry: ask the heard leader for membership directly.
+  // Forming a singleton next to a live group only to merge moments later
+  // would put the whole segment through an extra view change.
+  sim_.run_until(sim_.now() + params_.defer_timeout + sim::milliseconds(1));
+  EXPECT_NE(find_sent(MsgType::kJoinRequest, ip(9)), nullptr);
+  EXPECT_FALSE(proto_->is_committed());
+
+  // Still nothing: the second expiry falls back to the singleton.
+  sim_.run_until(sim_.now() + params_.defer_timeout + sim::milliseconds(1));
+  ASSERT_TRUE(proto_->is_committed());
+  EXPECT_TRUE(proto_->is_leader());
+  EXPECT_EQ(proto_->committed().size(), 1u);
+}
+
+TEST_F(ProtocolUnit, StaleNoticeMapPrunedWhenPeerJoins) {
+  form_group_as_leader();
+  // A stale ex-member heartbeats us: one notice, one rate-limit entry.
+  Heartbeat hb{};
+  hb.view = proto_->committed().view();
+  hb.seq = 1;
+  inject(ip(7), hb);
+  EXPECT_NE(find_sent(MsgType::kStaleNotice, ip(7)), nullptr);
+  ASSERT_EQ(proto_->stale_notice_entries(), 1u);
+  sent_.clear();
+
+  // It re-discovers and joins; installing the view that contains it must
+  // drop its rate-limit entry, or the map grows by one entry per stale
+  // peer ever heard for as long as we stay committed.
+  JoinRequest join{};
+  join.members = {member(7)};
+  inject(ip(7), join);
+  sim_.run_until(sim_.now() + params_.change_debounce + sim::milliseconds(10));
+  const SentFrame* prep = find_sent(MsgType::kPrepare, ip(7));
+  ASSERT_NE(prep, nullptr);
+  PrepareAck ack{};
+  ack.view = decode_Prepare(prep->payload)->view;
+  ack.ok = true;
+  inject(ip(5), ack);
+  inject(ip(3), ack);
+  inject(ip(7), ack);
+  ASSERT_TRUE(proto_->committed().contains(ip(7)));
+  EXPECT_EQ(proto_->stale_notice_entries(), 0u);
+}
+
+TEST_F(ProtocolUnit, ProbeAckStatesWhetherResponderLeadsProber) {
+  form_group_as_leader();
+  Probe probe{};
+  probe.nonce = 1;
+  inject(ip(5), probe);  // group member
+  const SentFrame* in_group = find_sent(MsgType::kProbeAck, ip(5));
+  ASSERT_NE(in_group, nullptr);
+  EXPECT_TRUE(decode_ProbeAck(in_group->payload)->leads_prober);
+
+  probe.nonce = 2;
+  inject(ip(7), probe);  // stranger
+  const SentFrame* stranger = find_sent(MsgType::kProbeAck, ip(7));
+  ASSERT_NE(stranger, nullptr);
+  EXPECT_FALSE(decode_ProbeAck(stranger->payload)->leads_prober);
+}
+
+TEST_F(ProtocolUnit, TakeoverProceedsWhenProbedLeaderDisownsUs) {
+  make_protocol(5);
+  proto_->start();
+  Commit commit{};
+  commit.view = 7;
+  commit.members = {member(9), member(5), member(3)};
+  inject(ip(9), commit);
+  ASSERT_EQ(proto_->state(), AdapterState::kMember);
+
+  // A group-mate reports the leader dead; we are the first successor, so
+  // we verify with a probe before assuming leadership.
+  Suspect suspect{};
+  suspect.view = 7;
+  suspect.suspect = ip(9);
+  inject(ip(3), suspect);
+  const SentFrame* probe = find_sent(MsgType::kProbe, ip(9));
+  ASSERT_NE(probe, nullptr);
+
+  // The old leader answers — it is alive — but it restarted (or was
+  // absorbed elsewhere) and no longer leads any view containing us. Mere
+  // liveness must not veto the succession, or a blipped leader would
+  // wedge its orphans into re-suspecting it forever.
+  ProbeAck ack{};
+  ack.nonce = decode_Probe(probe->payload)->nonce;
+  ack.leads_prober = false;
+  inject(ip(9), ack);
+  EXPECT_TRUE(proto_->is_leader());
+  EXPECT_EQ(proto_->stats().takeovers, 1u);
+}
+
+TEST_F(ProtocolUnit, TakeoverStandsDownWhenLeaderStillClaimsUs) {
+  make_protocol(5);
+  proto_->start();
+  Commit commit{};
+  commit.view = 7;
+  commit.members = {member(9), member(5), member(3)};
+  inject(ip(9), commit);
+  Suspect suspect{};
+  suspect.view = 7;
+  suspect.suspect = ip(9);
+  inject(ip(3), suspect);
+  const SentFrame* probe = find_sent(MsgType::kProbe, ip(9));
+  ASSERT_NE(probe, nullptr);
+
+  ProbeAck ack{};
+  ack.nonce = decode_Probe(probe->payload)->nonce;
+  ack.leads_prober = true;  // false suspicion: the leader still counts us
+  inject(ip(9), ack);
+  EXPECT_EQ(proto_->state(), AdapterState::kMember);
+  EXPECT_EQ(proto_->stats().takeovers, 0u);
+}
+
 }  // namespace
 }  // namespace gs::proto

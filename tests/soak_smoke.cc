@@ -1,0 +1,99 @@
+// Randomized soak smoke: N seeded fault schedules on the oceano farm, each
+// mixing node/adapter/switch faults, partitions, VLAN moves, and a forced
+// GSC failover. Every run must end with zero invariant violations. On
+// failure, shrinks the schedule and prints a minimal reproducing script.
+//
+// Usage: soak_smoke [num_seeds] [first_seed]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "farm/script.h"
+#include "soak/runner.h"
+#include "soak/shrink.h"
+
+namespace {
+
+struct Failure {
+  std::uint64_t seed = 0;
+  gs::soak::SoakResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_seeds = argc > 1 ? std::atoi(argv[1]) : 25;
+  const std::uint64_t first_seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < num_seeds; ++i)
+    seeds.push_back(first_seed + static_cast<std::uint64_t>(i));
+
+  std::mutex mu;
+  std::vector<Failure> failures;
+  std::uint64_t traces_checked = 0;
+  std::size_t next = 0;
+
+  const unsigned workers =
+      std::min<unsigned>(std::thread::hardware_concurrency(),
+                         static_cast<unsigned>(seeds.size()));
+  std::vector<std::thread> pool;
+  for (unsigned w = 0; w < std::max(1u, workers); ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        std::uint64_t seed;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (next >= seeds.size()) return;
+          seed = seeds[next++];
+        }
+        gs::soak::SoakOptions opts;
+        opts.seed = seed;
+        gs::soak::SoakResult result = gs::soak::run_soak(opts);
+        std::lock_guard<std::mutex> lock(mu);
+        traces_checked += result.trace_records_checked;
+        if (!result.passed()) failures.push_back({seed, std::move(result)});
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  if (failures.empty()) {
+    std::printf("soak_smoke: %d seed(s) starting at %llu, 0 violations, "
+                "%llu trace records checked\n",
+                num_seeds, static_cast<unsigned long long>(first_seed),
+                static_cast<unsigned long long>(traces_checked));
+    return 0;
+  }
+
+  for (const Failure& f : failures) {
+    std::printf("=== seed %llu: %zu violation(s) ===\n%s",
+                static_cast<unsigned long long>(f.seed),
+                f.result.violations.size(),
+                gs::soak::format_violations(f.result.violations).c_str());
+    std::printf("--- schedule (%zu events) ---\n%s",
+                f.result.schedule.size(),
+                gs::farm::format_script(f.result.schedule).c_str());
+  }
+
+  // Shrink the first failure to a minimal reproducing schedule.
+  const Failure& first = failures.front();
+  gs::soak::SoakOptions opts;
+  opts.seed = first.seed;
+  gs::soak::ShrinkResult shrunk = gs::soak::shrink_schedule_paired(
+      first.result.schedule, gs::soak::make_soak_oracle(opts));
+  std::printf(
+      "--- minimal reproduction for seed %llu (%zu event(s), %zu oracle "
+      "run(s)%s) ---\n%s",
+      static_cast<unsigned long long>(first.seed), shrunk.schedule.size(),
+      shrunk.oracle_runs, shrunk.minimal ? "" : ", budget hit",
+      gs::farm::format_script(shrunk.schedule).c_str());
+  std::printf("replay: run_schedule with seed %llu and the script above\n",
+              static_cast<unsigned long long>(first.seed));
+  return 1;
+}

@@ -1,0 +1,218 @@
+// Soak harness unit tests: schedule generator determinism and
+// well-formedness, script round-trip, runner end-to-end, and the
+// schedule shrinker against a synthetic oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "farm/script.h"
+#include "soak/invariants.h"
+#include "soak/runner.h"
+#include "soak/schedule.h"
+#include "soak/shrink.h"
+
+namespace gs::soak {
+namespace {
+
+bool same_action(const farm::ScriptAction& a, const farm::ScriptAction& b) {
+  return a.at == b.at && a.kind == b.kind && a.arg == b.arg &&
+         a.vlan_arg == b.vlan_arg;
+}
+
+bool same_schedule(const std::vector<farm::ScriptAction>& a,
+                   const std::vector<farm::ScriptAction>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!same_action(a[i], b[i])) return false;
+  return true;
+}
+
+std::vector<farm::ScriptAction> generate(const SoakOptions& opts) {
+  sim::Simulator sim;
+  farm::Farm farm(sim, opts.spec, opts.params, opts.seed);
+  return generate_schedule(farm, opts);
+}
+
+TEST(SoakSchedule, DeterministicForSeed) {
+  SoakOptions opts;
+  opts.seed = 7;
+  const auto first = generate(opts);
+  const auto second = generate(opts);
+  EXPECT_FALSE(first.empty());
+  EXPECT_TRUE(same_schedule(first, second));
+
+  opts.seed = 8;
+  EXPECT_FALSE(same_schedule(first, generate(opts)));
+}
+
+TEST(SoakSchedule, WellFormed) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SoakOptions opts;
+    opts.seed = seed;
+    const auto schedule = generate(opts);
+    ASSERT_FALSE(schedule.empty()) << "seed " << seed;
+
+    sim::SimTime prev = 0;
+    int unrecovered_nodes = 0;
+    std::map<std::uint32_t, int> adapters_down;
+    std::set<std::uint32_t> partitioned;
+    for (const farm::ScriptAction& action : schedule) {
+      EXPECT_GE(action.at, prev) << "seed " << seed;
+      prev = action.at;
+      EXPECT_EQ(action.at % sim::kMillisecond, 0) << "seed " << seed;
+      EXPECT_GE(action.at, sim::kSecond) << "seed " << seed;
+      EXPECT_LT(action.at, opts.horizon) << "seed " << seed;
+      switch (action.kind) {
+        case farm::ActionKind::kFailNode: ++unrecovered_nodes; break;
+        case farm::ActionKind::kRecoverNode: --unrecovered_nodes; break;
+        case farm::ActionKind::kFailAdapter:
+        case farm::ActionKind::kFailAdapterRecv:
+        case farm::ActionKind::kFailAdapterSend:
+          ++adapters_down[action.arg];
+          break;
+        case farm::ActionKind::kRecoverAdapter:
+          --adapters_down[action.arg];
+          break;
+        case farm::ActionKind::kPartitionVlan:
+          EXPECT_TRUE(partitioned.insert(action.arg).second)
+              << "seed " << seed << ": vlan " << action.arg
+              << " partitioned while already split";
+          break;
+        case farm::ActionKind::kHealVlan:
+          EXPECT_EQ(partitioned.erase(action.arg), 1u) << "seed " << seed;
+          break;
+        case farm::ActionKind::kMoveAdapter:
+          // Never into (or out of) the admin VLAN: an admin move would
+          // re-rank the GSC election by IP construction.
+          EXPECT_NE(action.vlan_arg, farm::admin_vlan().value())
+              << "seed " << seed;
+          break;
+        default: break;
+      }
+    }
+    // Everything recovers except at most one permanently dead node.
+    EXPECT_GE(unrecovered_nodes, 0) << "seed " << seed;
+    EXPECT_LE(unrecovered_nodes, 1) << "seed " << seed;
+    for (const auto& [adapter, down] : adapters_down)
+      EXPECT_EQ(down, 0) << "seed " << seed << " adapter " << adapter;
+    EXPECT_TRUE(partitioned.empty()) << "seed " << seed;
+  }
+}
+
+TEST(SoakSchedule, ForcedGscFailoverPresent) {
+  SoakOptions opts;
+  opts.seed = 3;
+  sim::Simulator sim;
+  farm::Farm farm(sim, opts.spec, opts.params, opts.seed);
+  const auto gsc_node = farm.expected_gsc_node();
+  ASSERT_TRUE(gsc_node.has_value());
+  bool failed = false;
+  bool recovered = false;
+  for (const farm::ScriptAction& action : generate_schedule(farm, opts)) {
+    if (action.arg != *gsc_node) continue;
+    if (action.kind == farm::ActionKind::kFailNode) failed = true;
+    if (action.kind == farm::ActionKind::kRecoverNode) recovered = true;
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(recovered);
+}
+
+TEST(SoakSchedule, ScriptRoundTrip) {
+  SoakOptions opts;
+  opts.seed = 11;
+  const auto schedule = generate(opts);
+  const std::string text = farm::format_script(schedule);
+  const farm::ScriptParseResult parsed = farm::parse_script(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error << " (line " << parsed.error_line
+                           << ")\n" << text;
+  EXPECT_TRUE(same_schedule(schedule, parsed.actions)) << text;
+}
+
+TEST(SoakRunner, CleanFarmPassesWithEmptySchedule) {
+  SoakOptions opts;
+  opts.seed = 1;
+  opts.horizon = sim::seconds(20);
+  const SoakResult result = run_schedule(opts, {});
+  EXPECT_TRUE(result.converged_initially);
+  EXPECT_TRUE(result.passed()) << format_violations(result.violations);
+  EXPECT_TRUE(result.reconverged_at.has_value());
+  EXPECT_GT(result.trace_records_checked, 0u);
+}
+
+TEST(SoakRunner, SeededFaultScheduleConverges) {
+  SoakOptions opts;
+  opts.seed = 42;
+  const SoakResult result = run_soak(opts);
+  EXPECT_TRUE(result.converged_initially);
+  EXPECT_TRUE(result.passed())
+      << format_violations(result.violations) << "schedule:\n"
+      << farm::format_script(result.schedule);
+  EXPECT_EQ(result.script_run.failed, 0u);
+  EXPECT_EQ(result.script_run.executed, result.schedule.size());
+}
+
+TEST(SoakRunner, LeaderBlipDuringSuccessorOutageRegression) {
+  // Shrunk from soak seed 78 (4 events): node 6 hosts the vlan-100 leader
+  // and blips for 566ms while node 5 — the next-ranked peer — is down. The
+  // leader's daemon restarts with its report seq counter reset to 1 while
+  // Central still holds its record at seq ~11. Without the regressed-seq
+  // handling in Central::handle_report, every full snapshot the reborn
+  // leader sends is acked as a duplicate and the record wedges; the
+  // kGscReportDup trace invariant pins it even when a later takeover
+  // happens to retire the wedged record before the end-state check.
+  const farm::ScriptParseResult parsed = farm::parse_script(
+      "at 17163ms fail-node 5\n"
+      "at 17269ms fail-node 6\n"
+      "at 17835ms recover-node 6\n"
+      "at 31225ms recover-node 5\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  SoakOptions opts;
+  opts.seed = 78;
+  const SoakResult result = run_schedule(opts, parsed.actions);
+  EXPECT_TRUE(result.converged_initially);
+  EXPECT_TRUE(result.passed()) << format_violations(result.violations);
+}
+
+TEST(SoakShrink, FindsMinimalSubsetWithSyntheticOracle) {
+  // Ten events; the "bug" fires iff fail-node 3 and fail-node 7 are both
+  // present. The shrinker must isolate exactly that pair.
+  std::vector<farm::ScriptAction> schedule;
+  for (std::uint32_t i = 0; i < 10; ++i)
+    schedule.push_back({sim::seconds(static_cast<std::int64_t>(i + 1)),
+                        farm::ActionKind::kFailNode, i, 0});
+  std::size_t calls = 0;
+  const Oracle oracle = [&calls](const std::vector<farm::ScriptAction>& s) {
+    ++calls;
+    bool has3 = false;
+    bool has7 = false;
+    for (const farm::ScriptAction& action : s) {
+      if (action.arg == 3) has3 = true;
+      if (action.arg == 7) has7 = true;
+    }
+    return has3 && has7;
+  };
+  const ShrinkResult shrunk = shrink_schedule(schedule, oracle);
+  ASSERT_EQ(shrunk.schedule.size(), 2u);
+  EXPECT_EQ(shrunk.schedule[0].arg, 3u);
+  EXPECT_EQ(shrunk.schedule[1].arg, 7u);
+  EXPECT_TRUE(shrunk.minimal);
+  EXPECT_EQ(shrunk.oracle_runs, calls);
+}
+
+TEST(SoakShrink, RespectsOracleBudget) {
+  std::vector<farm::ScriptAction> schedule(
+      8, {sim::kSecond, farm::ActionKind::kVerify, 0, 0});
+  // Only the full schedule fails, so no removal ever succeeds and the
+  // shrinker burns its whole budget probing.
+  const Oracle full_only = [](const std::vector<farm::ScriptAction>& s) {
+    return s.size() == 8;
+  };
+  const ShrinkResult shrunk = shrink_schedule(schedule, full_only, 2);
+  EXPECT_EQ(shrunk.oracle_runs, 2u);
+  EXPECT_FALSE(shrunk.minimal);
+  EXPECT_EQ(shrunk.schedule.size(), 8u);
+}
+
+}  // namespace
+}  // namespace gs::soak
