@@ -162,6 +162,10 @@ void AdapterProtocol::defer_expired() {
       defer_join_attempted_ = true;
       GS_LOG(kDebug, "amg") << self_ip() << " defer timeout; joining leader "
                             << target;
+      // This attempt buys a full extra defer period — it must actually go
+      // out. Clear the join rate limiter so maybe_send_join cannot silently
+      // swallow it because some earlier join to the same target was recent.
+      last_join_sent_ = -1;
       maybe_send_join(target);
       defer_timer_ =
           sim_.after(params_.defer_timeout, [this] { defer_expired(); });

@@ -115,12 +115,20 @@ void Central::handle_report(util::IpAddress from,
   ack.leader = report.leader.ip;
 
   auto it = groups_.find(report.leader.ip);
-  if (it != groups_.end() && report.seq <= it->second.last_seq &&
-      (!report.full || report.seq == it->second.last_seq)) {
+  const bool duplicate =
+      it != groups_.end() &&
+      (report.full ? report.seq == it->second.last_seq &&
+                         report.view == it->second.view
+                   : report.seq <= it->second.last_seq);
+  if (duplicate) {
     // Duplicate of something already applied — idempotent ack. A *full*
-    // report whose seq regressed below last_seq is not a duplicate, though:
-    // the leader's daemon restarted (its seq counter died with the process)
-    // and is establishing the group anew. Ack-without-apply would wedge the
+    // report is a duplicate only when BOTH its seq and view match the
+    // record: a restarted leader's daemon numbers reports from scratch
+    // (its counter died with the process), so its fresh snapshot can
+    // collide with last_seq at small values while carrying a different
+    // view. The (seq, view) pair identifies the snapshot; anything else —
+    // regressed seq, colliding seq with a new view — is the leader
+    // establishing the group anew. Ack-without-apply would wedge the
     // group here forever, every fresh report looking "stale". Let the
     // snapshot fall through and reset last_seq.
     //
@@ -184,6 +192,7 @@ void Central::handle_report(util::IpAddress from,
     // A full snapshot can still carry deaths — notably the old leader a
     // takeover removed, which no delta will ever mention.
     for (const RemovedMember& rm : report.removed) {
+      if (rm.ip == report.leader.ip) continue;  // a leader never removes itself
       if (group.members.count(rm.ip)) continue;  // re-added since
       auto rec = adapters_.find(rm.ip);
       if (rec == adapters_.end()) continue;
@@ -232,19 +241,24 @@ void Central::handle_report(util::IpAddress from,
         unassign(rm.ip);
     }
   }
-  // A record left with no members — every claim fenced as stale, or the
-  // leader itself held by a fresher view — carries no information; drop it
-  // now rather than letting it sit until its lease expires.
-  auto emptied = groups_.find(report.leader.ip);
-  if (emptied != groups_.end() && emptied->second.members.empty())
-    groups_.erase(emptied);
+  // Records left with no members — every claim fenced as stale, the leader
+  // itself held by a fresher view, or a lone member unassigned away — carry
+  // no information; drop them now rather than letting them sit until their
+  // lease expires. This sweep is the ONLY place empty records are erased:
+  // unassign() must not erase mid-report, because handle_report holds a
+  // reference into groups_ across the reconciliation loops above.
+  std::erase_if(groups_,
+                [](const auto& entry) { return entry.second.members.empty(); });
   obs::emit_trace(params_.trace, obs::TraceKind::kGscReportApplied, sim_.now(),
                   self_ip_, report.leader.ip, report.seq, report.view);
   reply(ack);
 }
 
 void Central::arm_lease_sweep() {
-  if (params_.group_lease <= 0) return;
+  // Lease expiry only makes sense while leaders renew: with report_refresh
+  // disabled a healthy-but-unchanged group never re-reports, and sweeping
+  // would declare its whole membership dead on schedule.
+  if (params_.group_lease <= 0 || params_.report_refresh <= 0) return;
   const sim::SimDuration period =
       std::max<sim::SimDuration>(params_.group_lease / 4, sim::kSecond);
   lease_timer_ = sim_.after(period, [this] { lease_sweep(); });
@@ -338,10 +352,11 @@ void Central::unassign(util::IpAddress ip) {
   auto it = adapters_.find(ip);
   if (it == adapters_.end()) return;
   auto group = groups_.find(it->second.group_leader);
-  if (group != groups_.end()) {
-    group->second.members.erase(ip);
-    if (group->second.members.empty()) groups_.erase(group);
-  }
+  // Do not erase the record here even if it just became empty: handle_report
+  // calls unassign() while holding a reference into groups_, and erasing the
+  // referenced record would leave it dangling. The sweep at the end of
+  // handle_report retires empty records instead.
+  if (group != groups_.end()) group->second.members.erase(ip);
   it->second.group_leader = util::IpAddress();
 }
 

@@ -76,7 +76,9 @@ struct Params {
   // retires any group whose leader stayed silent for group_lease: when a
   // whole group dies at once (e.g. the last node of a partition half), no
   // survivor exists to report the death, so silence is the only signal.
-  // Zero disables refresh / expiry respectively.
+  // Zero group_lease disables expiry; zero report_refresh disables the
+  // refresh AND the expiry sweep (without renewals every healthy-but-quiet
+  // group would expire on schedule).
   sim::SimDuration report_refresh = sim::seconds(10);
   sim::SimDuration group_lease = sim::seconds(25);
 

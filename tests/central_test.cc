@@ -132,6 +132,80 @@ TEST_F(CentralTest, RegressedSeqFullSnapshotIsAppliedNotDupAcked) {
   EXPECT_EQ(central_->groups()[0].members.size(), 3u);
 }
 
+TEST_F(CentralTest, FullSnapshotWithCollidingSeqButNewViewIsApplied) {
+  // A restarted leader numbers from scratch, so its fresh snapshot can
+  // collide with last_seq at small values. Only an exact (seq, view) match
+  // is a retransmission; a colliding seq under a new view is fresh state
+  // and must be applied, not dup-acked.
+  report(full_report(9, 1, {member(9, 0), member(5, 1)}));
+  auto ack = report(full_report(9, 1, {member(9, 0), member(4, 2)}, 3));
+  EXPECT_FALSE(ack.need_full);
+  ASSERT_EQ(central_->groups().size(), 1u);
+  EXPECT_EQ(central_->groups()[0].view, 3u);
+  ASSERT_EQ(central_->groups()[0].members.size(), 2u);
+  EXPECT_TRUE(central_->adapter_status(ip(4)).has_value());
+  EXPECT_EQ(central_->adapter_status(ip(5))->group_leader, util::IpAddress());
+
+  // An exact retransmission (same seq AND view) is still idempotent.
+  report(full_report(9, 1, {member(9, 0), member(4, 2)}, 3));
+  ASSERT_EQ(central_->groups().size(), 1u);
+  EXPECT_EQ(central_->groups()[0].members.size(), 2u);
+}
+
+TEST_F(CentralTest, StaleReportFromRetiredLeaderCannotCorruptGroupTable) {
+  // Regression: a stale pre-takeover report whose every membership claim is
+  // fenced by a fresher view leaves the (re-created) group record empty;
+  // its removed-member entries then drove unassign() into erasing that
+  // record mid-loop while handle_report still held a reference into it.
+  report(full_report(9, 1, {member(9, 0), member(5, 1), member(6, 2)}));
+
+  // Adapter 5 dies: its record keeps group_leader=9 even once failed.
+  MembershipReport death;
+  death.seq = 2;
+  death.view = 1;
+  death.leader = member(9, 0);
+  death.removed = {{ip(5), RemoveReason::kFailed}};
+  report(death);
+
+  // A fresher group (view 5) absorbs 9 and 6; group 9 is retired.
+  report(full_report(12, 1, {member(12, 3), member(9, 0), member(6, 2)}, 5));
+  ASSERT_EQ(central_->groups().size(), 1u);
+
+  // The stale report from 9 arrives late: its claim of itself is fenced by
+  // group 12's fresher view (zero successful claims), and its death list
+  // touches both an adapter still recorded under 9 and one group 12 owns.
+  MembershipReport stale;
+  stale.seq = 3;
+  stale.view = 1;
+  stale.full = true;
+  stale.leader = member(9, 0);
+  stale.added = {member(9, 0)};
+  stale.removed = {{ip(5), RemoveReason::kLeft}, {ip(6), RemoveReason::kLeft}};
+  report(stale);
+
+  // Group 12 is untouched; the stale leader's empty record was swept.
+  ASSERT_EQ(central_->groups().size(), 1u);
+  EXPECT_EQ(central_->groups()[0].leader.ip, ip(12));
+  EXPECT_EQ(central_->groups()[0].members.size(), 3u);
+  EXPECT_EQ(central_->adapter_status(ip(5))->group_leader, util::IpAddress());
+  EXPECT_EQ(central_->adapter_status(ip(6))->group_leader, ip(12));
+}
+
+TEST_F(CentralTest, LeaseSweepDisabledWhenRefreshDisabled) {
+  // With report_refresh = 0 leaders never renew, so lease expiry must be
+  // off too — otherwise every healthy-but-unchanged group would be swept
+  // and its whole membership declared dead on schedule.
+  params_.report_refresh = 0;
+  params_.group_lease = sim::seconds(8);
+  Central central(sim_, params_, &db_, &console_);
+  central.activate(ip(200));
+  auto rep = full_report(9, 1, {member(9, 0), member(5, 1)});
+  central.handle_report(rep.leader.ip, rep, [](const ReportAck&) {});
+  sim_.run_until(sim_.now() + sim::seconds(40));
+  EXPECT_EQ(central.groups().size(), 1u);
+  EXPECT_TRUE(central.adapter_status(ip(5))->alive);
+}
+
 TEST_F(CentralTest, DuplicateFullReportRenewsGroupLease) {
   params_.group_lease = sim::seconds(8);
   Central central(sim_, params_, &db_, &console_);
