@@ -111,6 +111,8 @@ int main(int argc, char** argv) {
   std::printf("%10s %13s %12s %26s\n", "", "as move", "as death", "");
   gs::bench::print_rule(66);
 
+  gs::bench::BenchJson json("ablation_move_window");
+  json.set("trials", trials);
   for (double window : windows) {
     int moves = 0, deaths = 0;
     std::vector<MoveOutcome> outcomes(static_cast<std::size_t>(trials));
@@ -130,6 +132,12 @@ int main(int argc, char** argv) {
     const auto s = gs::util::Summary::of(latencies);
     std::printf("%9.1fs %10d/%-2d %9d/%-2d %20.2f ±%.2fs\n", window, moves,
                 trials, deaths, trials, s.mean, s.stddev);
+    auto& row = json.add_row("windows");
+    row.set("window_s", window);
+    row.set("moves_inferred", moves);
+    row.set("moves_as_death", deaths);
+    row.set("death_notify_mean_s", s.mean);
+    row.set("death_notify_stddev_s", s.stddev);
   }
 
   std::printf(
@@ -138,5 +146,6 @@ int main(int argc, char** argv) {
       "and operator moves leak out as spurious deaths; above it every move\n"
       "is inferred. True-death latency = detection + recommit + report +\n"
       "window, i.e. grows linearly with the window — pick the knee.\n");
+  json.write();
   return 0;
 }

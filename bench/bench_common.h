@@ -1,18 +1,150 @@
-// Shared support for the experiment harnesses: table printing and parallel
-// trial execution. Each bench binary reproduces one figure/table of the
-// paper (see DESIGN.md's experiment index) and prints the same rows/series
-// the paper reports.
+// Shared support for the experiment harnesses: table printing, parallel
+// trial execution, and machine-readable result emission. Each bench binary
+// reproduces one figure/table of the paper (see DESIGN.md's experiment
+// index), prints the same rows/series the paper reports, and writes a
+// BENCH_<name>.json summary so CI can archive trajectories and diff runs.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace gs::bench {
+
+// An insertion-ordered flat JSON object of pre-rendered scalar fields.
+class JsonObj {
+ public:
+  void set(const std::string& key, double v) {
+    char buf[40];
+    if (std::isfinite(v)) {
+      std::snprintf(buf, sizeof buf, "%.10g", v);
+      add(key, buf);
+    } else {
+      add(key, "null");  // JSON has no nan/inf
+    }
+  }
+  void set(const std::string& key, std::int64_t v) {
+    add(key, std::to_string(v));
+  }
+  void set(const std::string& key, std::uint64_t v) {
+    add(key, std::to_string(v));
+  }
+  void set(const std::string& key, int v) { set(key, std::int64_t{v}); }
+  void set(const std::string& key, bool v) { add(key, v ? "true" : "false"); }
+  void set(const std::string& key, const std::string& v) {
+    std::string quoted;
+    quoted += '"';
+    quoted += escaped(v);
+    quoted += '"';
+    add(key, std::move(quoted));
+  }
+  void set(const std::string& key, const char* v) { set(key, std::string(v)); }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += '"';
+      out += escaped(fields_[i].first);
+      out += "\": ";
+      out += fields_[i].second;
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+  void add(const std::string& key, std::string rendered) {
+    for (auto& [k, v] : fields_) {
+      if (k == key) {
+        v = std::move(rendered);
+        return;
+      }
+    }
+    fields_.emplace_back(key, std::move(rendered));
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Collects a bench run's headline scalars plus named row series, and writes
+// them to BENCH_<name>.json in the working directory. Every bench calls
+// write() on exit so scaling trajectories are diffable across commits.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    top_.set("bench", name_);
+  }
+
+  template <typename T>
+  void set(const std::string& key, T v) {
+    top_.set(key, v);
+  }
+
+  // Appends a row object to the named series (created on first use).
+  JsonObj& add_row(const std::string& series) {
+    for (auto& [name, rows] : series_)
+      if (name == series) return rows.emplace_back();
+    series_.emplace_back(series, std::vector<JsonObj>{});
+    return series_.back().second.emplace_back();
+  }
+
+  // Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
+  bool write() const {
+    std::string path = "BENCH_";
+    path += name_;
+    path += ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string out = top_.render();
+    out.pop_back();  // re-open the top-level object for the series
+    for (const auto& [name, rows] : series_) {
+      out += ", \"";
+      out += name;
+      out += "\": [";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rows[i].render();
+      }
+      out += ']';
+    }
+    out += "}\n";
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (ok) std::printf("\nwrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  JsonObj top_;
+  std::vector<std::pair<std::string, std::vector<JsonObj>>> series_;
+};
 
 // Runs fn(trial_index) for trials in parallel across hardware threads; each
 // trial owns its own Simulator/Farm, so this is safe and deterministic per

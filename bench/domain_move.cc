@@ -119,6 +119,8 @@ int main(int argc, char** argv) {
       "Dynamic domain reconfiguration (Section 3.1) — Oceano farm, "
       "2 domains x (4 front + 4 back)");
 
+  gs::bench::BenchJson json("domain_move");
+  json.set("moves_per_scenario", moves);
   for (bool expected : {true, false}) {
     std::vector<double> inference;
     MoveResult result = run_moves(expected, moves, 17, &inference);
@@ -133,6 +135,14 @@ int main(int argc, char** argv) {
                 result.restabilize_s);
     std::printf("  spurious AdapterFailed notifications: %zu\n",
                 result.spurious_failures);
+    auto& row = json.add_row("scenarios");
+    row.set("expected", expected);
+    row.set("moves_completed", static_cast<std::uint64_t>(inference.size()));
+    row.set("inference_mean_s", s.mean);
+    row.set("inference_stddev_s", s.stddev);
+    row.set("restabilize_mean_s", result.restabilize_s);
+    row.set("spurious_failures",
+            static_cast<std::uint64_t>(result.spurious_failures));
   }
 
   std::printf(
@@ -141,5 +151,6 @@ int main(int argc, char** argv) {
       "moves — not deaths — once the rejoin is observed inside the move\n"
       "window; re-stabilization is dominated by heartbeat detection of the\n"
       "departed member plus the beacon/merge of the arriving one.\n");
+  json.write();
   return 0;
 }

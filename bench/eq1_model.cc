@@ -74,6 +74,8 @@ int main(int argc, char** argv) {
       by_cell[{work[i].cell.beacon_s, work[i].cell.nodes}].push_back(
           measured[i]);
 
+  gs::bench::BenchJson json("eq1_model");
+  json.set("trials_per_cell", trials);
   for (const Cell& cell : cells) {
     const double model = cell.beacon_s + kAmgWait + kGscWait;
     auto it = by_cell.find({cell.beacon_s, cell.nodes});
@@ -83,6 +85,13 @@ int main(int argc, char** argv) {
     all_delta.push_back(delta);
     std::printf("%8.0f %8d %12.1f %12.2f %11.2f ±%4.2f\n", cell.beacon_s,
                 cell.nodes, model, summary.mean, delta, summary.stddev);
+    auto& row = json.add_row("cells");
+    row.set("t_b_s", cell.beacon_s);
+    row.set("nodes", cell.nodes);
+    row.set("model_s", model);
+    row.set("measured_mean_s", summary.mean);
+    row.set("measured_stddev_s", summary.stddev);
+    row.set("delta_s", delta);
   }
 
   const auto delta_summary = gs::util::Summary::of(all_delta);
@@ -92,5 +101,9 @@ int main(int argc, char** argv) {
               "delta = start-up skew + late beacon timer (1-2s) + 2PC and\n"
               "report debounce scheduling. Constancy across T_b and size is\n"
               "the property Equation 1 asserts.\n");
+  json.set("delta_min_s", delta_summary.min);
+  json.set("delta_max_s", delta_summary.max);
+  json.set("delta_mean_s", delta_summary.mean);
+  json.write();
   return 0;
 }

@@ -1,0 +1,323 @@
+// Farm-scale stress of the simulator core (ROADMAP: "as fast as the
+// hardware allows"). Two phases over a 5 000-adapter / 64-VLAN farm:
+//
+//  steady state  every adapter beacons its VLAN twice a second while an
+//                FD-style suspicion timer is cancelled and re-armed on
+//                every delivery; a mid-run fault burst fails switches and
+//                nodes, then recovers them. Reported: simulator events/s,
+//                frames sent+delivered/s (wall clock), peak RSS.
+//
+//  multicast path  the cost of putting one multicast on the wire, measured
+//                two ways: the indexed implementation (per-VLAN membership
+//                index, refcounted payload) vs an in-bench replica of the
+//                pre-index algorithm (whole-farm scan per frame, payload
+//                cloned per receiver). Delivery execution is identical in
+//                both, so only enqueue time is on the clock. The ratio is
+//                the speedup the index buys; --min_speedup turns a scaling
+//                regression into a nonzero exit, which CI treats as a
+//                failure.
+//
+// Results additionally go to BENCH_farm_scale.json (see bench_common.h).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#ifdef __unix__
+#include <sys/resource.h>
+#endif
+
+#include "bench/bench_common.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "wire/frame.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double peak_rss_mib() {
+#ifdef __unix__
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0)
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+#endif
+  return -1.0;
+}
+
+struct Topology {
+  std::vector<gs::util::AdapterId> adapters;
+  std::vector<gs::util::SwitchId> switches;
+  std::vector<gs::util::AdapterId> vlan_leaders;  // first adapter per VLAN
+};
+
+constexpr std::size_t kPortsPerSwitch = 128;
+
+gs::util::VlanId vlan_for(std::size_t i, std::size_t vlans) {
+  return gs::util::VlanId(static_cast<std::uint32_t>(1 + i % vlans));
+}
+
+Topology build(gs::net::Fabric& fabric, std::size_t adapters,
+               std::size_t vlans) {
+  Topology topo;
+  gs::net::ChannelModel model;
+  model.loss_probability = 0.001;
+  fabric.set_default_channel(model);
+  const std::size_t switches = (adapters + kPortsPerSwitch - 1) / kPortsPerSwitch;
+  for (std::size_t s = 0; s < switches; ++s)
+    topo.switches.push_back(fabric.add_switch(kPortsPerSwitch));
+  topo.vlan_leaders.resize(vlans, gs::util::AdapterId::invalid());
+  for (std::size_t i = 0; i < adapters; ++i) {
+    const auto id =
+        fabric.add_adapter(gs::util::NodeId(static_cast<std::uint32_t>(i)));
+    fabric.attach(id, topo.switches[i / kPortsPerSwitch], vlan_for(i, vlans));
+    fabric.set_adapter_ip(
+        id, gs::util::IpAddress(10, static_cast<std::uint8_t>(i >> 16),
+                                static_cast<std::uint8_t>(i >> 8),
+                                static_cast<std::uint8_t>(i)));
+    if (!topo.vlan_leaders[i % vlans].valid()) topo.vlan_leaders[i % vlans] = id;
+    topo.adapters.push_back(id);
+  }
+  return topo;
+}
+
+std::vector<std::uint8_t> beacon_frame(std::size_t payload_bytes) {
+  // A full-view beacon for a ~78-member AMG runs to about a KiB on the wire.
+  std::vector<std::uint8_t> payload(payload_bytes, 0x5A);
+  return gs::wire::encode_frame(1, payload);
+}
+
+struct SteadyResult {
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t suspicion_fires = 0;
+};
+
+SteadyResult run_steady_state(std::size_t adapters, std::size_t vlans,
+                              double window_s, std::size_t payload_bytes) {
+  gs::sim::Simulator sim;
+  gs::net::Fabric fabric(sim, gs::util::Rng(0xFA12));
+  Topology topo = build(fabric, adapters, vlans);
+  const auto frame = beacon_frame(payload_bytes);
+  const gs::sim::SimTime window = gs::sim::seconds(window_s);
+  const gs::sim::SimDuration beacon_period = gs::sim::milliseconds(500);
+
+  SteadyResult out;
+  // Per-adapter FD churn: every delivery cancels and re-arms a suspicion
+  // timer — the event-queue pattern the slot pool and compaction exist for.
+  std::vector<gs::sim::Timer> suspicion(adapters);
+  for (std::size_t i = 0; i < adapters; ++i) {
+    const auto id = topo.adapters[i];
+    fabric.adapter(id).set_receive_handler(
+        [&, i](const gs::net::Datagram&) {
+          suspicion[i].cancel();
+          suspicion[i] = sim.after(gs::sim::seconds(2),
+                                   [&out] { ++out.suspicion_fires; });
+        });
+  }
+  // Every adapter beacons, phase-staggered across the period.
+  std::function<void(std::size_t)> beacon = [&](std::size_t i) {
+    fabric.multicast(topo.adapters[i], gs::net::kBeaconGroup, frame);
+    if (sim.now() + beacon_period < window)
+      sim.after(beacon_period, [&beacon, i] { beacon(i); });
+  };
+  for (std::size_t i = 0; i < adapters; ++i) {
+    const auto phase = static_cast<gs::sim::SimDuration>(
+        (i * beacon_period) / (adapters == 0 ? 1 : adapters));
+    sim.after(phase, [&beacon, i] { beacon(i); });
+  }
+  // Fault burst at the half-way mark, recovery at three quarters.
+  sim.at(window / 2, [&] {
+    for (std::size_t s = 0; s < topo.switches.size(); s += 16)
+      fabric.fail_switch(topo.switches[s]);
+    for (std::size_t n = 0; n < adapters; n += 100)
+      fabric.fail_node(gs::util::NodeId(static_cast<std::uint32_t>(n)));
+  });
+  sim.at((window / 4) * 3, [&] {
+    for (std::size_t s = 0; s < topo.switches.size(); s += 16)
+      fabric.recover_switch(topo.switches[s]);
+    for (std::size_t n = 0; n < adapters; n += 100)
+      fabric.recover_node(gs::util::NodeId(static_cast<std::uint32_t>(n)));
+  });
+
+  const auto start = Clock::now();
+  sim.run_until(window + gs::sim::seconds(3));  // +3s drains the last timers
+  out.wall_s = seconds_since(start);
+  out.events = sim.executed_events();
+  out.frames_sent = fabric.total_frames_sent();
+  for (std::size_t v = 0; v < vlans; ++v)
+    out.frames_delivered += fabric.load(vlan_for(v, vlans)).frames_delivered;
+  return out;
+}
+
+// Faithful replica of the pre-index multicast send path: walk every adapter
+// in the farm per frame, clone the payload into each receiver's in-flight
+// closure. Kept here (not in the library) purely as the bench baseline.
+void legacy_multicast(gs::net::Fabric& fabric, gs::sim::Simulator& sim,
+                      gs::util::AdapterId from,
+                      const std::vector<gs::util::AdapterId>& all,
+                      std::vector<std::uint8_t> bytes) {
+  const gs::util::VlanId vlan = fabric.vlan_of(from);
+  if (!fabric.adapter(from).can_send() || !vlan.valid()) return;
+  gs::net::Segment& seg = fabric.segment(vlan);
+  for (gs::util::AdapterId id : all) {
+    if (id == from) continue;
+    if (fabric.vlan_of(id) != vlan) continue;  // the O(farm) scan
+    if (!seg.connected(from, id)) continue;
+    const gs::net::Adapter& dst = fabric.adapter(id);
+    if (!dst.can_recv()) continue;
+    const auto latency = seg.sample_delivery();
+    if (!latency) continue;
+    std::vector<std::uint8_t> clone = bytes;  // per-receiver payload copy
+    sim.after(*latency, [&dst, clone = std::move(clone)] {
+      (void)dst;
+      (void)clone;
+    });
+  }
+}
+
+struct MicroResult {
+  double indexed_frames_per_s = 0;
+  double legacy_frames_per_s = 0;
+  double speedup = 0;
+};
+
+// Times `frames` sends in drained batches and reports the median batch
+// rate; the median (not the mean) keeps a noisy-neighbour stall in one
+// batch from skewing the measurement on shared CI machines. `send` is
+// called as send(fabric, sim, leader, topo).
+template <typename SendFn>
+double median_batch_rate(std::size_t adapters, std::size_t vlans,
+                         std::size_t frames, std::size_t payload_bytes,
+                         const SendFn& send) {
+  gs::sim::Simulator sim;
+  gs::net::Fabric fabric(sim, gs::util::Rng(0xFA13));
+  Topology topo = build(fabric, adapters, vlans);
+  const auto frame = beacon_frame(payload_bytes);
+  const std::size_t batch = 128;  // drain between batches, off the clock
+  // One untimed batch warms pools/page tables for both implementations.
+  for (std::size_t j = 0; j < batch; ++j)
+    send(fabric, sim, topo.vlan_leaders[j % vlans], topo, frame);
+  sim.run();
+  std::vector<double> rates;
+  for (std::size_t k = 0; k < frames;) {
+    const std::size_t n = std::min(batch, frames - k);
+    const auto t0 = Clock::now();
+    for (std::size_t j = 0; j < n; ++j, ++k)
+      send(fabric, sim, topo.vlan_leaders[k % vlans], topo, frame);
+    const double dt = seconds_since(t0);
+    sim.run();
+    if (dt > 0) rates.push_back(static_cast<double>(n) / dt);
+  }
+  std::sort(rates.begin(), rates.end());
+  return rates.empty() ? 0.0 : rates[rates.size() / 2];
+}
+
+MicroResult run_multicast_micro(std::size_t adapters, std::size_t vlans,
+                                std::size_t frames, std::size_t payload_bytes) {
+  MicroResult out;
+  out.indexed_frames_per_s = median_batch_rate(
+      adapters, vlans, frames, payload_bytes,
+      [](gs::net::Fabric& fabric, gs::sim::Simulator&, gs::util::AdapterId from,
+         const Topology&, const std::vector<std::uint8_t>& frame) {
+        fabric.multicast(from, gs::net::kBeaconGroup, frame);
+      });
+  out.legacy_frames_per_s = median_batch_rate(
+      adapters, vlans, frames, payload_bytes,
+      [](gs::net::Fabric& fabric, gs::sim::Simulator& sim,
+         gs::util::AdapterId from, const Topology& topo,
+         const std::vector<std::uint8_t>& frame) {
+        legacy_multicast(fabric, sim, from, topo.adapters, frame);
+      });
+  out.speedup = out.indexed_frames_per_s / out.legacy_frames_per_s;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gs::util::Flags flags;
+  if (!flags.parse(argc, argv)) return 1;
+  const bool smoke = flags.get_bool(
+      "smoke", false, "one quick iteration (CI scaling regression gate)");
+  const auto adapters = static_cast<std::size_t>(
+      flags.get_int("adapters", 5000, "adapters in the farm"));
+  const auto vlans =
+      static_cast<std::size_t>(flags.get_int("vlans", 64, "broadcast domains"));
+  const double window =
+      flags.get_double("seconds", smoke ? 0.5 : 5.0,
+                       "steady-state window (simulated seconds)");
+  const auto frames = static_cast<std::size_t>(flags.get_int(
+      "frames", smoke ? 512 : 4096, "frames per multicast-path measurement"));
+  const auto payload = static_cast<std::size_t>(
+      flags.get_int("payload", 1000, "beacon payload bytes"));
+  const double min_speedup = flags.get_double(
+      "min_speedup", 3.0, "exit nonzero if indexed/legacy falls below this");
+  if (flags.help_requested()) {
+    flags.print_usage();
+    return 0;
+  }
+
+  gs::bench::print_header("Farm-scale simulator throughput");
+  std::printf("%zu adapters, %zu VLANs (~%zu members each), %zu-byte beacons\n",
+              adapters, vlans, adapters / vlans, payload);
+
+  const SteadyResult steady =
+      run_steady_state(adapters, vlans, window, payload);
+  const double events_per_s = static_cast<double>(steady.events) / steady.wall_s;
+  const double sent_per_s =
+      static_cast<double>(steady.frames_sent) / steady.wall_s;
+  const double delivered_per_s =
+      static_cast<double>(steady.frames_delivered) / steady.wall_s;
+  const double rss = peak_rss_mib();
+  std::printf("\nsteady state (%.1fs simulated, fault burst at midpoint):\n",
+              window);
+  std::printf("  wall time        %10.2f s\n", steady.wall_s);
+  std::printf("  events/s         %10.0f\n", events_per_s);
+  std::printf("  frames sent/s    %10.0f\n", sent_per_s);
+  std::printf("  frames delivd/s  %10.0f\n", delivered_per_s);
+  std::printf("  peak RSS         %10.1f MiB\n", rss);
+
+  const MicroResult micro =
+      run_multicast_micro(adapters, vlans, frames, payload);
+  std::printf("\nmulticast send path (%zu frames, enqueue cost only):\n",
+              frames);
+  std::printf("  indexed          %10.0f frames/s\n",
+              micro.indexed_frames_per_s);
+  std::printf("  legacy scan      %10.0f frames/s   (pre-index replica)\n",
+              micro.legacy_frames_per_s);
+  std::printf("  speedup          %10.1fx\n", micro.speedup);
+
+  gs::bench::BenchJson json("farm_scale");
+  json.set("adapters", static_cast<std::int64_t>(adapters));
+  json.set("vlans", static_cast<std::int64_t>(vlans));
+  json.set("payload_bytes", static_cast<std::int64_t>(payload));
+  json.set("steady_window_sim_s", window);
+  json.set("steady_wall_s", steady.wall_s);
+  json.set("events_per_s", events_per_s);
+  json.set("frames_sent_per_s", sent_per_s);
+  json.set("frames_delivered_per_s", delivered_per_s);
+  json.set("suspicion_fires", steady.suspicion_fires);
+  json.set("peak_rss_mib", rss);
+  json.set("multicast_frames_per_s", micro.indexed_frames_per_s);
+  json.set("legacy_multicast_frames_per_s", micro.legacy_frames_per_s);
+  json.set("multicast_speedup", micro.speedup);
+  json.write();
+
+  if (micro.speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: multicast speedup %.2fx below floor %.2fx — the "
+                 "per-VLAN index is not paying for itself\n",
+                 micro.speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

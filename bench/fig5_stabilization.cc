@@ -122,6 +122,26 @@ int main(int argc, char** argv) {
       "55-node testbed; the lines above must be flat in group size and\n"
       "separated by the T_b deltas (5s/10s).\n");
 
+  std::size_t timed_out = 0;
+  for (double r : results)
+    if (r < 0) ++timed_out;
+  gs::bench::BenchJson json("fig5_stabilization");
+  json.set("adapters_per_node", adapters);
+  json.set("trials_per_point", trials);
+  json.set("trials_timed_out", static_cast<std::uint64_t>(timed_out));
+  for (const auto& [cell, samples] : by_cell) {
+    const auto s = gs::util::Summary::of(samples);
+    auto& row = json.add_row("cells");
+    row.set("t_b_s", cell.first);
+    row.set("nodes", cell.second);
+    row.set("trials", static_cast<std::uint64_t>(s.n));
+    row.set("mean_s", s.mean);
+    row.set("stddev_s", s.stddev);
+    row.set("min_s", s.min);
+    row.set("max_s", s.max);
+  }
+  json.write();
+
   if (!jsonl_path.empty()) {
     gs::obs::JsonlSink sink;
     if (!sink.open(jsonl_path)) {

@@ -96,12 +96,21 @@ int main(int argc, char** argv) {
   std::printf("%8s %10s %22s %20s\n", "nodes", "adapters",
               "discovery reports", "steady / churn (per min)");
   gs::bench::print_rule(66);
+  gs::bench::BenchJson json("gsc_load");
+  json.set("churn_period_s", churn_period);
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     const Result& r = results[i];
+    auto& row = json.add_row("farms");
+    row.set("nodes", sizes[i]);
+    row.set("adapters", sizes[i] * 3);
+    row.set("converged", r.discovery_reports >= 0);
     if (r.discovery_reports < 0) {
       std::printf("%8d %10d %22s\n", sizes[i], sizes[i] * 3, "no-converge");
       continue;
     }
+    row.set("discovery_reports", r.discovery_reports);
+    row.set("steady_reports_per_min", r.steady_per_min);
+    row.set("churn_reports_per_min", r.churn_per_min);
     std::printf("%8d %10d %22.0f %10.0f / %-8.0f\n", sizes[i], sizes[i] * 3,
                 r.discovery_reports, r.steady_per_min, r.churn_per_min);
   }
@@ -110,5 +119,6 @@ int main(int argc, char** argv) {
       "late starters), steady state is ZERO at every size, and churn load\n"
       "tracks the churn rate (a few delta reports per event), independent\n"
       "of farm size — the property that keeps a single Central viable.\n");
+  json.write();
   return 0;
 }

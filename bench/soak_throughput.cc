@@ -73,5 +73,20 @@ int main(int argc, char** argv) {
               sweep_s > 0.0 ? static_cast<double>(num_seeds) / sweep_s : 0.0);
   std::printf("%-28s %7llu\n", "invariant violations",
               static_cast<unsigned long long>(total_violations));
+
+  gs::bench::BenchJson json("soak_throughput");
+  json.set("seeds", static_cast<std::uint64_t>(num_seeds));
+  json.set("first_seed", first_seed);
+  json.set("wall_per_run_ms_mean", wall.mean);
+  json.set("wall_per_run_ms_stddev", wall.stddev);
+  json.set("sim_per_run_s_mean", sim.mean);
+  json.set("events_per_run_mean", ev.mean);
+  json.set("trace_records_per_run_mean", tr.mean);
+  json.set("sim_wall_speedup",
+           wall.mean > 0.0 ? sim.mean * 1000.0 / wall.mean : 0.0);
+  json.set("runs_per_wall_s",
+           sweep_s > 0.0 ? static_cast<double>(num_seeds) / sweep_s : 0.0);
+  json.set("invariant_violations", total_violations);
+  json.write();
   return total_violations == 0 ? 0 : 1;
 }

@@ -136,7 +136,7 @@ void GsDaemon::on_datagram(std::size_t index, const net::Datagram& dgram) {
 
 void GsDaemon::dispatch(std::size_t index, const net::Datagram& dgram) {
   if (halted_) return;
-  const wire::DecodeResult decoded = wire::decode_frame(dgram.bytes);
+  const wire::DecodeResult decoded = wire::decode_frame(dgram.bytes());
   if (!decoded.ok()) {
     ++frames_dropped_;
     GS_LOG(kDebug, "daemon") << config_.name << " dropped frame: "

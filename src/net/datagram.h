@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/ids.h"
@@ -9,12 +10,27 @@
 
 namespace gs::net {
 
+// Frames are immutable once they leave the sending NIC, so a broadcast
+// shares one refcounted buffer across every in-flight copy instead of
+// cloning the bytes per receiver — the allocation cost of a multicast is
+// O(1) in the receiver count, matching the wire model (one frame on the
+// segment regardless of fan-out).
+using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+[[nodiscard]] inline Payload make_payload(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
 struct Datagram {
   util::IpAddress src;
   util::IpAddress dst;   // unicast target, or the multicast group address
   bool multicast = false;
   util::VlanId vlan;     // broadcast domain the datagram traversed
-  std::vector<std::uint8_t> bytes;  // a complete wire::Frame
+  Payload payload;       // a complete wire::Frame; shared, never mutated
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return *payload;
+  }
 };
 
 // The well-known multicast group GulfStream beacons on (paper §2.1: "a

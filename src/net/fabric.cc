@@ -39,6 +39,7 @@ void Fabric::attach(util::AdapterId adapter_id, util::SwitchId sw,
   Switch& s = nic_switch(sw);
   s.connect(port, adapter_id, vlan);
   a.attach(sw, port);
+  index_add(vlan, adapter_id);
   (void)segment(vlan);  // materialize the segment with the default model
 }
 
@@ -113,9 +114,57 @@ util::VlanId Fabric::vlan_of(util::AdapterId id) const {
 std::vector<util::AdapterId> Fabric::adapters_in_vlan(
     util::VlanId vlan) const {
   std::vector<util::AdapterId> out;
-  for (const auto& a : adapters_)
-    if (vlan_of(a->id()) == vlan) out.push_back(a->id());
+  for (util::AdapterId id : vlan_members(vlan))
+    if (vlan_of(id) == vlan) out.push_back(id);  // live-switch members only
   return out;
+}
+
+const std::vector<util::AdapterId>& Fabric::vlan_members(
+    util::VlanId vlan) const {
+  static const std::vector<util::AdapterId> kEmpty;
+  auto it = vlan_index_.find(vlan);
+  return it == vlan_index_.end() ? kEmpty : it->second;
+}
+
+bool Fabric::vlan_index_consistent() const {
+  std::map<util::VlanId, std::vector<util::AdapterId>> truth;
+  for (const auto& s : switches_) {
+    for (std::size_t p = 0; p < s->port_count(); ++p) {
+      const util::PortId port(static_cast<std::uint32_t>(p));
+      const util::AdapterId a = s->port_adapter(port);
+      if (a.valid()) truth[s->port_vlan(port)].push_back(a);
+    }
+  }
+  for (auto& [vlan, members] : truth) std::sort(members.begin(), members.end());
+  for (const auto& [vlan, members] : vlan_index_) {
+    auto it = truth.find(vlan);
+    if (it == truth.end()) {
+      if (!members.empty()) return false;
+      continue;
+    }
+    if (it->second != members) return false;
+    truth.erase(it);
+  }
+  for (const auto& [vlan, members] : truth)
+    if (!members.empty()) return false;
+  return true;
+}
+
+void Fabric::index_add(util::VlanId vlan, util::AdapterId id) {
+  auto& members = vlan_index_[vlan];
+  auto it = std::lower_bound(members.begin(), members.end(), id);
+  GS_CHECK_MSG(it == members.end() || *it != id,
+               "adapter already indexed in vlan");
+  members.insert(it, id);
+}
+
+void Fabric::index_remove(util::VlanId vlan, util::AdapterId id) {
+  auto map_it = vlan_index_.find(vlan);
+  GS_CHECK(map_it != vlan_index_.end());
+  auto& members = map_it->second;
+  auto it = std::lower_bound(members.begin(), members.end(), id);
+  GS_CHECK_MSG(it != members.end() && *it == id, "adapter not indexed in vlan");
+  members.erase(it);
 }
 
 bool Fabric::reachable(util::AdapterId from, util::AdapterId to) const {
@@ -146,9 +195,12 @@ std::optional<util::AdapterId> Fabric::find_by_ip(util::VlanId vlan,
                                                   util::IpAddress ip) const {
   auto it = by_ip_.find(ip.bits());
   if (it == by_ip_.end()) return std::nullopt;
+  // Deterministic winner among duplicate holders: lowest AdapterId on the
+  // VLAN, independent of the order IPs were assigned in.
+  std::optional<util::AdapterId> best;
   for (util::AdapterId id : it->second)
-    if (vlan_of(id) == vlan) return id;
-  return std::nullopt;
+    if (vlan_of(id) == vlan && (!best || id < *best)) best = id;
+  return best;
 }
 
 std::uint16_t Fabric::peek_frame_type(
@@ -158,19 +210,38 @@ std::uint16_t Fabric::peek_frame_type(
   return static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
 }
 
-void Fabric::deliver_later(util::AdapterId to, Datagram dgram,
-                           sim::SimDuration latency) {
-  sim_.after(latency, [this, to, dgram = std::move(dgram)] {
-    const Adapter& dst = adapter(to);
-    // Re-check at delivery time: the receiver may have died or been moved
-    // to another VLAN while the frame was in flight.
-    if (!dst.can_recv() || vlan_of(to) != dgram.vlan) {
-      loads_[dgram.vlan].frames_unreachable++;
-      return;
-    }
+std::uint32_t Fabric::park_frame(Datagram dgram) {
+  std::uint32_t slot;
+  if (pending_free_.empty()) {
+    slot = static_cast<std::uint32_t>(pending_.size());
+    pending_.emplace_back();
+  } else {
+    slot = pending_free_.back();
+    pending_free_.pop_back();
+  }
+  pending_[slot].dgram = std::move(dgram);
+  return slot;
+}
+
+void Fabric::release_frame(std::uint32_t slot) {
+  pending_[slot].dgram = Datagram{};  // drop the payload reference eagerly
+  pending_free_.push_back(slot);
+}
+
+void Fabric::complete_delivery(std::uint32_t slot, util::AdapterId to) {
+  // Safe to hold across deliver(): pool addresses are stable (deque) and the
+  // slot cannot be recycled while this delivery's `remaining` count is held.
+  const Datagram& dgram = pending_[slot].dgram;
+  const Adapter& dst = adapter(to);
+  // Re-check at delivery time: the receiver may have died or been moved
+  // to another VLAN while the frame was in flight.
+  if (!dst.can_recv() || vlan_of(to) != dgram.vlan) {
+    loads_[dgram.vlan].frames_unreachable++;
+  } else {
     loads_[dgram.vlan].frames_delivered++;
     dst.deliver(dgram);
-  });
+  }
+  if (--pending_[slot].remaining == 0) release_frame(slot);
 }
 
 bool Fabric::send(util::AdapterId from, util::IpAddress dst,
@@ -198,8 +269,11 @@ bool Fabric::send(util::AdapterId from, util::IpAddress dst,
     load.frames_lost++;
     return true;
   }
-  Datagram dgram{src.ip(), dst, /*multicast=*/false, vlan, std::move(bytes)};
-  deliver_later(*target, std::move(dgram), *latency);
+  const std::uint32_t slot = park_frame(Datagram{
+      src.ip(), dst, /*multicast=*/false, vlan, make_payload(std::move(bytes))});
+  pending_[slot].remaining = 1;
+  const util::AdapterId to = *target;
+  sim_.after(*latency, [this, slot, to] { complete_delivery(slot, to); });
   return true;
 }
 
@@ -217,12 +291,26 @@ bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
   frames_by_type_[peek_frame_type(bytes)]++;
 
   Segment& seg = segment(vlan);
-  Datagram proto{src.ip(), group, /*multicast=*/true, vlan, std::move(bytes)};
-  for (const auto& a : adapters_) {
-    if (a->id() == from) continue;
-    if (vlan_of(a->id()) != vlan) continue;
-    if (!seg.connected(from, a->id())) continue;
-    if (!a->can_recv()) {
+  // The frame is parked once — one payload allocation, one pool slot — and
+  // every scheduled delivery shares it by slot reference.
+  const std::uint32_t slot = park_frame(Datagram{
+      src.ip(), group, /*multicast=*/true, vlan, make_payload(std::move(bytes))});
+  PendingFrame& frame = pending_[slot];
+  // Consecutive members usually share a switch; cache the liveness lookup.
+  util::SwitchId cached_sw = util::SwitchId::invalid();
+  bool cached_sw_failed = false;
+  // Only this VLAN's wired members — not the whole farm. Receivers the
+  // frame cannot reach (dead switch, partition, dead adapter) count as
+  // unreachable, exactly as the unicast path counts them; only members
+  // rewired to another VLAN are out of scope entirely.
+  for (util::AdapterId id : vlan_members(vlan)) {
+    if (id == from) continue;
+    const Adapter& a = adapter(id);
+    if (a.attached_switch() != cached_sw) {
+      cached_sw = a.attached_switch();
+      cached_sw_failed = nic_switch(cached_sw).failed();
+    }
+    if (cached_sw_failed || !seg.connected(from, id) || !a.can_recv()) {
       load.frames_unreachable++;
       continue;
     }
@@ -231,8 +319,10 @@ bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
       load.frames_lost++;
       continue;
     }
-    deliver_later(a->id(), proto, *latency);
+    frame.remaining++;
+    sim_.after(*latency, [this, slot, id] { complete_delivery(slot, id); });
   }
+  if (frame.remaining == 0) release_frame(slot);
   return true;
 }
 
@@ -267,14 +357,23 @@ void Fabric::heal_vlan(util::VlanId vlan) { segment(vlan).heal(); }
 
 void Fabric::set_port_vlan(util::SwitchId sw, util::PortId port,
                            util::VlanId vlan) {
-  nic_switch(sw).set_port_vlan(port, vlan);
+  Switch& s = nic_switch(sw);
+  const util::VlanId old_vlan = s.port_vlan(port);
+  s.set_port_vlan(port, vlan);
+  const util::AdapterId wired = s.port_adapter(port);
+  if (wired.valid() && old_vlan != vlan) {
+    index_remove(old_vlan, wired);
+    index_add(vlan, wired);
+  }
   (void)segment(vlan);  // ensure the segment exists
 }
 
 const SegmentLoad& Fabric::load(util::VlanId vlan) { return loads_[vlan]; }
 
 void Fabric::reset_load_accounting() {
-  loads_.clear();
+  // Zero in place: erasing the keys would silence kWireSample publication
+  // for quiet VLANs and dangle load() references taken before the reset.
+  for (auto& [vlan, load] : loads_) load = SegmentLoad{};
   frames_by_type_.clear();
   total_frames_sent_ = 0;
   total_bytes_sent_ = 0;

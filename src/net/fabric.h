@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -37,7 +38,10 @@ struct SegmentLoad {
   std::uint64_t bytes_sent = 0;
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_lost = 0;     // channel loss, per receiver
-  std::uint64_t frames_unreachable = 0;  // no receiver / dead receiver
+  // A configured receiver the frame could not reach: no such IP, dead
+  // receiver, dead switch, or partition. Unicast and multicast count these
+  // identically, so the §4.2 load comparisons see the same denominator.
+  std::uint64_t frames_unreachable = 0;
 };
 
 class Fabric {
@@ -90,10 +94,26 @@ class Fabric {
   [[nodiscard]] std::vector<util::AdapterId> adapters_in_vlan(
       util::VlanId vlan) const;
 
+  // Adapters whose port is configured into `vlan`, ascending id, switch
+  // health ignored. This is the index multicast iterates, maintained
+  // incrementally by attach()/set_port_vlan() — O(members), not O(farm).
+  // Port→VLAN wiring must only be mutated through Fabric for the index to
+  // stay coherent (see vlan_index_consistent()).
+  [[nodiscard]] const std::vector<util::AdapterId>& vlan_members(
+      util::VlanId vlan) const;
+
+  // Recomputes wired membership from the switches and compares it with the
+  // incremental index; tests call this after topology churn.
+  [[nodiscard]] bool vlan_index_consistent() const;
+
   // Could a frame from `from` reach `to` right now (wiring, partitions,
   // health all considered)?
   [[nodiscard]] bool reachable(util::AdapterId from, util::AdapterId to) const;
 
+  // Resolves an IP on a VLAN. Duplicate IPs are a misconfiguration the
+  // verifier must be able to express; the winner is deterministic — the
+  // lowest AdapterId holding the address on that VLAN — so misconfigured
+  // soak schedules replay identically.
   [[nodiscard]] std::optional<util::AdapterId> find_by_ip(
       util::VlanId vlan, util::IpAddress ip) const;
 
@@ -137,6 +157,8 @@ class Fabric {
   [[nodiscard]] std::uint64_t total_bytes_sent() const {
     return total_bytes_sent_;
   }
+  // Zeroes every counter in place: VLANs stay present (so load sampling
+  // keeps publishing for quiet VLANs) and load() references stay valid.
   void reset_load_accounting();
 
   // --- Telemetry -----------------------------------------------------------
@@ -151,16 +173,27 @@ class Fabric {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
-  struct PendingDelivery {
-    util::AdapterId to;
+  // One in-flight frame, parked once per send/multicast in a recycled pool
+  // and shared by every receiver still due to get it. The per-receiver sim
+  // event captures only {this, slot, to} — 16 bytes, inside std::function's
+  // inline buffer — so fan-out costs no heap allocation and no per-receiver
+  // datagram copy. `remaining` counts scheduled deliveries; the slot is
+  // recycled when it reaches zero.
+  struct PendingFrame {
     Datagram dgram;
+    std::uint32_t remaining = 0;
   };
 
-  void deliver_later(util::AdapterId to, Datagram dgram,
-                     sim::SimDuration latency);
+  // Parks a frame and returns its pool slot (remaining == 0; callers bump it
+  // per scheduled delivery and must release the slot if it stays zero).
+  std::uint32_t park_frame(Datagram dgram);
+  void release_frame(std::uint32_t slot);
+  void complete_delivery(std::uint32_t slot, util::AdapterId to);
   [[nodiscard]] std::uint16_t peek_frame_type(
       const std::vector<std::uint8_t>& bytes) const;
   void sample_loads();
+  void index_add(util::VlanId vlan, util::AdapterId id);
+  void index_remove(util::VlanId vlan, util::AdapterId id);
 
   sim::Simulator& sim_;
   util::Rng rng_;
@@ -173,10 +206,21 @@ class Fabric {
   // the verifier must be able to express).
   std::unordered_map<std::uint32_t, std::vector<util::AdapterId>> by_ip_;
   std::map<util::VlanId, Segment> segments_;
+  // vlan -> adapters wired into it (port configuration, not liveness),
+  // each vector kept sorted by id so multicast delivery order matches the
+  // old whole-farm scan and seed traces stay bit-identical.
+  std::map<util::VlanId, std::vector<util::AdapterId>> vlan_index_;
   std::map<util::VlanId, SegmentLoad> loads_;
   std::map<std::uint16_t, std::uint64_t> frames_by_type_;
   std::uint64_t total_frames_sent_ = 0;
   std::uint64_t total_bytes_sent_ = 0;
+
+  // Bounded by the in-flight high-water mark, not by frames ever sent. A
+  // deque so parked frames keep stable addresses: delivery handlers may
+  // re-enter send()/multicast() and grow the pool while a delivery still
+  // reads its frame by reference.
+  std::deque<PendingFrame> pending_;
+  std::vector<std::uint32_t> pending_free_;
 
   obs::TraceBus* trace_ = nullptr;
   sim::SimDuration load_sample_period_ = 0;

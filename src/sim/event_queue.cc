@@ -4,50 +4,88 @@
 
 namespace gs::sim {
 
+namespace {
+
+constexpr std::uint64_t encode_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         (static_cast<std::uint64_t>(slot) + 1);
+}
+
+// Compaction triggers only once the stale population both exceeds a floor
+// (so small queues never pay a rebuild) and outnumbers the live entries
+// (so the O(heap) rebuild amortizes to O(1) per cancel).
+constexpr std::size_t kCompactFloor = 64;
+
+}  // namespace
+
 EventId EventQueue::push(SimTime when, std::function<void()> fn) {
   GS_CHECK(fn != nullptr);
-  const EventId id = static_cast<EventId>(states_.size()) + 1;
-  states_.push_back(State::kPending);
-  heap_.push_back(Entry{when, id, std::move(fn)});
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push_back(Entry{when, next_seq_++, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ++live_;
-  return id;
+  return encode_id(slot, s.gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == 0 || id > states_.size()) return false;
-  State& s = states_[id - 1];
-  if (s != State::kPending) return false;
-  s = State::kCancelled;
+  if (id == 0) return false;
+  const auto slot = static_cast<std::uint32_t>((id & 0xFFFF'FFFFull) - 1);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
+  release_slot(slot);  // frees the callback (and its captures) eagerly
   GS_CHECK(live_ > 0);
   --live_;
+  maybe_compact();
   return true;
 }
 
-void EventQueue::skim_cancelled() {
-  while (!heap_.empty() &&
-         states_[heap_.front().id - 1] == State::kCancelled) {
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  ++s.gen;
+  free_.push_back(slot);
+}
+
+void EventQueue::skim_stale() {
+  while (!heap_.empty() && stale(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
   }
 }
 
+void EventQueue::maybe_compact() {
+  const std::size_t stale_count = heap_.size() - live_;
+  if (stale_count < kCompactFloor || stale_count <= live_) return;
+  std::erase_if(heap_, [this](const Entry& e) { return stale(e); });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
 SimTime EventQueue::next_time() {
   GS_CHECK(!empty());
-  skim_cancelled();
+  skim_stale();
   return heap_.front().when;
 }
 
 std::pair<SimTime, std::function<void()>> EventQueue::pop() {
   GS_CHECK(!empty());
-  skim_cancelled();
+  skim_stale();
   GS_CHECK(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  Entry entry = std::move(heap_.back());
+  const Entry entry = heap_.back();
   heap_.pop_back();
-  states_[entry.id - 1] = State::kFired;
+  std::function<void()> fn = std::move(slots_[entry.slot].fn);
+  release_slot(entry.slot);
   --live_;
-  return {entry.when, std::move(entry.fn)};
+  return {entry.when, std::move(fn)};
 }
 
 }  // namespace gs::sim

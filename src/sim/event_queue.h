@@ -1,11 +1,20 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap keyed on (time, sequence). The sequence number makes
-// ordering of same-timestamp events stable (FIFO in scheduling order), which
-// is what keeps whole-farm runs bit-for-bit reproducible. Cancellation is
-// lazy: cancelled entries stay in the heap and are skipped on pop, so
-// cancel() is O(1) — important because every heartbeat arrival cancels and
-// re-arms a suspicion timer.
+// A binary heap keyed on (time, sequence). The sequence number is a
+// monotonic push counter, so ordering of same-timestamp events is stable
+// (FIFO in scheduling order) — which is what keeps whole-farm runs
+// bit-for-bit reproducible. Cancellation is lazy: a cancelled event's heap
+// entry stays behind and is skipped on pop, so cancel() is O(1) — important
+// because every heartbeat arrival cancels and re-arms a suspicion timer.
+//
+// Storage is bounded under that cancel/re-arm churn by two mechanisms:
+//  * callback slots are generation-tagged and recycled through a free list,
+//    so the slot pool peaks at the maximum number of *concurrently* pending
+//    events instead of growing by one per event ever pushed (the callback —
+//    and whatever its closure pins — is released eagerly at cancel time);
+//  * when stale (cancelled/superseded) heap entries outnumber live ones the
+//    heap is compacted and rebuilt. Rebuilding cannot change pop order:
+//    (when, seq) is a total order, so any heap layout pops identically.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,8 @@
 
 namespace gs::sim {
 
+// Encodes (slot generation << 32 | slot index + 1); 0 is never a valid id,
+// which keeps a default-constructed Timer inert.
 using EventId = std::uint64_t;
 
 class EventQueue {
@@ -43,25 +54,50 @@ class EventQueue {
   // Removes and returns the earliest pending event. Requires !empty().
   std::pair<SimTime, std::function<void()>> pop();
 
- private:
-  enum class State : std::uint8_t { kPending, kFired, kCancelled };
+  // --- Introspection (tests/benches) -------------------------------------
+  // Size of the slot pool: peaks at the high-water mark of concurrently
+  // pending events, independent of how many were ever pushed.
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  // Heap entries, live + stale; bounded at ~2x live by compaction.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
 
+ private:
+  // A heap entry does not own the callback — it names a slot plus the
+  // generation it was pushed under. An entry whose generation no longer
+  // matches its slot is stale (the event fired or was cancelled, and the
+  // slot may since have been reused).
   struct Entry {
     SimTime when;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
 
     bool operator>(const Entry& other) const {
       if (when != other.when) return when > other.when;
-      return id > other.id;
+      return seq > other.seq;
     }
   };
 
-  // Pops cancelled entries off the heap top until a pending one surfaces.
-  void skim_cancelled();
+  struct Slot {
+    std::uint32_t gen = 0;  // bumped on every release (fire or cancel)
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] bool stale(const Entry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+  // Releases a slot back to the free list, invalidating outstanding ids and
+  // heap entries that reference the old generation.
+  void release_slot(std::uint32_t slot);
+  // Pops stale entries off the heap top until a live one surfaces.
+  void skim_stale();
+  // Drops every stale entry and rebuilds the heap once they dominate.
+  void maybe_compact();
 
   std::vector<Entry> heap_;
-  std::vector<State> states_;  // indexed by EventId - 1
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // recyclable slot indices
+  std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };
 

@@ -100,7 +100,7 @@ TEST_F(DaemonTest, CorruptFramesAreDroppedAndCounted) {
   dgram.src = util::IpAddress(10, 0, 0, 99);
   dgram.dst = farm_->fabric().adapter(id).ip();
   dgram.vlan = farm_->fabric().vlan_of(id);
-  dgram.bytes = frame;
+  dgram.payload = net::make_payload(frame);
   const std::uint64_t before = daemon.frames_dropped();
   farm_->fabric().adapter(id).deliver(dgram);
   sim_.run_until(sim_.now() + sim::seconds(1));

@@ -30,13 +30,13 @@ TEST_P(EventQueueModel, MatchesNaiveModelUnderRandomOps) {
   std::vector<sim::EventId> popped_real, popped_model;
 
   auto model_pop = [&]() -> sim::EventId {
-    // Earliest non-cancelled, FIFO among equal times (= smallest id).
+    // Earliest non-cancelled, FIFO among equal times. `model` is kept in
+    // push order and the comparison is strict, so the first entry wins ties
+    // — ids are slot+generation handles, not push-ordered.
     const ModelEntry* best = nullptr;
     for (const ModelEntry& e : model) {
       if (e.cancelled) continue;
-      if (best == nullptr || e.when < best->when ||
-          (e.when == best->when && e.id < best->id))
-        best = &e;
+      if (best == nullptr || e.when < best->when) best = &e;
     }
     EXPECT_NE(best, nullptr);
     const sim::EventId id = best->id;

@@ -1,8 +1,11 @@
 // Unit tests for the simulated network substrate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/console.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 #include "wire/frame.h"
 
 namespace gs::net {
@@ -227,6 +230,172 @@ TEST_F(FabricTest, FrameTypeAccounting) {
   EXPECT_EQ(fabric_.frames_by_type().at(6), 2u);
   EXPECT_EQ(fabric_.frames_by_type().at(1), 1u);
   EXPECT_EQ(fabric_.total_frames_sent(), 3u);
+}
+
+TEST_F(FabricTest, MulticastCountsDeadSwitchReceiversUnreachable) {
+  // Receivers stranded behind a failed switch must show up in
+  // frames_unreachable, exactly as the unicast path counts them — otherwise
+  // multicast and unicast load accounting disagree.
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto sw2 = fabric_.add_switch(4);
+  std::uint64_t stranded = 0;
+  for (int i = 2; i <= 4; ++i) {
+    auto id = fabric_.add_adapter(util::NodeId(static_cast<std::uint32_t>(i)));
+    fabric_.attach(id, sw2, util::VlanId(1));
+    fabric_.set_adapter_ip(id,
+                           util::IpAddress(10, 0, 0, static_cast<std::uint8_t>(i)));
+    fabric_.adapter(id).set_receive_handler([](const Datagram&) { FAIL(); });
+    ++stranded;
+  }
+  fabric_.fail_switch(sw2);
+
+  fabric_.multicast(a, kBeaconGroup, test_frame());
+  sim_.run();
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_unreachable, stranded);
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_delivered, 0u);
+
+  // The unicast path agrees: same receiver, same verdict.
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame());
+  sim_.run();
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_unreachable, stranded + 1);
+}
+
+TEST_F(FabricTest, MulticastCountsPartitionedReceiversUnreachable) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  auto c = make(util::NodeId(2), util::VlanId(1), util::IpAddress(10, 0, 0, 3));
+  int received = 0;
+  fabric_.adapter(b).set_receive_handler([&](const Datagram&) { ++received; });
+  fabric_.adapter(c).set_receive_handler([](const Datagram&) { FAIL(); });
+  fabric_.partition_vlan(util::VlanId(1), {{a, b}, {c}});
+  fabric_.multicast(a, kBeaconGroup, test_frame());
+  sim_.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_unreachable, 1u);
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_delivered, 1u);
+}
+
+TEST_F(FabricTest, MulticastIgnoresMembersRewiredToAnotherVlan) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  auto b = make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  const auto& adapter = fabric_.adapter(b);
+  fabric_.set_port_vlan(adapter.attached_switch(), adapter.attached_port(),
+                        util::VlanId(7));
+  fabric_.adapter(b).set_receive_handler([](const Datagram&) { FAIL(); });
+  fabric_.multicast(a, kBeaconGroup, test_frame());
+  sim_.run();
+  // A rewired member is out of scope entirely: not delivered, not counted.
+  EXPECT_EQ(fabric_.load(util::VlanId(1)).frames_unreachable, 0u);
+}
+
+TEST_F(FabricTest, ResetLoadAccountingKeepsVlanEntriesAndReferences) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame());
+  sim_.run();
+
+  const SegmentLoad& ref = fabric_.load(util::VlanId(1));
+  EXPECT_EQ(ref.frames_sent, 1u);
+  fabric_.reset_load_accounting();
+  // Counters are zeroed in place: the reference stays valid and reads zero.
+  EXPECT_EQ(ref.frames_sent, 0u);
+  EXPECT_EQ(ref.frames_delivered, 0u);
+  EXPECT_EQ(&fabric_.load(util::VlanId(1)), &ref);
+  EXPECT_EQ(fabric_.total_frames_sent(), 0u);
+}
+
+TEST_F(FabricTest, LoadSamplingPublishesQuietVlansAfterReset) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  make(util::NodeId(1), util::VlanId(1), util::IpAddress(10, 0, 0, 2));
+  obs::TraceBus bus;
+  obs::Recorder<obs::TraceRecord> samples(
+      bus, obs::trace_mask({obs::TraceKind::kWireSample}));
+  fabric_.set_trace(&bus);
+  fabric_.enable_load_sampling(sim::milliseconds(10));
+
+  fabric_.send(a, util::IpAddress(10, 0, 0, 2), test_frame());
+  sim_.run_until(sim::milliseconds(15));
+  const std::size_t before = samples.size();
+  EXPECT_GT(before, 0u);
+
+  // After a reset the VLAN goes quiet — samples must keep flowing, now
+  // reporting zeroes, instead of leaving gaps in the telemetry stream.
+  fabric_.reset_load_accounting();
+  sim_.run_until(sim::milliseconds(35));
+  ASSERT_GT(samples.size(), before);
+  const obs::TraceRecord& last = samples.records().back();
+  EXPECT_EQ(last.vlan, util::VlanId(1));
+  EXPECT_EQ(last.a, 0u);  // frames_sent zeroed in place
+}
+
+TEST_F(FabricTest, FindByIpDuplicateResolvesToLowestAdapterId) {
+  // Duplicate IPs are a misconfiguration the verifier must express; the
+  // resolution order must not depend on assignment order or replays drift.
+  auto low = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 7));
+  auto high = fabric_.add_adapter(util::NodeId(1));
+  fabric_.attach(high, sw_, util::VlanId(1));
+  fabric_.set_adapter_ip(high, util::IpAddress(10, 0, 0, 9));
+  // Assign the duplicate on the higher id first: insertion order would pick
+  // `high`, the deterministic rule must still pick `low`.
+  fabric_.set_adapter_ip(low, util::IpAddress(10, 0, 0, 9));
+  auto found = fabric_.find_by_ip(util::VlanId(1), util::IpAddress(10, 0, 0, 9));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, std::min(low, high));
+
+  // The winner leaving the VLAN falls back to the higher id.
+  const auto& adapter = fabric_.adapter(std::min(low, high));
+  fabric_.set_port_vlan(adapter.attached_switch(), adapter.attached_port(),
+                        util::VlanId(2));
+  found = fabric_.find_by_ip(util::VlanId(1), util::IpAddress(10, 0, 0, 9));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, std::max(low, high));
+}
+
+TEST_F(FabricTest, VlanIndexStaysCoherentThroughTopologyChurn) {
+  std::vector<util::AdapterId> ids;
+  for (int i = 1; i <= 6; ++i)
+    ids.push_back(make(util::NodeId(static_cast<std::uint32_t>(i)),
+                       util::VlanId(static_cast<std::uint32_t>(1 + (i % 2))),
+                       util::IpAddress(10, 0, 0, static_cast<std::uint8_t>(i))));
+  EXPECT_TRUE(fabric_.vlan_index_consistent());
+  EXPECT_EQ(fabric_.vlan_members(util::VlanId(1)).size(), 3u);
+  EXPECT_EQ(fabric_.vlan_members(util::VlanId(2)).size(), 3u);
+
+  // Moves, switch failure/recovery, node failure: wiring index unaffected
+  // by liveness, updated by moves, always sorted.
+  const auto& a0 = fabric_.adapter(ids[0]);
+  fabric_.set_port_vlan(a0.attached_switch(), a0.attached_port(),
+                        util::VlanId(1));
+  EXPECT_TRUE(fabric_.vlan_index_consistent());
+  EXPECT_EQ(fabric_.vlan_members(util::VlanId(1)).size(), 4u);
+  fabric_.fail_switch(sw_);
+  EXPECT_TRUE(fabric_.vlan_index_consistent());
+  EXPECT_EQ(fabric_.vlan_members(util::VlanId(1)).size(), 4u);
+  EXPECT_TRUE(fabric_.adapters_in_vlan(util::VlanId(1)).empty());  // liveness
+  fabric_.recover_switch(sw_);
+  fabric_.fail_node(util::NodeId(1));
+  EXPECT_TRUE(fabric_.vlan_index_consistent());
+  const auto& members = fabric_.vlan_members(util::VlanId(1));
+  EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+  EXPECT_EQ(fabric_.adapters_in_vlan(util::VlanId(1)).size(), 4u);
+}
+
+TEST_F(FabricTest, MulticastPayloadIsSharedAcrossReceivers) {
+  auto a = make(util::NodeId(0), util::VlanId(1), util::IpAddress(10, 0, 0, 1));
+  std::vector<Payload> seen;
+  for (int i = 2; i <= 4; ++i) {
+    auto id = make(util::NodeId(static_cast<std::uint32_t>(i)), util::VlanId(1),
+                   util::IpAddress(10, 0, 0, static_cast<std::uint8_t>(i)));
+    fabric_.adapter(id).set_receive_handler(
+        [&](const Datagram& d) { seen.push_back(d.payload); });
+  }
+  fabric_.multicast(a, kBeaconGroup, test_frame());
+  sim_.run();
+  ASSERT_EQ(seen.size(), 3u);
+  // One frame allocation regardless of fan-out: all receivers observe the
+  // same buffer.
+  EXPECT_EQ(seen[0].get(), seen[1].get());
+  EXPECT_EQ(seen[1].get(), seen[2].get());
 }
 
 TEST_F(FabricTest, SwitchPortExhaustionAllocationFails) {

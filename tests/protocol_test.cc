@@ -77,7 +77,7 @@ class ProtoHarness {
 
     fabric_.adapter(id).set_receive_handler(
         [this, ip](const net::Datagram& dgram) {
-          auto decoded = wire::decode_frame(dgram.bytes);
+          auto decoded = wire::decode_frame(dgram.bytes());
           ASSERT_TRUE(decoded.ok());
           protocols_.at(ip)->handle_frame(
               dgram.src, static_cast<MsgType>(decoded.frame.type),

@@ -1,10 +1,13 @@
 // Unit tests for the discrete-event simulator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace gs::sim {
 namespace {
@@ -75,6 +78,146 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
   q.pop();
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelReleasesCallbackStateEagerly) {
+  // FD timers capture payload-sized state; a cancelled event must not pin
+  // it until the stale heap entry happens to surface.
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  const EventId id = q.push(1'000'000, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, StaleIdOnReusedSlotCannotCancelNewEvent) {
+  EventQueue q;
+  const EventId old_id = q.push(10, [] {});
+  q.pop().second();  // slot goes back to the free list
+  bool ran = false;
+  const EventId new_id = q.push(20, [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);  // same slot, different generation
+  EXPECT_FALSE(q.cancel(old_id));
+  q.pop().second();
+  EXPECT_TRUE(ran);
+}
+
+// A naive reference queue: linear scan for the earliest live event, FIFO
+// among equal times by push order. Matches the production heap event for
+// event, including across compactions.
+class NaiveQueue {
+ public:
+  std::size_t push(SimTime when) {
+    entries_.push_back({when, next_label_++, true});
+    return entries_.back().label;
+  }
+  bool cancel(std::size_t label) {
+    for (auto& e : entries_)
+      if (e.label == label && e.live) {
+        e.live = false;
+        return true;
+      }
+    return false;
+  }
+  [[nodiscard]] bool empty() const {
+    for (const auto& e : entries_)
+      if (e.live) return false;
+    return true;
+  }
+  std::pair<SimTime, std::size_t> pop() {
+    Entry* best = nullptr;
+    for (auto& e : entries_)
+      if (e.live && (best == nullptr || e.when < best->when)) best = &e;
+    EXPECT_NE(best, nullptr);
+    best->live = false;
+    return {best->when, best->label};
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::size_t label;
+    bool live;
+  };
+  std::vector<Entry> entries_;
+  std::size_t next_label_ = 0;
+};
+
+TEST(EventQueue, FdChurnKeepsSlotPoolBoundedAndMatchesReference) {
+  // The failure detector's hot pattern: every heartbeat arrival cancels and
+  // re-arms a suspicion timer. Under this churn the slot pool must stay at
+  // the high-water mark of *concurrently* pending events (not grow per
+  // event ever pushed), the heap must stay within a constant factor of
+  // live, and pop order must match the naive reference event for event.
+  constexpr std::size_t kAdapters = 64;
+  constexpr int kIterations = 50'000;
+  util::Rng rng(0xC0FFEE);
+  EventQueue q;
+  NaiveQueue ref;
+  std::vector<std::size_t> popped_real, popped_ref;
+
+  SimTime now = 0;
+  struct Armed {
+    EventId id = 0;
+    std::size_t label = 0;
+    bool live = false;
+  };
+  std::vector<Armed> timers(kAdapters);
+
+  auto arm = [&](std::size_t adapter) {
+    const SimTime when = now + 1000 + static_cast<SimTime>(rng.below(5000));
+    const std::size_t label = ref.push(when);
+    const EventId id = q.push(when, [&popped_real, label] {
+      popped_real.push_back(label);
+    });
+    timers[adapter] = Armed{id, label, true};
+  };
+
+  for (std::size_t a = 0; a < kAdapters; ++a) arm(a);
+  for (int i = 0; i < kIterations; ++i) {
+    const std::size_t a = rng.below(kAdapters);
+    if (rng.chance(0.9)) {
+      // "Heartbeat arrived": cancel + re-arm.
+      if (timers[a].live) {
+        EXPECT_TRUE(q.cancel(timers[a].id));
+        EXPECT_TRUE(ref.cancel(timers[a].label));
+      }
+      arm(a);
+    } else if (!q.empty()) {
+      // "Suspicion timer fired": pop one event on both sides, advance time.
+      const auto [ref_when, ref_label] = ref.pop();
+      EXPECT_EQ(q.next_time(), ref_when);
+      auto [when, fn] = q.pop();
+      EXPECT_EQ(when, ref_when);
+      now = std::max(now, when);
+      fn();
+      ASSERT_EQ(popped_real.back(), ref_label);
+      popped_ref.push_back(ref_label);
+      for (auto& t : timers)
+        if (t.live && t.label == ref_label) t.live = false;
+    }
+    EXPECT_EQ(q.size(), static_cast<std::size_t>(
+                            std::count_if(timers.begin(), timers.end(),
+                                          [](const Armed& t) { return t.live; })));
+  }
+
+  // Slot pool bounded by concurrent high-water (kAdapters plus slack for
+  // the pop-before-rearm window), not by ~50k events ever pushed.
+  EXPECT_LE(q.slot_count(), kAdapters + 8);
+  // Stale entries never dominate: compaction holds the heap near 2x live.
+  EXPECT_LE(q.heap_size(), 2 * q.size() + 128);
+
+  while (!q.empty()) {
+    auto [when, fn] = q.pop();
+    (void)when;
+    fn();
+  }
+  while (!ref.empty()) popped_ref.push_back(ref.pop().second);
+
+  // Event-for-event identical pop order against the naive reference.
+  ASSERT_EQ(popped_real.size(), popped_ref.size());
+  EXPECT_EQ(popped_real, popped_ref);
 }
 
 // --- Simulator ----------------------------------------------------------------------
