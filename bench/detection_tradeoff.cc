@@ -9,6 +9,7 @@
 //     leader verification probes — the paper's two amelioration steps.
 //  C. The loopback-test ablation: a receive-dead adapter blames its healthy
 //     neighbors unless it self-tests first (§3's first flaw).
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -38,13 +39,24 @@ struct FarmRun {
   }
 };
 
-// Detection latency: kill a mid-rank member, time until the leader commits
-// a view without it.
-double detection_latency_s(const gs::proto::Params& params, int nodes,
-                           std::uint64_t seed) {
+// Detection latency: kill a mid-rank member. Two measurements per trial:
+//  * commit_s — the external timer the bench always had: sim time until the
+//    leader commits a view excluding the victim (detection + verification
+//    probes + 2PC + change debounce);
+//  * leader_span_s — the SpanTracker's kFaultInjected -> kDeathDeclared
+//    latency ("span.detection_leader_us"), the pure §3 detection path that
+//    Eq. 1's (k + 1/2)·tau + verification term models.
+struct DetectionSample {
+  double commit_s = -1;
+  double leader_span_s = -1;
+};
+
+DetectionSample detection_latency_s(const gs::proto::Params& params, int nodes,
+                                    std::uint64_t seed) {
   FarmRun run(nodes, params, seed, 0.0);
+  gs::obs::SpanTracker& spans = run.farm->enable_span_tracking();
   if (!gs::farm::run_until_converged(*run.farm, gs::sim::seconds(120)))
-    return -1;
+    return {};
 
   const std::size_t victim_node = static_cast<std::size_t>(nodes) / 2;
   const gs::util::AdapterId victim = run.farm->node_adapters(victim_node)[0];
@@ -60,8 +72,25 @@ double detection_latency_s(const gs::proto::Params& params, int nodes,
       run.sim, death + gs::sim::seconds(120),
       [&] { return !leader_proto->committed().contains(victim_ip); },
       gs::sim::milliseconds(5));
-  if (!removed) return -1;
-  return gs::sim::to_seconds(*removed - death);
+  if (!removed) return {};
+  DetectionSample out;
+  out.commit_s = gs::sim::to_seconds(*removed - death);
+  const gs::util::Histogram* leader_hist =
+      spans.stats().find_histogram("span.detection_leader_us");
+  if (leader_hist != nullptr && leader_hist->count() > 0)
+    out.leader_span_s = leader_hist->mean() / 1e6;
+  return out;
+}
+
+// Eq. 1's detection term: a fault lands uniformly within a heartbeat
+// period, the ring raises suspicion after k consecutive misses, and the
+// leader spends (retries + 1) timed-out verification probes before
+// declaring: E[T_detect] = (k + 1/2)·tau + (probe_retries + 1)·T_probe.
+double detection_model_s(const gs::proto::Params& p) {
+  return (static_cast<double>(p.hb_sensitivity) + 0.5) *
+             gs::sim::to_seconds(p.hb_period) +
+         static_cast<double>(p.probe_retries + 1) *
+             gs::sim::to_seconds(p.probe_timeout);
 }
 
 struct FalseReportStats {
@@ -120,29 +149,86 @@ int main(int argc, char** argv) {
   for (int k : {1, 2, 3}) std::printf("        k=%d       ", k);
   std::printf("\n");
   gs::bench::print_rule(64);
+  struct GateRow {
+    double tau_ms = 0;
+    int k = 0;
+    double span_mean_s = -1;
+    double model_s = 0;
+    double tolerance_s = 0;
+  };
+  std::vector<GateRow> gate_rows;
   for (double tau_ms : {100.0, 500.0, 1000.0}) {
     std::printf("%8.0fms", tau_ms);
     for (int k : {1, 2, 3}) {
       gs::proto::Params p = base;
       p.hb_period = gs::sim::milliseconds(static_cast<std::int64_t>(tau_ms));
       p.hb_sensitivity = k;
-      std::vector<double> samples(static_cast<std::size_t>(trials), -1);
+      std::vector<DetectionSample> samples(static_cast<std::size_t>(trials));
       gs::bench::parallel_trials(samples.size(), [&](std::size_t i) {
         samples[i] = detection_latency_s(p, nodes, 100 + i);
       });
-      std::erase(samples, -1.0);
-      const auto s = gs::util::Summary::of(samples);
+      std::vector<double> commit, leader_span;
+      for (const DetectionSample& d : samples) {
+        if (d.commit_s >= 0) commit.push_back(d.commit_s);
+        if (d.leader_span_s >= 0) leader_span.push_back(d.leader_span_s);
+      }
+      const auto s = gs::util::Summary::of(commit);
+      const auto ls = gs::util::Summary::of(leader_span);
       std::printf("  %ss", gs::bench::fmt_mean_std(s).c_str());
       auto& row = json.add_row("detection_latency");
       row.set("tau_ms", tau_ms);
       row.set("k", k);
       row.set("latency_mean_s", s.mean);
       row.set("latency_stddev_s", s.stddev);
+      row.set("span_leader_mean_s", ls.mean);
+      row.set("span_leader_stddev_s", ls.stddev);
+      row.set("model_s", detection_model_s(p));
+      GateRow gate;
+      gate.tau_ms = tau_ms;
+      gate.k = k;
+      gate.span_mean_s = leader_span.empty() ? -1 : ls.mean;
+      gate.model_s = detection_model_s(p);
+      // The fault phase within a heartbeat period is uniform, so trial
+      // means scatter around the model by O(tau/sqrt(12·trials)); suspect
+      // relays and probe scheduling add a constant-ish tail. Half a period
+      // plus 300ms comfortably covers both without masking real drift.
+      gate.tolerance_s = 0.5 * tau_ms / 1000.0 + 0.3;
+      gate_rows.push_back(gate);
     }
     std::printf("\n");
   }
   std::printf("\nExpected: latency ~ (k + 1/2)*tau + verification probes;\n"
               "rows scale linearly with tau, columns with k.\n");
+
+  // --- Table A', the Eq. 1 sanity gate ---------------------------------------
+  // The span-measured leader detection latency (kFaultInjected ->
+  // kDeathDeclared) must agree with the closed-form model — this pins the
+  // tracer's correlation AND the simulator's detection pipeline at once.
+  gs::bench::print_header(
+      "A'. Span-measured leader detection vs Eq. 1 model (gate)");
+  std::printf("%10s %4s %12s %12s %12s  %s\n", "tau", "k", "span mean",
+              "model", "|delta|", "verdict");
+  gs::bench::print_rule(64);
+  int gate_failures = 0;
+  for (const GateRow& g : gate_rows) {
+    const double delta =
+        g.span_mean_s < 0 ? -1 : std::abs(g.span_mean_s - g.model_s);
+    const bool ok = delta >= 0 && delta <= g.tolerance_s;
+    if (!ok) ++gate_failures;
+    std::printf("%8.0fms %4d %11.3fs %11.3fs %11.3fs  %s\n", g.tau_ms, g.k,
+                g.span_mean_s, g.model_s, delta, ok ? "ok" : "FAIL");
+    auto& row = json.add_row("eq1_gate");
+    row.set("tau_ms", g.tau_ms);
+    row.set("k", g.k);
+    row.set("span_leader_mean_s", g.span_mean_s);
+    row.set("model_s", g.model_s);
+    row.set("tolerance_s", g.tolerance_s);
+    row.set("passed", ok);
+  }
+  json.set("eq1_gate_failures", gate_failures);
+  if (gate_failures > 0)
+    std::printf("\nGATE FAILED: %d combination(s) disagree with Eq. 1.\n",
+                gate_failures);
 
   // --- Table B -------------------------------------------------------------------
   gs::bench::print_header(
@@ -230,5 +316,5 @@ int main(int argc, char** argv) {
               "healthy neighbors repeatedly (§3's first flaw); with it on,\n"
               "it stays silent.\n");
   json.write();
-  return 0;
+  return gate_failures > 0 ? 1 : 0;
 }

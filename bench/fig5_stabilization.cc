@@ -13,7 +13,12 @@
 //
 // --jsonl=PATH streams per-cell summaries plus the aggregate stats registry
 // as JSON Lines; --trace=PATH additionally replays one representative trial
-// single-threaded with every protocol trace record streamed to PATH.
+// single-threaded with every protocol trace record streamed to PATH;
+// --metrics=PATH replays the same representative trial with the latency
+// observatory attached (span tracking + 5 s health sampling) and writes the
+// final registry as Prometheus text to PATH and JSON to PATH.json. The
+// span-measured join/view-change latencies print next to the wall-clock
+// stabilization table and land in BENCH_fig5_stabilization.json.
 #include <cstdio>
 #include <map>
 #include <mutex>
@@ -21,7 +26,9 @@
 #include "bench/bench_common.h"
 #include "farm/farm.h"
 #include "farm/scenario.h"
+#include "obs/expo.h"
 #include "obs/jsonl_sink.h"
+#include "obs/spans.h"
 #include "util/flags.h"
 #include "util/stats.h"
 
@@ -34,7 +41,9 @@ struct Point {
 };
 
 double run_trial(const Point& point, int adapters_per_node,
-                 gs::obs::JsonlSink* trace_sink = nullptr) {
+                 gs::obs::JsonlSink* trace_sink = nullptr,
+                 const std::string& metrics_path = "",
+                 gs::bench::BenchJson* json = nullptr) {
   gs::sim::Simulator sim;
   gs::proto::Params params;  // paper's settings
   params.beacon_phase = gs::sim::seconds(point.beacon_s);
@@ -48,8 +57,49 @@ double run_trial(const Point& point, int adapters_per_node,
     tap = trace_sink->tap(farm.trace_bus());
     farm.fabric().enable_load_sampling(gs::sim::seconds(5));
   }
+  const bool observatory = !metrics_path.empty() || json != nullptr;
+  gs::obs::SpanTracker* spans = nullptr;
+  if (observatory) {
+    spans = &farm.enable_span_tracking();
+    farm.enable_health_sampling(gs::sim::seconds(5));
+  }
   farm.start();
   auto stable = gs::farm::run_until_gsc_stable(farm, gs::sim::seconds(600));
+  if (observatory) {
+    farm.health_sampler()->sample_now();
+    // Span-measured view of the same stabilization run, next to the
+    // wall-clock number the table reports.
+    std::printf("\nObservatory (representative trial, T_b=%.0fs, %d nodes):\n",
+                point.beacon_s, point.nodes);
+    for (gs::obs::SpanKind kind :
+         {gs::obs::SpanKind::kJoin, gs::obs::SpanKind::kViewChange,
+          gs::obs::SpanKind::kReport}) {
+      const gs::util::Histogram* h = spans->stats().find_histogram(
+          gs::obs::SpanTracker::histogram_name(kind));
+      if (h == nullptr || h->count() == 0) continue;
+      std::printf("  span.%-12s n=%-4llu mean=%.3fs p99=%.3fs\n",
+                  std::string(to_string(kind)).c_str(),
+                  static_cast<unsigned long long>(h->count()),
+                  h->mean() / 1e6,
+                  static_cast<double>(h->quantile(0.99)) / 1e6);
+    }
+    if (json != nullptr) {
+      for (const auto& [name, h] : spans->stats().histograms()) {
+        if (h.count() == 0) continue;
+        auto& row = json->add_row("span_histograms");
+        row.set("name", name);
+        row.set("count", h.count());
+        row.set("mean_us", h.mean());
+        row.set("p50_us", static_cast<double>(h.quantile(0.5)));
+        row.set("p99_us", static_cast<double>(h.quantile(0.99)));
+        row.set("max_us", static_cast<double>(h.max()));
+      }
+    }
+    if (!metrics_path.empty() &&
+        gs::obs::expo::write_metrics_files(farm.metrics(), metrics_path))
+      std::printf("  metrics -> %s and %s.json\n", metrics_path.c_str(),
+                  metrics_path.c_str());
+  }
   if (!stable) return -1.0;
   return gs::sim::to_seconds(*stable);
 }
@@ -67,6 +117,10 @@ int main(int argc, char** argv) {
       "jsonl", "", "write per-cell summaries + stats as JSON Lines");
   const std::string trace_path = flags.get_string(
       "trace", "", "stream one representative trial's protocol trace here");
+  const std::string metrics_path = flags.get_string(
+      "metrics", "",
+      "write a representative trial's metrics as Prometheus text here "
+      "(+ .json twin), with span tracking and health sampling attached");
   // 3..55 covers the paper's testbed; 80/120 extend the flatness claim
   // beyond it (scalability was the open question, §4.2).
   const std::vector<int> sizes = {3, 5, 10, 15, 20, 25, 30, 40, 55, 80, 120};
@@ -140,6 +194,25 @@ int main(int argc, char** argv) {
     row.set("min_s", s.min);
     row.set("max_s", s.max);
   }
+
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    gs::obs::JsonlSink sink;
+    if (!trace_path.empty() && !sink.open(trace_path)) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+      return 1;
+    }
+    // One representative cell (T_b = 5 s, 10 nodes), replayed single-
+    // threaded so the trace is one simulation's coherent timeline and the
+    // observatory sees every record.
+    const double t =
+        run_trial({10, 5.0, 1000}, adapters,
+                  trace_path.empty() ? nullptr : &sink, metrics_path, &json);
+    if (!trace_path.empty())
+      std::printf("Traced representative trial (T_b=5s, 10 nodes): "
+                  "stable at %.2fs; %llu trace records -> %s\n",
+                  t, static_cast<unsigned long long>(sink.lines_written()),
+                  trace_path.c_str());
+  }
   json.write();
 
   if (!jsonl_path.empty()) {
@@ -179,19 +252,5 @@ int main(int argc, char** argv) {
                 jsonl_path.c_str());
   }
 
-  if (!trace_path.empty()) {
-    gs::obs::JsonlSink sink;
-    if (!sink.open(trace_path)) {
-      std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
-      return 1;
-    }
-    // One representative cell (T_b = 5 s, 10 nodes), replayed single-
-    // threaded so the trace is one simulation's coherent timeline.
-    const double t = run_trial({10, 5.0, 1000}, adapters, &sink);
-    std::printf("Traced representative trial (T_b=5s, 10 nodes): "
-                "stable at %.2fs; %llu trace records -> %s\n",
-                t, static_cast<unsigned long long>(sink.lines_written()),
-                trace_path.c_str());
-  }
   return 0;
 }

@@ -2,15 +2,21 @@
 // and print what GulfStream Central learned about the topology.
 //
 //   ./quickstart [--nodes=...] [--domains=...] [--verbose]
-//                [--trace=out.jsonl]
+//                [--trace=out.jsonl] [--metrics=out.prom]
 //
 // With --trace=PATH every protocol trace record (beacon, election, 2PC,
 // reports, ...) is streamed to PATH as JSON Lines while the run progresses.
+// With --metrics=PATH the latency observatory is attached (span tracking +
+// periodic health sampling), one adapter failure is injected after the farm
+// stabilizes so a detection span closes end to end, and the final metrics
+// registry is written as Prometheus text to PATH and as JSON to PATH.json.
 #include <cstdio>
 
 #include "farm/farm.h"
 #include "farm/scenario.h"
+#include "obs/expo.h"
 #include "obs/jsonl_sink.h"
+#include "obs/spans.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -27,6 +33,10 @@ int main(int argc, char** argv) {
   const std::string trace_path =
       flags.get_string("trace", "", "stream protocol trace records to this "
                                     "JSONL file");
+  const std::string metrics_path = flags.get_string(
+      "metrics", "", "write final metrics as Prometheus text to this file "
+                     "(and JSON to <file>.json); injects one adapter failure "
+                     "so a detection span completes");
   if (flags.help_requested()) {
     flags.print_usage();
     return 0;
@@ -61,6 +71,11 @@ int main(int argc, char** argv) {
     }
     tap = sink.tap(farm.trace_bus());
     farm.fabric().enable_load_sampling(gs::sim::seconds(5));
+  }
+  gs::obs::SpanTracker* spans = nullptr;
+  if (!metrics_path.empty()) {
+    spans = &farm.enable_span_tracking();
+    farm.enable_health_sampling(gs::sim::seconds(5));
   }
 
   std::printf("\n-- farm events --------------------------------------\n");
@@ -131,6 +146,53 @@ int main(int argc, char** argv) {
   for (const auto& finding : findings)
     std::printf("  [%s] %s\n", std::string(to_string(finding.kind)).c_str(),
                 finding.detail.c_str());
+
+  if (spans != nullptr) {
+    // Give the observatory one complete detection span to measure: fail a
+    // non-leader, non-admin member and wait for Central to commit it (the
+    // move-inference hold of params.move_window delays the commit).
+    gs::util::IpAddress victim_ip;
+    for (const auto& group : central->groups()) {
+      for (gs::util::IpAddress ip : group.members) {
+        const auto rec = farm.db().adapter_by_ip(ip);
+        if (!rec || rec->admin || ip == group.leader.ip) continue;
+        victim_ip = ip;
+        break;
+      }
+      if (!victim_ip.is_unspecified()) break;
+    }
+    std::printf("\n-- latency observatory --------------------------------\n");
+    if (victim_ip.is_unspecified()) {
+      std::printf("no non-leader member to fail; skipping span demo\n");
+    } else {
+      const auto victim = farm.db().adapter_by_ip(victim_ip);
+      std::printf("failing %s to exercise the detection pipeline...\n",
+                  victim_ip.to_string().c_str());
+      farm.fabric().set_adapter_health(victim->adapter,
+                                       gs::net::HealthState::kDown);
+      const auto committed = gs::farm::run_until(
+          sim, sim.now() + params.move_window + gs::sim::seconds(60), [&] {
+            const gs::util::Histogram* h =
+                farm.metrics().find_histogram("span.detection_us");
+            return h != nullptr && h->count() >= 1;
+          });
+      const gs::util::Histogram* h =
+          farm.metrics().find_histogram("span.detection_us");
+      if (committed && h != nullptr && h->count() >= 1)
+        std::printf("detection span: fault -> Central commit in %.3fs "
+                    "(includes the %.0fs move-inference hold)\n",
+                    h->mean() / 1e6,
+                    gs::sim::to_seconds(params.move_window));
+      else
+        std::printf("detection span never closed within the deadline!\n");
+    }
+    farm.health_sampler()->sample_now();
+    if (gs::obs::expo::write_metrics_files(farm.metrics(), metrics_path))
+      std::printf("metrics -> %s (Prometheus text) and %s.json\n",
+                  metrics_path.c_str(), metrics_path.c_str());
+    else
+      return 1;
+  }
 
   if (sink.is_open())
     std::printf("\nWrote %llu trace records to %s\n",

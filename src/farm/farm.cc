@@ -389,4 +389,64 @@ bool Farm::converged() {
   return true;
 }
 
+obs::SpanTracker& Farm::enable_span_tracking() {
+  if (!spans_)
+    spans_ = std::make_unique<obs::SpanTracker>(trace_bus_, &metrics_);
+  return *spans_;
+}
+
+obs::FarmHealthSampler::Snapshot Farm::health_snapshot() {
+  obs::FarmHealthSampler::Snapshot snapshot;
+  for (const auto& daemon : daemons_) {
+    if (daemon->halted()) continue;
+    for (std::size_t i = 0; i < daemon->adapter_count(); ++i) {
+      const proto::AdapterProtocol& proto = daemon->protocol(i);
+      if (!proto.is_leader() || !proto.is_committed()) continue;
+      obs::FarmHealthSampler::AmgSample amg;
+      amg.leader = proto.self().ip;
+      amg.vlan = fabric_->vlan_of(daemon->adapter_id(i));
+      amg.view = proto.committed().view();
+      amg.size = proto.committed().size();
+      amg.committed_at = proto.committed_at();
+      amg.digest = proto.committed().ips_hash();
+      snapshot.amgs.push_back(amg);
+    }
+  }
+  if (proto::Central* central = active_central()) {
+    obs::FarmHealthSampler::GscSample gsc;
+    gsc.gsc = central->self_ip();
+    gsc.groups = central->groups().size();
+    gsc.adapters = central->known_adapter_count();
+    gsc.alive = central->alive_adapter_count();
+    gsc.nodes_down = central->nodes_down_count();
+    snapshot.gsc = gsc;
+  }
+  for (util::VlanId vlan : vlans()) {
+    const net::SegmentLoad& load = fabric_->load(vlan);
+    snapshot.wire.push_back({vlan, load.frames_sent, load.bytes_sent});
+  }
+  if (spans_) {
+    obs::FarmHealthSampler::SpanSample span_sample;
+    span_sample.open = spans_->open_total();
+    span_sample.watermark = spans_->open_watermark();
+    for (std::size_t k = 0; k < static_cast<std::size_t>(obs::SpanKind::kCount_);
+         ++k) {
+      const auto kind = static_cast<obs::SpanKind>(k);
+      span_sample.closed += spans_->closed(kind);
+      span_sample.abandoned += spans_->abandoned(kind);
+    }
+    snapshot.spans = span_sample;
+  }
+  return snapshot;
+}
+
+obs::FarmHealthSampler& Farm::enable_health_sampling(sim::SimDuration period) {
+  if (!health_) {
+    health_ = std::make_unique<obs::FarmHealthSampler>(
+        sim_, trace_bus_, [this] { return health_snapshot(); }, period,
+        &metrics_);
+  }
+  return *health_;
+}
+
 }  // namespace gs::farm

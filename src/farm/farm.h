@@ -19,9 +19,12 @@
 #include "gs/gulfstream.h"
 #include "net/console.h"
 #include "net/fabric.h"
+#include "obs/health.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace gs::farm {
 
@@ -75,6 +78,26 @@ class Farm {
   // steps, report traffic, Central decisions, and wire-load samples.
   [[nodiscard]] obs::TraceBus& trace_bus() { return trace_bus_; }
 
+  // --- Latency observatory (opt-in; see obs/spans.h, obs/health.h) ----------
+  // Both are off by default so an unobserved farm keeps PR 1's zero-cost
+  // contract: no subscriber, no record, byte-identical traces.
+  //
+  // Attaches (once) a SpanTracker to the trace bus, feeding metrics().
+  // Call before injecting faults so span accounting balances.
+  obs::SpanTracker& enable_span_tracking();
+  // Starts (once) periodic health sampling into the trace bus + metrics().
+  obs::FarmHealthSampler& enable_health_sampling(sim::SimDuration period);
+  // Null until the corresponding enable_* ran.
+  [[nodiscard]] obs::SpanTracker* span_tracker() { return spans_.get(); }
+  [[nodiscard]] obs::FarmHealthSampler* health_sampler() {
+    return health_.get();
+  }
+  // Registry the tracker/sampler (and any embedder) write into.
+  [[nodiscard]] util::StatsRegistry& metrics() { return metrics_; }
+  // One immediate health snapshot, independent of sampling (may be called
+  // without enable_health_sampling).
+  [[nodiscard]] obs::FarmHealthSampler::Snapshot health_snapshot();
+
   // --- Ground-truth convergence checks ----------------------------------------------
   // True when, for every VLAN, the fully healthy adapters wired to it form
   // exactly one committed AMG led by the highest IP, all agreeing on the
@@ -125,6 +148,13 @@ class Farm {
   // first so they are destroyed last).
   proto::EventBus event_bus_;
   obs::TraceBus trace_bus_;
+
+  // Observatory state (declared after the buses it subscribes to, before
+  // the daemons whose state the sampler's provider closure reads — the
+  // provider only runs from sim timers, never during destruction).
+  util::StatsRegistry metrics_;
+  std::unique_ptr<obs::SpanTracker> spans_;
+  std::unique_ptr<obs::FarmHealthSampler> health_;
 
   std::vector<NodeInfo> nodes_;
   std::vector<std::unique_ptr<proto::GsDaemon>> daemons_;

@@ -51,6 +51,7 @@ void AdapterProtocol::shutdown() {
   clear_member_duty_state();
   clear_leader_duty_state();
   committed_ = MembershipView();
+  committed_at_ = -1;
   if (pending_prepare_) {
     pending_prepare_->expiry.cancel();
     pending_prepare_.reset();
@@ -275,6 +276,7 @@ void AdapterProtocol::install(MembershipView view) {
   GS_CHECK(!view.empty());
   bump_clock(view.view());
   committed_ = std::move(view);
+  committed_at_ = sim_.now();
   ++stats_.commits;
 
   beacon_end_timer_.cancel();
@@ -481,6 +483,7 @@ void AdapterProtocol::handle_prepare_ack(util::IpAddress src,
   // The participant is bound to a competing or newer view: step the clock
   // past it, drop the participant from this membership change, and retry.
   bump_clock(msg.holder_view);
+  trace(obs::TraceKind::kTwoPcAbort, src, proposal_->view, 1);
   const MembershipView aborted = std::move(proposal_->membership);
   proposal_->timer.cancel();
   proposal_.reset();
@@ -893,6 +896,7 @@ void AdapterProtocol::reset_to_discovery() {
   clear_member_duty_state();
   clear_leader_duty_state();
   committed_ = MembershipView();
+  committed_at_ = -1;
   if (pending_prepare_) {
     pending_prepare_->expiry.cancel();
     pending_prepare_.reset();
@@ -939,6 +943,10 @@ void AdapterProtocol::clear_member_duty_state() {
 
 void AdapterProtocol::clear_leader_duty_state() {
   if (proposal_) {
+    // Leadership ended (demotion, reset, or shutdown) with a round still
+    // uncommitted: the proposal dies here, b=2 distinguishes it from a
+    // nack abort.
+    trace(obs::TraceKind::kTwoPcAbort, {}, proposal_->view, 2);
     proposal_->timer.cancel();
     proposal_.reset();
   }

@@ -111,6 +111,9 @@ class AdapterProtocol {
                                    state_ == AdapterState::kLeader);
   }
   [[nodiscard]] const MembershipView& committed() const { return committed_; }
+  // When the current committed view was installed (-1 if none): the health
+  // sampler derives per-AMG view age from this.
+  [[nodiscard]] sim::SimTime committed_at() const { return committed_at_; }
   [[nodiscard]] util::IpAddress leader_ip() const {
     return committed_.empty() ? util::IpAddress{} : committed_.leader().ip;
   }
@@ -196,6 +199,7 @@ class AdapterProtocol {
   AdapterState state_ = AdapterState::kIdle;
   std::uint64_t clock_ = 0;  // Lamport view clock
   MembershipView committed_;
+  sim::SimTime committed_at_ = -1;
   ProtocolStats stats_;
   std::unique_ptr<FailureDetector> fd_;
 

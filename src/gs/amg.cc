@@ -47,4 +47,16 @@ std::vector<util::IpAddress> MembershipView::ips() const {
   return out;
 }
 
+std::uint64_t MembershipView::ips_hash() const {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const MemberInfo& m : members_) {
+    std::uint32_t bits = m.ip.bits();
+    for (int i = 0; i < 4; ++i) {
+      hash ^= (bits >> (8 * i)) & 0xffu;
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  }
+  return hash;
+}
+
 }  // namespace gs::proto

@@ -61,6 +61,12 @@ class MembershipView {
 
   [[nodiscard]] std::vector<util::IpAddress> ips() const;
 
+  // Order-sensitive FNV-1a fingerprint of the member IPs (view number
+  // excluded): two views hash equal iff their compositions are identical,
+  // which is what health samples report so an operator can tell membership
+  // churn from mere view-number churn.
+  [[nodiscard]] std::uint64_t ips_hash() const;
+
   bool operator==(const MembershipView&) const = default;
 
  private:

@@ -74,6 +74,10 @@ void Central::activate(util::IpAddress self_admin_ip) {
   active_ = true;
   self_ip_ = self_admin_ip;
   arm_lease_sweep();
+  // Past the early-return above, the trace always means "fresh, empty
+  // tables" — the span tracker relies on that to void its mirrored
+  // verdicts.
+  trace(obs::TraceKind::kGscActivated);
   FarmEvent event{};
   event.kind = FarmEvent::Kind::kGscActivated;
   event.ip = self_admin_ip;
@@ -84,6 +88,7 @@ void Central::deactivate() {
   if (!active_) return;
   active_ = false;
   clear_all_state();
+  trace(obs::TraceKind::kGscDeactivated);
   FarmEvent event{};
   event.kind = FarmEvent::Kind::kGscDeactivated;
   event.ip = self_ip_;
@@ -195,7 +200,15 @@ void Central::handle_report(util::IpAddress from,
       if (rm.ip == report.leader.ip) continue;  // a leader never removes itself
       if (group.members.count(rm.ip)) continue;  // re-added since
       auto rec = adapters_.find(rm.ip);
-      if (rec == adapters_.end()) continue;
+      if (rec == adapters_.end()) {
+        // A death claim for an adapter this instance never learned of —
+        // the victim was removed before our full-snapshot rebuild (GSC
+        // failover or a healed partition island). Consuming the claim
+        // here means no commit will ever follow; say so on the trace bus.
+        if (rm.reason == RemoveReason::kFailed)
+          trace(obs::TraceKind::kGscDeathUnknown, rm.ip);
+        continue;
+      }
       const util::IpAddress holder = rec->second.group_leader;
       // Skip if some third group claims the adapter (its reports win).
       if (!holder.is_unspecified() && holder != report.leader.ip &&
@@ -231,8 +244,14 @@ void Central::handle_report(util::IpAddress from,
     }
     for (const RemovedMember& rm : report.removed) {
       auto rec = adapters_.find(rm.ip);
-      if (rec == adapters_.end() ||
-          rec->second.group_leader != report.leader.ip)
+      if (rec == adapters_.end()) {
+        // Same dead-end as the full-snapshot path: the claim is consumed
+        // by an instance with no record to commit against.
+        if (rm.reason == RemoveReason::kFailed)
+          trace(obs::TraceKind::kGscDeathUnknown, rm.ip);
+        continue;
+      }
+      if (rec->second.group_leader != report.leader.ip)
         continue;  // already claimed elsewhere (merge won the race)
       groups_[report.leader.ip].members.erase(rm.ip);
       if (rm.reason == RemoveReason::kFailed)
@@ -367,6 +386,9 @@ void Central::mark_alive(const MemberInfo& m, util::IpAddress leader) {
   rec.alive = true;
   rec.group_leader = leader;
   rec.last_change = sim_.now();
+  // Whatever story this turns out to be (held-failure move, expected move,
+  // or plain recovery), the recorded verdict just flipped back to alive.
+  if (was_dead) trace(obs::TraceKind::kGscAdapterAlive, m.ip);
 
   // A join while a failure notice is being held for the move window is the
   // §3.1 signature of a domain move GulfStream did not initiate.
@@ -493,6 +515,8 @@ void Central::correlate_failure(util::IpAddress ip) {
     if (db_) expected = db_->adapters_of_node(node).size();
     if (seen > 0 && !any_alive && seen >= expected) {
       nodes_down_.insert(node);
+      obs::emit_trace(params_.trace, obs::TraceKind::kNodeDown, sim_.now(),
+                      self_ip_, ip, 0, 0, {}, node);
       FarmEvent event{};
       event.kind = FarmEvent::Kind::kNodeFailed;
       event.node = node;

@@ -100,6 +100,9 @@ class Central {
   [[nodiscard]] bool node_down(util::NodeId node) const {
     return nodes_down_.count(node) > 0;
   }
+  [[nodiscard]] std::size_t nodes_down_count() const {
+    return nodes_down_.size();
+  }
   [[nodiscard]] bool switch_down(util::SwitchId sw) const {
     return switches_down_.count(sw) > 0;
   }

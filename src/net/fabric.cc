@@ -329,7 +329,20 @@ bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
 void Fabric::set_adapter_health(util::AdapterId id, HealthState health) {
   GS_LOG(kDebug, "fabric") << adapter(id).ip() << " health -> "
                            << to_string(health);
-  adapter(id).set_health(health);
+  Adapter& a = adapter(id);
+  const HealthState old = a.health();
+  a.set_health(health);
+  // Span anchors for the latency observatory: only crossings of the kUp
+  // boundary matter (kDown -> kRecvDead is still the same fault episode).
+  if ((old == HealthState::kUp) != (health == HealthState::kUp)) {
+    const bool injected = old == HealthState::kUp;
+    obs::emit_trace(trace_,
+                    injected ? obs::TraceKind::kFaultInjected
+                             : obs::TraceKind::kFaultCleared,
+                    sim_.now(), a.ip(), {},
+                    static_cast<std::uint64_t>(injected ? health : old), 0, {},
+                    a.node());
+  }
 }
 
 void Fabric::fail_node(util::NodeId node) {

@@ -1,0 +1,235 @@
+#include "obs/expo.h"
+
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.h"  // append_json_escaped
+
+namespace gs::obs::expo {
+
+namespace {
+
+// Splits a registry key into its base name and inline label block.
+// "wire.frames{vlan=\"12\"}" -> {"wire.frames", "vlan=\"12\""}.
+struct SplitName {
+  std::string_view base;
+  std::string_view labels;  // without braces, empty if unlabeled
+};
+
+SplitName split_name(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}')
+    return {name, {}};
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; registry names use
+// dots. Namespacing with gs_ also guarantees a legal leading character.
+std::string prom_name(std::string_view base) {
+  std::string out = "gs_";
+  for (char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_double(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  out += buf;
+}
+
+// name{existing,extra} value\n  — any of labels/extra may be empty.
+void append_sample(std::string& out, const std::string& name,
+                   std::string_view labels, std::string_view extra,
+                   double value) {
+  out += name;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  out += ' ';
+  append_double(out, value);
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name,
+                 std::string_view type, std::string& last_family) {
+  if (name == last_family) return;  // one TYPE line per family
+  last_family = name;
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string to_prometheus(const util::StatsRegistry& registry) {
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, counter] : registry.counters()) {
+    const SplitName split = split_name(key);
+    const std::string name = prom_name(split.base);
+    append_type(out, name, "counter", last_family);
+    append_sample(out, name, split.labels, {},
+                  static_cast<double>(counter.value()));
+  }
+  last_family.clear();
+  for (const auto& [key, gauge] : registry.gauges()) {
+    const SplitName split = split_name(key);
+    const std::string name = prom_name(split.base);
+    append_type(out, name, "gauge", last_family);
+    append_sample(out, name, split.labels, {}, gauge.value());
+  }
+  last_family.clear();
+  for (const auto& [key, histogram] : registry.histograms()) {
+    const SplitName split = split_name(key);
+    const std::string name = prom_name(split.base);
+    append_type(out, name, "summary", last_family);
+    append_sample(out, name, split.labels, "quantile=\"0.5\"",
+                  static_cast<double>(histogram.p50()));
+    append_sample(out, name, split.labels, "quantile=\"0.9\"",
+                  static_cast<double>(histogram.quantile(0.9)));
+    append_sample(out, name, split.labels, "quantile=\"0.99\"",
+                  static_cast<double>(histogram.p99()));
+    append_sample(out, name + "_sum", split.labels, {},
+                  histogram.mean() * static_cast<double>(histogram.count()));
+    append_sample(out, name + "_count", split.labels, {},
+                  static_cast<double>(histogram.count()));
+  }
+  return out;
+}
+
+std::string counter_line(std::string_view name, std::uint64_t value) {
+  std::string line = "{\"type\":\"counter\",\"name\":\"";
+  append_json_escaped(line, name);
+  line += "\",\"value\":";
+  append_u64(line, value);
+  line += '}';
+  return line;
+}
+
+std::string gauge_line(std::string_view name, double value) {
+  std::string line = "{\"type\":\"gauge\",\"name\":\"";
+  append_json_escaped(line, name);
+  line += "\",\"value\":";
+  append_double(line, value);
+  line += '}';
+  return line;
+}
+
+std::string histogram_line(std::string_view name,
+                           const util::Histogram& histogram) {
+  std::string line = "{\"type\":\"histogram\",\"name\":\"";
+  append_json_escaped(line, name);
+  line += '"';
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                ",\"count\":%llu,\"min\":%lld,\"max\":%lld,\"mean\":%.3f,"
+                "\"stddev\":%.3f,\"p50\":%lld,\"p99\":%lld}",
+                static_cast<unsigned long long>(histogram.count()),
+                static_cast<long long>(histogram.min()),
+                static_cast<long long>(histogram.max()), histogram.mean(),
+                histogram.stddev(), static_cast<long long>(histogram.p50()),
+                static_cast<long long>(histogram.p99()));
+  line += buf;
+  return line;
+}
+
+std::string to_json(const util::StatsRegistry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":";
+    append_u64(out, counter.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":";
+    append_double(out, gauge.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":{\"count\":";
+    append_u64(out, histogram.count());
+    out += ",\"min\":";
+    append_i64(out, histogram.min());
+    out += ",\"max\":";
+    append_i64(out, histogram.max());
+    out += ",\"mean\":";
+    append_double(out, histogram.mean());
+    out += ",\"stddev\":";
+    append_double(out, histogram.stddev());
+    out += ",\"p50\":";
+    append_i64(out, histogram.p50());
+    out += ",\"p90\":";
+    append_i64(out, histogram.quantile(0.9));
+    out += ",\"p99\":";
+    append_i64(out, histogram.p99());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+bool write_whole_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "expo: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed)
+    std::fprintf(stderr, "expo: short write to %s\n", path.c_str());
+  return wrote && closed;
+}
+
+}  // namespace
+
+bool write_metrics_files(const util::StatsRegistry& registry,
+                         const std::string& path) {
+  const bool prom = write_whole_file(path, to_prometheus(registry));
+  const bool json = write_whole_file(path + ".json", to_json(registry));
+  return prom && json;
+}
+
+}  // namespace gs::obs::expo

@@ -1,0 +1,42 @@
+// Metrics exposition: StatsRegistry -> Prometheus text format / JSON.
+//
+// Registry names use dotted.paths, optionally with an inline label block
+// built by util::labeled() (`wire.frames_sent{vlan="12"}`). Prometheus
+// output sanitizes the base name (dots become underscores, a `gs_` prefix
+// namespaces the farm) and re-emits the label block verbatim; histograms
+// render as summaries (quantile series + _sum/_count). JSON keeps the
+// composite registry keys untouched:
+//   {"counters":{...},"gauges":{...},"histograms":{"name":{"count":...}}}
+//
+// JsonlSink::dump_stats uses the per-line helpers so a trace file's stats
+// tail and the standalone JSON document stay field-for-field identical.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/stats.h"
+
+namespace gs::obs::expo {
+
+// Prometheus text exposition format 0.0.4 (# TYPE comments + samples),
+// ending in a trailing newline.
+[[nodiscard]] std::string to_prometheus(const util::StatsRegistry& registry);
+
+// One structured JSON object (no trailing newline).
+[[nodiscard]] std::string to_json(const util::StatsRegistry& registry);
+
+// Single-line JSON objects for JSONL embedding (no trailing newline).
+[[nodiscard]] std::string counter_line(std::string_view name,
+                                       std::uint64_t value);
+[[nodiscard]] std::string gauge_line(std::string_view name, double value);
+[[nodiscard]] std::string histogram_line(std::string_view name,
+                                         const util::Histogram& histogram);
+
+// Writes to_prometheus(registry) to `path` and to_json(registry) to
+// `path` + ".json". Returns false (after a one-line stderr warning) if
+// either file cannot be written completely.
+bool write_metrics_files(const util::StatsRegistry& registry,
+                         const std::string& path);
+
+}  // namespace gs::obs::expo

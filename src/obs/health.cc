@@ -1,0 +1,112 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gs::obs {
+
+FarmHealthSampler::FarmHealthSampler(sim::Simulator& sim, TraceBus& bus,
+                                     Provider provider,
+                                     sim::SimDuration period,
+                                     util::StatsRegistry* registry)
+    : sim_(sim),
+      bus_(bus),
+      provider_(std::move(provider)),
+      period_(std::max<sim::SimDuration>(period, sim::kMillisecond)),
+      registry_(registry) {
+  timer_ = sim_.after(period_, [this] { tick(); });
+}
+
+void FarmHealthSampler::tick() {
+  sample_now();
+  timer_ = sim_.after(period_, [this] { tick(); });
+}
+
+void FarmHealthSampler::sample_now() {
+  const Snapshot snapshot = provider_();
+  ++samples_;
+  publish(snapshot);
+}
+
+void FarmHealthSampler::publish(const Snapshot& snapshot) {
+  const sim::SimTime now = sim_.now();
+  const bool trace = bus_.wants_kind(TraceKind::kHealthSample);
+
+  std::uint64_t max_view_age = 0;
+  std::uint64_t min_size = 0, max_size = 0;
+  for (const AmgSample& amg : snapshot.amgs) {
+    const auto age =
+        static_cast<std::uint64_t>(std::max<sim::SimTime>(
+            now - amg.committed_at, 0));
+    max_view_age = std::max(max_view_age, age);
+    min_size = min_size == 0 ? amg.size : std::min(min_size, amg.size);
+    max_size = std::max(max_size, amg.size);
+    if (trace)
+      emit_trace(&bus_, TraceKind::kHealthSample, now, amg.leader, {}, age,
+                 amg.size, "amg", {}, amg.vlan);
+  }
+  if (snapshot.gsc) {
+    const GscSample& gsc = *snapshot.gsc;
+    if (trace) {
+      emit_trace(&bus_, TraceKind::kHealthSample, now, gsc.gsc, {},
+                 gsc.groups, gsc.adapters, "gsc.tables");
+      emit_trace(&bus_, TraceKind::kHealthSample, now, gsc.gsc, {}, gsc.alive,
+                 gsc.nodes_down, "gsc.alive");
+    }
+  }
+  for (const WireSample& wire : snapshot.wire) {
+    if (trace)
+      emit_trace(&bus_, TraceKind::kHealthSample, now, {}, {},
+                 wire.frames_sent, wire.bytes_sent, "wire", {}, wire.vlan);
+  }
+  if (snapshot.spans && trace) {
+    emit_trace(&bus_, TraceKind::kHealthSample, now, {}, {},
+               snapshot.spans->open, snapshot.spans->watermark, "spans.open");
+    emit_trace(&bus_, TraceKind::kHealthSample, now, {}, {},
+               snapshot.spans->closed, snapshot.spans->abandoned,
+               "spans.done");
+  }
+
+  if (registry_ == nullptr) return;
+  registry_->counter("health.samples").add();
+  registry_->gauge("farm.amg.count")
+      .set(static_cast<double>(snapshot.amgs.size()));
+  registry_->gauge("farm.amg.max_view_age_us")
+      .set(static_cast<double>(max_view_age));
+  registry_->gauge("farm.amg.min_size").set(static_cast<double>(min_size));
+  registry_->gauge("farm.amg.max_size").set(static_cast<double>(max_size));
+  if (snapshot.gsc) {
+    const GscSample& gsc = *snapshot.gsc;
+    registry_->gauge("gsc.groups").set(static_cast<double>(gsc.groups));
+    registry_->gauge("gsc.adapters").set(static_cast<double>(gsc.adapters));
+    registry_->gauge("gsc.adapters_alive")
+        .set(static_cast<double>(gsc.alive));
+    registry_->gauge("gsc.nodes_down")
+        .set(static_cast<double>(gsc.nodes_down));
+  }
+  for (const AmgSample& amg : snapshot.amgs) {
+    if (!amg.vlan.valid()) continue;
+    const std::string vlan = std::to_string(amg.vlan.value());
+    registry_->gauge(util::labeled("amg.view", {{"vlan", vlan}}))
+        .set(static_cast<double>(amg.view));
+    // Membership fingerprint: equal digests across samples mean the group
+    // composition is stable even when the view number churns.
+    registry_->gauge(util::labeled("amg.digest", {{"vlan", vlan}}))
+        .set(static_cast<double>(amg.digest));
+  }
+  for (const WireSample& wire : snapshot.wire) {
+    const std::string vlan = std::to_string(wire.vlan.value());
+    registry_->gauge(util::labeled("wire.frames_sent", {{"vlan", vlan}}))
+        .set(static_cast<double>(wire.frames_sent));
+    registry_->gauge(util::labeled("wire.bytes_sent", {{"vlan", vlan}}))
+        .set(static_cast<double>(wire.bytes_sent));
+  }
+  if (snapshot.spans) {
+    registry_->gauge("spans.open")
+        .set(static_cast<double>(snapshot.spans->open));
+    registry_->gauge("spans.open_watermark")
+        .set(static_cast<double>(snapshot.spans->watermark));
+  }
+}
+
+}  // namespace gs::obs

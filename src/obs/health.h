@@ -1,0 +1,100 @@
+// Periodic farm-health snapshots onto the trace bus and into gauges.
+//
+// A sim-timer driven sampler that asks its embedder (farm::Farm wires the
+// provider; obs cannot see farm types) for a Snapshot every `period` and
+// publishes it two ways:
+//   - kHealthSample trace records, one row per fact (schema below), so a
+//     JsonlSink tap yields a time series alongside the protocol trace;
+//   - util::Gauge series in a StatsRegistry, so the exposition module
+//     (obs/expo.h) can render current values as Prometheus/JSON.
+//
+// kHealthSample row schema (detail discriminates the row type):
+//   detail="amg"         source=leader, vlan, a=view age in us, b=group size
+//   detail="gsc.tables"  source=GSC,  a=#groups, b=#known adapters
+//   detail="gsc.alive"   source=GSC,  a=#adapters alive, b=#nodes down
+//   detail="wire"        vlan, a=frames sent, b=bytes sent (cumulative)
+//   detail="spans.open"  a=open spans now, b=open-span high-water mark
+//   detail="spans.done"  a=spans closed, b=spans abandoned (cumulative)
+//
+// Trace rows are gated on wants(kHealthSample): with nobody subscribed the
+// sampler only refreshes gauges. With no sampler constructed at all, the
+// kind is never emitted — the zero-cost contract is untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/ids.h"
+#include "util/ip.h"
+#include "util/stats.h"
+
+namespace gs::obs {
+
+class FarmHealthSampler {
+ public:
+  struct AmgSample {
+    util::IpAddress leader;
+    util::VlanId vlan;
+    std::uint64_t view = 0;
+    std::uint64_t size = 0;
+    sim::SimTime committed_at = 0;  // when this view was installed
+    std::uint64_t digest = 0;       // membership fingerprint (Amg ips_hash)
+  };
+  struct GscSample {
+    util::IpAddress gsc;
+    std::uint64_t groups = 0;
+    std::uint64_t adapters = 0;
+    std::uint64_t alive = 0;
+    std::uint64_t nodes_down = 0;
+  };
+  struct WireSample {
+    util::VlanId vlan;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+  struct SpanSample {
+    std::uint64_t open = 0;
+    std::uint64_t watermark = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t abandoned = 0;
+  };
+  struct Snapshot {
+    std::vector<AmgSample> amgs;
+    std::optional<GscSample> gsc;
+    std::vector<WireSample> wire;
+    std::optional<SpanSample> spans;
+  };
+  using Provider = std::function<Snapshot()>;
+
+  // Starts sampling immediately; first tick fires one `period` from now.
+  // `registry` may be null (trace rows only).
+  FarmHealthSampler(sim::Simulator& sim, TraceBus& bus, Provider provider,
+                    sim::SimDuration period,
+                    util::StatsRegistry* registry = nullptr);
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+  [[nodiscard]] sim::SimDuration period() const { return period_; }
+
+  // Takes one sample now, outside the periodic schedule (benches call this
+  // right before dumping metrics so gauges reflect the final state).
+  void sample_now();
+
+ private:
+  void tick();
+  void publish(const Snapshot& snapshot);
+
+  sim::Simulator& sim_;
+  TraceBus& bus_;
+  Provider provider_;
+  sim::SimDuration period_;
+  util::StatsRegistry* registry_;
+  std::uint64_t samples_ = 0;
+  sim::Timer timer_;
+};
+
+}  // namespace gs::obs

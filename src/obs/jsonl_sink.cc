@@ -2,12 +2,14 @@
 
 #include <cstdio>
 
+#include "obs/expo.h"
 #include "util/stats.h"
 
 namespace gs::obs {
 
 bool JsonlSink::open(const std::string& path) {
   close();
+  error_ = false;
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) return false;
   path_ = path;
@@ -17,16 +19,27 @@ bool JsonlSink::open(const std::string& path) {
 
 void JsonlSink::close() {
   if (file_ != nullptr) {
-    std::fclose(file_);
+    if (std::fflush(file_) != 0) set_error();
+    if (std::fclose(file_) != 0) set_error();
     file_ = nullptr;
   }
   path_.clear();
 }
 
+void JsonlSink::set_error() {
+  if (error_) return;  // warn once per file
+  error_ = true;
+  std::fprintf(stderr, "JsonlSink: write to %s failed; output is truncated\n",
+               path_.empty() ? "<closed>" : path_.c_str());
+}
+
 void JsonlSink::write_line(std::string_view json) {
   if (file_ == nullptr) return;
-  std::fwrite(json.data(), 1, json.size(), file_);
-  std::fputc('\n', file_);
+  if (std::fwrite(json.data(), 1, json.size(), file_) != json.size() ||
+      std::fputc('\n', file_) == EOF) {
+    set_error();
+    return;
+  }
   ++lines_;
 }
 
@@ -37,34 +50,12 @@ Subscription JsonlSink::tap(TraceBus& bus, std::uint64_t kind_mask) {
 }
 
 void JsonlSink::dump_stats(const util::StatsRegistry& stats) {
-  std::string line;
-  for (const auto& [name, counter] : stats.counters()) {
-    line = "{\"type\":\"counter\",\"name\":\"";
-    append_json_escaped(line, name);
-    line += "\",\"value\":";
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%llu",
-                  static_cast<unsigned long long>(counter.value()));
-    line += buf;
-    line += '}';
-    write_line(line);
-  }
-  for (const auto& [name, histogram] : stats.histograms()) {
-    line = "{\"type\":\"histogram\",\"name\":\"";
-    append_json_escaped(line, name);
-    line += '"';
-    char buf[160];
-    std::snprintf(buf, sizeof buf,
-                  ",\"count\":%llu,\"min\":%lld,\"max\":%lld,\"mean\":%.3f,"
-                  "\"stddev\":%.3f,\"p50\":%lld,\"p99\":%lld}",
-                  static_cast<unsigned long long>(histogram.count()),
-                  static_cast<long long>(histogram.min()),
-                  static_cast<long long>(histogram.max()), histogram.mean(),
-                  histogram.stddev(), static_cast<long long>(histogram.p50()),
-                  static_cast<long long>(histogram.p99()));
-    line += buf;
-    write_line(line);
-  }
+  for (const auto& [name, counter] : stats.counters())
+    write_line(expo::counter_line(name, counter.value()));
+  for (const auto& [name, gauge] : stats.gauges())
+    write_line(expo::gauge_line(name, gauge.value()));
+  for (const auto& [name, histogram] : stats.histograms())
+    write_line(expo::histogram_line(name, histogram));
 }
 
 }  // namespace gs::obs

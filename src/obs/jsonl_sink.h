@@ -31,11 +31,17 @@ class JsonlSink {
   ~JsonlSink() { close(); }
 
   // Opens (truncating) `path` for writing. Returns false on failure.
+  // Clears any sticky write error from a previous file.
   bool open(const std::string& path);
+  // Flushes and closes. Flush/close failures latch the error flag, so a
+  // full disk discovered only at buffer drain still shows up in ok().
   void close();
   [[nodiscard]] bool is_open() const { return file_ != nullptr; }
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+  // False once any write/flush/close failed; sticky until the next open().
+  // The first failure warns once on stderr.
+  [[nodiscard]] bool ok() const { return !error_; }
 
   // Writes one line; `json` must be a complete JSON value without newline.
   void write_line(std::string_view json);
@@ -46,13 +52,18 @@ class JsonlSink {
   [[nodiscard]] Subscription tap(TraceBus& bus,
                                  std::uint64_t kind_mask = kAllKinds);
 
-  // One {"type":"counter"|"histogram",...} line per registered stat.
+  // One {"type":"counter"|"gauge"|"histogram",...} line per registered
+  // stat (rendered by obs/expo.h so the fields match the standalone JSON
+  // exposition).
   void dump_stats(const util::StatsRegistry& stats);
 
  private:
+  void set_error();
+
   std::FILE* file_ = nullptr;
   std::string path_;
   std::uint64_t lines_ = 0;
+  bool error_ = false;
 };
 
 }  // namespace gs::obs

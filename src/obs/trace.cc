@@ -32,6 +32,15 @@ std::string_view to_string(TraceKind kind) {
     case TraceKind::kGscReportApplied: return "gsc-report-applied";
     case TraceKind::kGscReportDup: return "gsc-report-dup";
     case TraceKind::kWireSample: return "wire-sample";
+    case TraceKind::kFaultInjected: return "fault-injected";
+    case TraceKind::kFaultCleared: return "fault-cleared";
+    case TraceKind::kTwoPcAbort: return "2pc-abort";
+    case TraceKind::kNodeDown: return "node-down";
+    case TraceKind::kGscActivated: return "gsc-activated";
+    case TraceKind::kGscDeactivated: return "gsc-deactivated";
+    case TraceKind::kGscAdapterAlive: return "gsc-adapter-alive";
+    case TraceKind::kGscDeathUnknown: return "gsc-death-unknown";
+    case TraceKind::kHealthSample: return "health-sample";
     case TraceKind::kCount_: break;
   }
   return "?";
@@ -53,6 +62,7 @@ Severity default_severity(TraceKind kind) {
     case TraceKind::kBeaconHeard:
     case TraceKind::kWireSample:
     case TraceKind::kGscReportApplied:
+    case TraceKind::kHealthSample:
       return Severity::kDebug;
     case TraceKind::kHeartbeatMiss:
     case TraceKind::kSuspicionRaised:
@@ -61,9 +71,14 @@ Severity default_severity(TraceKind kind) {
     case TraceKind::kFailureHeld:
     case TraceKind::kReset:
     case TraceKind::kReportNeedFull:
+    case TraceKind::kFaultInjected:
+    case TraceKind::kTwoPcAbort:
+    case TraceKind::kGscDeactivated:
+    case TraceKind::kGscDeathUnknown:
       return Severity::kWarn;
     case TraceKind::kDeathDeclared:
     case TraceKind::kFailureCommitted:
+    case TraceKind::kNodeDown:
       return Severity::kError;
     default:
       return Severity::kInfo;

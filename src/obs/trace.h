@@ -53,6 +53,19 @@ enum class TraceKind : std::uint8_t {
   kGscReportDup,      // FULL snapshot acked as duplicate; peer=leader, a=seq, b=view
   // --- net::Fabric ---------------------------------------------------------
   kWireSample,  // periodic per-VLAN load; a=frames_sent, b=bytes_sent
+  // --- Causal anchors for the latency observatory (span open/close edges) --
+  kFaultInjected,   // adapter health left kUp; source=adapter, a=new health
+  kFaultCleared,    // adapter health returned to kUp; source=adapter, a=old
+  kTwoPcAbort,      // coordinator dropped an uncommitted proposal; a=view,
+                    // b=1 nacked by a higher view, b=2 leadership lost
+  kNodeDown,        // Central inferred whole-node death; peer=last adapter
+  kGscActivated,    // Central came up; source=its admin IP
+  kGscDeactivated,  // Central went down (demoted or halted)
+  kGscAdapterAlive, // Central marked a previously-dead adapter alive again
+  kGscDeathUnknown, // peer=victim: death claim for an adapter this Central
+                    //   never knew (post-failover / post-partition rebuild);
+                    //   the claim is consumed here, so no commit will follow
+  kHealthSample,    // FarmHealthSampler snapshot row; see obs/health.h
 
   kCount_,  // sentinel, keep last
 };

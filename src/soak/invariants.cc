@@ -15,6 +15,7 @@ std::string_view to_string(Violation::Kind kind) {
     case Violation::Kind::kGscAdapter: return "gsc-adapter";
     case Violation::Kind::kGscGroup: return "gsc-group";
     case Violation::Kind::kTrace: return "trace";
+    case Violation::Kind::kSpanLeak: return "span-leak";
   }
   return "?";
 }

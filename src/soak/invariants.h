@@ -34,6 +34,7 @@ struct Violation {
     kGscAdapter,        // invariant 3: per-adapter table mismatch
     kGscGroup,          // invariant 3: group table mismatch
     kTrace,             // invariant 4: trace-derived protocol violation
+    kSpanLeak,          // invariant 5: latency span left open after quiesce
   };
   Kind kind = Kind::kNotConverged;
   std::string detail;

@@ -14,6 +14,7 @@ SoakResult execute(const SoakOptions& opts,
   sim::Simulator sim;
   farm::Farm farm(sim, opts.spec, opts.params, opts.seed);
   obs::TraceInvariants trace_check(farm.trace_bus());
+  obs::SpanTracker& spans = farm.enable_span_tracking();
 
   SoakResult result;
   result.schedule =
@@ -61,6 +62,26 @@ SoakResult execute(const SoakOptions& opts,
     std::vector<Violation> violations = check_farm_invariants(farm);
     result.violations.insert(result.violations.end(), violations.begin(),
                              violations.end());
+
+    // Invariant 5: span accounting must balance. After quiesce + settle,
+    // every span the tracker opened is either closed or carries an explicit
+    // abandon cause — anything still open from before the settle window is
+    // a correlation leak. Spans younger than the grace window are in-flight
+    // by design (periodic report refresh, recv-dead churn) and exempt; with
+    // no GSC-eligible node alive, detection/report spans legitimately cannot
+    // close, so the check is skipped entirely.
+    if (farm.expected_gsc_node().has_value()) {
+      const sim::SimDuration grace = 10 * sim::kSecond;
+      for (const obs::SpanTracker::OpenSpan& span : spans.open_spans()) {
+        if (sim.now() - span.opened_at < grace) continue;
+        std::ostringstream detail;
+        detail << to_string(span.kind) << " span for " << span.key
+               << " opened at t=" << sim::to_seconds(span.opened_at)
+               << "s still open after quiesce + settle";
+        result.violations.push_back(
+            {Violation::Kind::kSpanLeak, detail.str()});
+      }
+    }
   }
 
   for (const obs::TraceViolation& tv : trace_check.violations()) {

@@ -80,15 +80,19 @@ double Histogram::stddev() const {
 
 std::int64_t Histogram::quantile(double q) const {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
+  // NaN fails both comparisons below and lands on min(): an indeterminate
+  // request degrades to the most conservative answer instead of UB-adjacent
+  // clamp behavior.
+  if (q >= 1.0) return max_;
+  if (!(q > 0.0)) return min_;
   const auto target = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(count_)));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target && buckets_[i] > 0) {
-      return std::min<std::int64_t>(
-          static_cast<std::int64_t>(bucket_upper_bound(i)), max_);
+      return std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(bucket_upper_bound(i)), min_, max_);
     }
   }
   return max_;
@@ -98,6 +102,13 @@ Counter& StatsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Gauge& StatsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
   return it->second;
 }
 
@@ -113,6 +124,11 @@ std::uint64_t StatsRegistry::counter_value(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second.value();
 }
 
+double StatsRegistry::gauge_value(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
 const Histogram* StatsRegistry::find_histogram(std::string_view name) const {
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
@@ -120,7 +136,28 @@ const Histogram* StatsRegistry::find_histogram(std::string_view name) const {
 
 void StatsRegistry::reset() {
   counters_.clear();
+  gauges_.clear();
   histograms_.clear();
+}
+
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  out += '}';
+  return out;
 }
 
 Summary Summary::of(const std::vector<double>& samples) {

@@ -10,9 +10,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -27,6 +29,20 @@ class Counter {
 
  private:
   std::uint64_t value_ = 0;
+};
+
+// Last-write-wins instantaneous value (table sizes, view ages, open-span
+// watermarks). Unlike Counter it can move down, so exposition layers must
+// not rate() it.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
 };
 
 // Records non-negative integer samples (microseconds, bytes, counts).
@@ -48,7 +64,10 @@ class Histogram {
                   : 0.0;
   }
   [[nodiscard]] double stddev() const;
-  // q in [0, 1]; returns an upper bound of the bucket holding the quantile.
+  // q in [0, 1]; returns an upper bound of the bucket holding the quantile,
+  // clamped into [min(), max()]. quantile(0) == min(), quantile(1) == max(),
+  // any quantile of an empty histogram is 0. Out-of-range q (including NaN)
+  // clamps to the nearest endpoint.
   [[nodiscard]] std::int64_t quantile(double q) const;
   [[nodiscard]] std::int64_t p50() const { return quantile(0.50); }
   [[nodiscard]] std::int64_t p99() const { return quantile(0.99); }
@@ -71,14 +90,21 @@ class Histogram {
 class StatsRegistry {
  public:
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
 
   [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
       const {
     return counters_;
+  }
+
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges()
+      const {
+    return gauges_;
   }
 
   [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
@@ -90,8 +116,19 @@ class StatsRegistry {
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
+
+// Builds a labeled series name: labeled("wire.frames", {{"vlan", "12"}}) ->
+// `wire.frames{vlan="12"}`. The label block survives verbatim through the
+// registry (it is just part of the map key) and the exposition layer splits
+// it back out, so Prometheus output gets real labels while JSON/JSONL keep
+// the composite key.
+[[nodiscard]] std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 // Aggregate of independent trial results (e.g. per-seed convergence times).
 struct Summary {

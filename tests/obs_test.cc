@@ -357,6 +357,43 @@ TEST(JsonlSink, OpenFailureReportsFalse) {
   EXPECT_EQ(sink.lines_written(), 0u);
 }
 
+TEST(JsonlSink, OkStaysTrueOnHealthyFile) {
+  const std::string path = ::testing::TempDir() + "/obs_test_ok.jsonl";
+  obs::JsonlSink sink;
+  ASSERT_TRUE(sink.open(path));
+  EXPECT_TRUE(sink.ok());
+  for (int i = 0; i < 100; ++i) sink.write_line("{\"i\":1}");
+  sink.close();
+  EXPECT_TRUE(sink.ok());
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSink, WriteErrorIsStickyAndClearedByReopen) {
+  // /dev/full accepts the open but fails every flush with ENOSPC — the
+  // standard Linux stand-in for a disk filling up mid-run.
+  obs::JsonlSink sink;
+  if (!sink.open("/dev/full")) GTEST_SKIP() << "/dev/full not available";
+  // Push enough data that stdio's buffer must drain to the (full) device;
+  // close() flushes whatever is left, so the error latches by then at the
+  // latest.
+  const std::string line(4096, 'x');
+  for (int i = 0; i < 64; ++i) sink.write_line(line);
+  sink.close();
+  EXPECT_FALSE(sink.ok()) << "flush to /dev/full must latch the error";
+  EXPECT_FALSE(sink.is_open());
+  // The flag is sticky across further writes on the dead sink...
+  sink.write_line("{}");
+  EXPECT_FALSE(sink.ok());
+  // ...and resets only when a new file is opened.
+  const std::string path = ::testing::TempDir() + "/obs_test_reopen.jsonl";
+  ASSERT_TRUE(sink.open(path));
+  EXPECT_TRUE(sink.ok());
+  sink.write_line("{}");
+  sink.close();
+  EXPECT_TRUE(sink.ok());
+  std::remove(path.c_str());
+}
+
 // --- String tables ------------------------------------------------------------
 
 TEST(TraceStrings, KindAndSeverity) {

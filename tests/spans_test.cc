@@ -1,0 +1,664 @@
+// Latency-observatory coverage: SpanTracker correlation over synthetic
+// trace streams (every span kind's open/close pair, the abandoned-cause
+// bookkeeping that keeps `opened == closed + abandoned + open`), the
+// FarmHealthSampler's periodicity and row schema, Prometheus/JSON
+// exposition round-trips, and the zero-cost contract — attaching the
+// tracker must not perturb what legacy subscribers observe.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "farm/farm.h"
+#include "farm/scenario.h"
+#include "obs/expo.h"
+#include "obs/health.h"
+#include "obs/jsonl_sink.h"
+#include "obs/spans.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace gs {
+namespace {
+
+using obs::AbandonCause;
+using obs::SpanKind;
+using obs::SpanTracker;
+using obs::TraceKind;
+
+const util::IpAddress kVictim(10, 0, 0, 7);
+const util::IpAddress kLeader(10, 0, 0, 9);
+const util::IpAddress kGsc(10, 9, 0, 1);
+
+// kDown's HealthState payload carried by kFaultInjected's `a` field.
+constexpr std::uint64_t kFullDeath = 1;
+
+void emit(obs::TraceBus& bus, TraceKind kind, sim::SimTime t,
+          util::IpAddress src, util::IpAddress peer = {}, std::uint64_t a = 0,
+          std::uint64_t b = 0, util::NodeId node = {}) {
+  obs::emit_trace(&bus, kind, t, src, peer, a, b, {}, node);
+}
+
+// --- Detection spans ---------------------------------------------------------
+
+TEST(SpanTracker, DetectionOpensOnFaultClosesOnCentralCommit) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kFaultInjected, 1'000'000, kVictim, {}, kFullDeath);
+  EXPECT_EQ(tracker.open_count(SpanKind::kDetection), 1u);
+  emit(bus, TraceKind::kFailureCommitted, 3'500'000, kGsc, kVictim);
+  EXPECT_EQ(tracker.opened(SpanKind::kDetection), 1u);
+  EXPECT_EQ(tracker.closed(SpanKind::kDetection), 1u);
+  EXPECT_EQ(tracker.open_total(), 0u);
+  const util::Histogram* h =
+      tracker.stats().find_histogram("span.detection_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->min(), 2'500'000);  // 2.5 s fault -> commit
+}
+
+TEST(SpanTracker, DetectionAbandonedWhenFaultClears) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kFaultInjected, 1'000'000, kVictim, {}, kFullDeath);
+  emit(bus, TraceKind::kFaultCleared, 2'000'000, kVictim);
+  EXPECT_EQ(tracker.abandoned(SpanKind::kDetection, AbandonCause::kRecovered),
+            1u);
+  EXPECT_EQ(tracker.open_total(), 0u);
+  const util::Histogram* h =
+      tracker.stats().find_histogram("span.detection_us");
+  EXPECT_TRUE(h == nullptr || h->count() == 0) << "no latency was measured";
+}
+
+TEST(SpanTracker, RepeatFaultOfCentralDeadVictimIsAlreadyDead) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kFaultInjected, 1'000'000, kVictim, {}, kFullDeath);
+  emit(bus, TraceKind::kFailureCommitted, 2'000'000, kGsc, kVictim);
+  // Central already holds the victim dead — a second fault has nothing for
+  // Central to commit, so the span is born abandoned, never leaked.
+  emit(bus, TraceKind::kFaultInjected, 3'000'000, kVictim, {}, kFullDeath);
+  EXPECT_EQ(tracker.opened(SpanKind::kDetection), 2u);
+  EXPECT_EQ(
+      tracker.abandoned(SpanKind::kDetection, AbandonCause::kAlreadyDead), 1u);
+  EXPECT_EQ(tracker.open_total(), 0u);
+}
+
+TEST(SpanTracker, CommitWithoutFaultIsUnmatchedClose) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  // Switch deaths / lease expiries commit failures for healthy adapters.
+  emit(bus, TraceKind::kFailureCommitted, 2'000'000, kGsc, kVictim);
+  EXPECT_EQ(tracker.unmatched_closes(SpanKind::kDetection), 1u);
+  EXPECT_EQ(tracker.closed(SpanKind::kDetection), 0u);
+}
+
+TEST(SpanTracker, LeaderDeclarationFeedsLeaderHistogramOnce) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kFaultInjected, 1'000'000, kVictim, {}, kFullDeath);
+  emit(bus, TraceKind::kDeathDeclared, 3'000'000, kLeader, kVictim);
+  emit(bus, TraceKind::kTakeover, 3'100'000, kLeader, kVictim);  // same fault
+  const util::Histogram* h =
+      tracker.stats().find_histogram("span.detection_leader_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->min(), 2'000'000);
+  // The end-to-end span is still open: Central has not committed.
+  EXPECT_EQ(tracker.open_count(SpanKind::kDetection), 1u);
+}
+
+TEST(SpanTracker, GscChurnAbandonsOpenDetections) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kFaultInjected, 1'000'000, kVictim, {}, kFullDeath);
+  emit(bus, TraceKind::kGscActivated, 2'000'000, kGsc);
+  EXPECT_EQ(
+      tracker.abandoned(SpanKind::kDetection, AbandonCause::kGscFailover), 1u);
+  // A commit the new Central still produces is counted, not timed.
+  emit(bus, TraceKind::kFailureCommitted, 3'000'000, kGsc, kVictim);
+  EXPECT_EQ(tracker.unmatched_closes(SpanKind::kDetection), 1u);
+  EXPECT_EQ(tracker.open_total(), 0u);
+}
+
+TEST(SpanTracker, DeathUnknownToGscAbandonsDetection) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kFaultInjected, 1'000'000, kVictim, {}, kFullDeath);
+  // The death claim reached a Central that never knew the victim; the claim
+  // is consumed (acked) there, so no commit can ever close this span.
+  emit(bus, TraceKind::kGscDeathUnknown, 4'000'000, kGsc, kVictim);
+  EXPECT_EQ(
+      tracker.abandoned(SpanKind::kDetection, AbandonCause::kUnknownToGsc),
+      1u);
+  EXPECT_EQ(tracker.open_total(), 0u);
+}
+
+// --- View-change spans -------------------------------------------------------
+
+TEST(SpanTracker, ViewChangeClosesOnCoordinatorInstall) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kTwoPcPrepare, 1'000'000, kLeader, {}, /*view=*/5);
+  emit(bus, TraceKind::kViewInstalled, 1'250'000, kLeader, kLeader, 5);
+  EXPECT_EQ(tracker.closed(SpanKind::kViewChange), 1u);
+  const util::Histogram* h =
+      tracker.stats().find_histogram("span.view_change_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->min(), 250'000);
+}
+
+TEST(SpanTracker, Aborted2PcDoesNotLeakViewChangeSpan) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kTwoPcPrepare, 1'000'000, kLeader, {}, /*view=*/5);
+  EXPECT_EQ(tracker.open_count(SpanKind::kViewChange), 1u);
+  emit(bus, TraceKind::kTwoPcAbort, 1'400'000, kLeader, {}, /*view=*/5,
+       /*nacked=*/1);
+  EXPECT_EQ(
+      tracker.abandoned(SpanKind::kViewChange, AbandonCause::kAborted2Pc), 1u);
+  EXPECT_EQ(tracker.open_total(), 0u);
+  EXPECT_EQ(tracker.opened(SpanKind::kViewChange),
+            tracker.closed(SpanKind::kViewChange) +
+                tracker.abandoned(SpanKind::kViewChange));
+}
+
+TEST(SpanTracker, NewerProposalSupersedesOlder) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kTwoPcPrepare, 1'000'000, kLeader, {}, 5);
+  emit(bus, TraceKind::kTwoPcPrepare, 1'100'000, kLeader, {}, 5);  // retry
+  EXPECT_EQ(tracker.opened(SpanKind::kViewChange), 1u) << "same-round retry";
+  emit(bus, TraceKind::kTwoPcPrepare, 2'000'000, kLeader, {}, 6);
+  EXPECT_EQ(
+      tracker.abandoned(SpanKind::kViewChange, AbandonCause::kSuperseded), 1u);
+  EXPECT_EQ(tracker.open_count(SpanKind::kViewChange), 1u);
+}
+
+// --- Join spans --------------------------------------------------------------
+
+TEST(SpanTracker, JoinSpansFirstBeaconToInstall) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kBeaconSent, 1'000'000, kVictim);
+  emit(bus, TraceKind::kBeaconSent, 2'000'000, kVictim);  // still discovering
+  EXPECT_EQ(tracker.opened(SpanKind::kJoin), 1u);
+  emit(bus, TraceKind::kViewInstalled, 3'000'000, kVictim, kLeader, 1);
+  EXPECT_EQ(tracker.closed(SpanKind::kJoin), 1u);
+  const util::Histogram* h = tracker.stats().find_histogram("span.join_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->min(), 2'000'000) << "measured from the FIRST beacon";
+  // Leader beacons after install must not reopen the span.
+  emit(bus, TraceKind::kBeaconSent, 4'000'000, kVictim);
+  EXPECT_EQ(tracker.open_count(SpanKind::kJoin), 0u);
+}
+
+TEST(SpanTracker, JoinAbandonedOnDeathAndOnReset) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kBeaconSent, 1'000'000, kVictim);
+  emit(bus, TraceKind::kFaultInjected, 2'000'000, kVictim, {}, kFullDeath);
+  EXPECT_EQ(tracker.abandoned(SpanKind::kJoin, AbandonCause::kDied), 1u);
+  emit(bus, TraceKind::kBeaconSent, 3'000'000, kLeader);
+  emit(bus, TraceKind::kReset, 4'000'000, kLeader);
+  EXPECT_EQ(tracker.abandoned(SpanKind::kJoin, AbandonCause::kReset), 1u);
+  EXPECT_EQ(tracker.open_count(SpanKind::kJoin), 0u);
+  // The fault also opened a detection span — that one is still live.
+  EXPECT_EQ(tracker.open_count(SpanKind::kDetection), 1u);
+}
+
+// --- Report spans ------------------------------------------------------------
+
+TEST(SpanTracker, ReportSpansSentToApplied) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kReportSent, 1'000'000, kLeader, kGsc, /*seq=*/3);
+  emit(bus, TraceKind::kGscReportApplied, 1'040'000, kGsc, kLeader, 3);
+  EXPECT_EQ(tracker.closed(SpanKind::kReport), 1u);
+  const util::Histogram* h = tracker.stats().find_histogram("span.report_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->min(), 40'000);
+}
+
+TEST(SpanTracker, ReportAbandonPaths) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kReportSent, 1'000'000, kLeader, kGsc, 3);
+  emit(bus, TraceKind::kGscReportDup, 1'040'000, kGsc, kLeader, 3);
+  EXPECT_EQ(tracker.abandoned(SpanKind::kReport, AbandonCause::kDuplicate),
+            1u);
+  emit(bus, TraceKind::kReportSent, 2'000'000, kLeader, kGsc, 4);
+  emit(bus, TraceKind::kReportNeedFull, 2'040'000, kLeader, kGsc, 4);
+  EXPECT_EQ(tracker.abandoned(SpanKind::kReport, AbandonCause::kNeedFull),
+            1u);
+  emit(bus, TraceKind::kReportSent, 3'000'000, kLeader, kGsc, 5);
+  emit(bus, TraceKind::kViewInstalled, 3'040'000, kLeader, kVictim, 9);
+  EXPECT_EQ(tracker.abandoned(SpanKind::kReport, AbandonCause::kDemoted), 1u)
+      << "installing under another leader moots the old leadership's report";
+  EXPECT_EQ(tracker.open_total(), 0u);
+}
+
+// --- Failover spans ----------------------------------------------------------
+
+TEST(SpanTracker, FailoverSpansGscLossToNextAppliedReport) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kGscActivated, 1'000'000, kGsc);
+  emit(bus, TraceKind::kGscDeactivated, 5'000'000, kGsc);
+  EXPECT_EQ(tracker.open_count(SpanKind::kFailover), 1u);
+  emit(bus, TraceKind::kReportSent, 6'000'000, kLeader, {}, 7);
+  emit(bus, TraceKind::kGscReportApplied, 6'100'000, kGsc, kLeader, 7);
+  EXPECT_EQ(tracker.closed(SpanKind::kFailover), 1u);
+  const util::Histogram* h =
+      tracker.stats().find_histogram("span.failover_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->min(), 1'100'000);
+  EXPECT_EQ(tracker.open_total(), 0u);
+}
+
+TEST(SpanTracker, StaleGscDeactivationDoesNotOpenFailover) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kGscActivated, 1'000'000, kGsc);
+  // A stale partition-island Central dying is not a farm-level failover.
+  emit(bus, TraceKind::kGscDeactivated, 2'000'000, util::IpAddress(10, 9, 0, 2));
+  EXPECT_EQ(tracker.open_count(SpanKind::kFailover), 0u);
+}
+
+// --- Accounting identity and open-span reporting ------------------------------
+
+TEST(SpanTracker, BooksBalanceAcrossMixedTraffic) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  emit(bus, TraceKind::kBeaconSent, 1'000'000, kVictim);
+  emit(bus, TraceKind::kTwoPcPrepare, 1'100'000, kLeader, {}, 1);
+  emit(bus, TraceKind::kViewInstalled, 1'200'000, kLeader, kLeader, 1);
+  emit(bus, TraceKind::kViewInstalled, 1'200'000, kVictim, kLeader, 1);
+  emit(bus, TraceKind::kReportSent, 1'300'000, kLeader, kGsc, 1);
+  emit(bus, TraceKind::kFaultInjected, 2'000'000, kVictim, {}, kFullDeath);
+  for (std::size_t k = 0; k < static_cast<std::size_t>(SpanKind::kCount_);
+       ++k) {
+    const auto kind = static_cast<SpanKind>(k);
+    EXPECT_EQ(tracker.opened(kind), tracker.closed(kind) +
+                                        tracker.abandoned(kind) +
+                                        tracker.open_count(kind))
+        << to_string(kind);
+  }
+  // Exactly the report and the detection remain open, and both are listed.
+  const auto open = tracker.open_spans();
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_EQ(tracker.open_watermark(), 2u);
+  bool saw_detection = false, saw_report = false;
+  for (const auto& span : open) {
+    if (span.kind == SpanKind::kDetection) {
+      saw_detection = true;
+      EXPECT_EQ(span.key, kVictim);
+      EXPECT_EQ(span.opened_at, 2'000'000);
+    }
+    if (span.kind == SpanKind::kReport) {
+      saw_report = true;
+      EXPECT_EQ(span.key, kLeader);
+    }
+  }
+  EXPECT_TRUE(saw_detection);
+  EXPECT_TRUE(saw_report);
+}
+
+TEST(SpanTracker, CountersLandInSharedRegistry) {
+  obs::TraceBus bus;
+  util::StatsRegistry registry;
+  SpanTracker tracker(bus, &registry);
+  emit(bus, TraceKind::kFaultInjected, 1'000'000, kVictim, {}, kFullDeath);
+  emit(bus, TraceKind::kFailureCommitted, 2'000'000, kGsc, kVictim);
+  EXPECT_EQ(registry.counter_value("span.detection.opened"), 1u);
+  EXPECT_EQ(registry.counter_value("span.detection.closed"), 1u);
+  ASSERT_NE(registry.find_histogram("span.detection_us"), nullptr);
+}
+
+// --- Node-death derived histogram --------------------------------------------
+
+TEST(SpanTracker, NodeDetectionMeasuredFromFirstAdapterFault) {
+  obs::TraceBus bus;
+  SpanTracker tracker(bus);
+  const util::NodeId node(4);
+  emit(bus, TraceKind::kFaultInjected, 1'000'000, kVictim, {}, kFullDeath, 0,
+       node);
+  emit(bus, TraceKind::kFaultInjected, 2'000'000, util::IpAddress(10, 1, 0, 7),
+       {}, kFullDeath, 0, node);
+  emit(bus, TraceKind::kNodeDown, 9'000'000, kGsc, {}, 0, 0, node);
+  emit(bus, TraceKind::kNodeDown, 9'500'000, kGsc, {}, 0, 0, node);  // dup
+  const util::Histogram* h =
+      tracker.stats().find_histogram("span.node_detection_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->min(), 8'000'000);
+}
+
+// --- FarmHealthSampler -------------------------------------------------------
+
+obs::FarmHealthSampler::Snapshot test_snapshot() {
+  obs::FarmHealthSampler::Snapshot snap;
+  obs::FarmHealthSampler::AmgSample amg;
+  amg.leader = kLeader;
+  amg.vlan = util::VlanId(12);
+  amg.view = 3;
+  amg.size = 8;
+  amg.committed_at = 0;
+  amg.digest = 0xabcd;
+  snap.amgs.push_back(amg);
+  obs::FarmHealthSampler::GscSample gsc;
+  gsc.gsc = kGsc;
+  gsc.groups = 1;
+  gsc.adapters = 8;
+  gsc.alive = 7;
+  gsc.nodes_down = 1;
+  snap.gsc = gsc;
+  obs::FarmHealthSampler::WireSample wire;
+  wire.vlan = util::VlanId(12);
+  wire.frames_sent = 100;
+  wire.bytes_sent = 6400;
+  snap.wire.push_back(wire);
+  obs::FarmHealthSampler::SpanSample spans;
+  spans.open = 2;
+  spans.watermark = 5;
+  spans.closed = 40;
+  spans.abandoned = 3;
+  snap.spans = spans;
+  return snap;
+}
+
+TEST(FarmHealthSampler, SamplesPeriodicallyAndPublishesRowSchema) {
+  sim::Simulator sim;
+  obs::TraceBus bus;
+  std::vector<obs::TraceRecord> rows;
+  auto sub = bus.subscribe(obs::trace_mask({TraceKind::kHealthSample}),
+                           [&rows](const obs::TraceRecord& r) {
+                             rows.push_back(r);
+                           });
+  util::StatsRegistry registry;
+  obs::FarmHealthSampler sampler(sim, bus, test_snapshot, sim::seconds(5),
+                                 &registry);
+  sim.run_until(sim::seconds(26));
+  EXPECT_EQ(sampler.samples_taken(), 5u);  // t = 5, 10, 15, 20, 25
+  // Each sample publishes: 1 amg + gsc.tables + gsc.alive + 1 wire +
+  // spans.open + spans.done = 6 rows.
+  ASSERT_EQ(rows.size(), 30u);
+  std::map<std::string, int> by_detail;
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.kind, TraceKind::kHealthSample);
+    ++by_detail[r.detail];
+  }
+  EXPECT_EQ(by_detail["amg"], 5);
+  EXPECT_EQ(by_detail["gsc.tables"], 5);
+  EXPECT_EQ(by_detail["gsc.alive"], 5);
+  EXPECT_EQ(by_detail["wire"], 5);
+  EXPECT_EQ(by_detail["spans.open"], 5);
+  EXPECT_EQ(by_detail["spans.done"], 5);
+  // Row payloads follow the documented schema.
+  const obs::TraceRecord& amg_row = rows[0];
+  EXPECT_EQ(amg_row.detail, "amg");
+  EXPECT_EQ(amg_row.source, kLeader);
+  EXPECT_EQ(amg_row.vlan, util::VlanId(12));
+  EXPECT_EQ(amg_row.a, 5'000'000u);  // view age at t=5s, committed at 0
+  EXPECT_EQ(amg_row.b, 8u);          // group size
+  // Gauges reflect the latest snapshot.
+  EXPECT_EQ(registry.counter_value("health.samples"), 5u);
+  EXPECT_EQ(registry.gauge_value("farm.amg.count"), 1.0);
+  EXPECT_EQ(registry.gauge_value("gsc.adapters_alive"), 7.0);
+  EXPECT_EQ(registry.gauge_value("gsc.nodes_down"), 1.0);
+  EXPECT_EQ(registry.gauge_value("spans.open_watermark"), 5.0);
+  EXPECT_EQ(
+      registry.gauge_value(util::labeled("amg.view", {{"vlan", "12"}})), 3.0);
+}
+
+TEST(FarmHealthSampler, GaugesOnlyWhenNobodySubscribes) {
+  sim::Simulator sim;
+  obs::TraceBus bus;
+  util::StatsRegistry registry;
+  obs::FarmHealthSampler sampler(sim, bus, test_snapshot, sim::seconds(5),
+                                 &registry);
+  sim.run_until(sim::seconds(11));
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+  EXPECT_EQ(registry.gauge_value("farm.amg.count"), 1.0);
+  sampler.sample_now();
+  EXPECT_EQ(sampler.samples_taken(), 3u);
+  EXPECT_EQ(registry.counter_value("health.samples"), 3u);
+}
+
+// --- Exposition: Prometheus text + JSON --------------------------------------
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' &&
+      name[0] != ':')
+    return false;
+  for (char c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+      return false;
+  return true;
+}
+
+// Minimal Prometheus text-format 0.0.4 parser: every line must be a
+// well-formed TYPE comment or a `name[{labels}] value` sample whose name
+// was declared by a preceding TYPE comment.
+void parse_prometheus(const std::string& text,
+                      std::map<std::string, std::string>* samples) {
+  std::map<std::string, std::string> types;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kw, name, type;
+      ls >> hash >> kw >> name >> type;
+      ASSERT_EQ(kw, "TYPE") << line;
+      ASSERT_TRUE(valid_metric_name(name)) << line;
+      ASSERT_TRUE(type == "counter" || type == "gauge" || type == "summary")
+          << line;
+      types[name] = type;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << "unparseable value in: " << line;
+    std::string name = key;
+    if (const std::size_t brace = name.find('{'); brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    ASSERT_TRUE(valid_metric_name(name)) << line;
+    // Summary series append _sum/_count to the declared family name.
+    std::string family = name;
+    if (!types.contains(family)) {
+      for (const char* suffix : {"_sum", "_count"}) {
+        const std::string s(suffix);
+        if (family.size() > s.size() &&
+            family.compare(family.size() - s.size(), s.size(), s) == 0) {
+          family = family.substr(0, family.size() - s.size());
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(types.contains(family)) << "undeclared family: " << line;
+    (*samples)[key] = value;
+  }
+}
+
+TEST(Expo, PrometheusRoundTripsThroughParser) {
+  util::StatsRegistry registry;
+  registry.counter("span.detection.opened").add(3);
+  registry.gauge(util::labeled("amg.view", {{"vlan", "12"}})).set(7);
+  registry.gauge("farm.amg.count").set(2);
+  for (std::int64_t v : {100, 200, 400}) {
+    registry.histogram("span.detection_us").record(v);
+  }
+  const std::string text = obs::expo::to_prometheus(registry);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  std::map<std::string, std::string> samples;
+  parse_prometheus(text, &samples);
+  if (HasFatalFailure()) return;
+  EXPECT_EQ(samples.at("gs_span_detection_opened"), "3");
+  EXPECT_EQ(samples.at("gs_amg_view{vlan=\"12\"}"), "7");
+  EXPECT_EQ(samples.at("gs_span_detection_us_count"), "3");
+  EXPECT_TRUE(samples.contains("gs_span_detection_us{quantile=\"0.5\"}"));
+}
+
+// Tiny structural JSON validator: balanced containers outside strings,
+// proper string escapes — enough to catch emitter bugs without a parser.
+void assert_balanced_json(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '{');
+        stack.pop_back();
+        break;
+      case ']':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '[');
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(Expo, JsonCarriesAllSections) {
+  util::StatsRegistry registry;
+  registry.counter("span.join.opened").add(4);
+  registry.gauge("spans.open").set(1);
+  registry.histogram("span.join_us").record(1500);
+  const std::string text = obs::expo::to_json(registry);
+  assert_balanced_json(text);
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"span.join.opened\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"span.join_us\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\":1"), std::string::npos);
+}
+
+TEST(Expo, WriteMetricsFilesEmitsBothTwins) {
+  util::StatsRegistry registry;
+  registry.counter("span.detection.opened").add(1);
+  const std::string path = ::testing::TempDir() + "/expo_test.prom";
+  ASSERT_TRUE(obs::expo::write_metrics_files(registry, path));
+  std::ifstream prom(path), json(path + ".json");
+  ASSERT_TRUE(prom.good());
+  ASSERT_TRUE(json.good());
+  std::stringstream ps, js;
+  ps << prom.rdbuf();
+  js << json.rdbuf();
+  EXPECT_EQ(ps.str(), obs::expo::to_prometheus(registry));
+  EXPECT_EQ(js.str(), obs::expo::to_json(registry));
+  std::remove(path.c_str());
+  std::remove((path + ".json").c_str());
+}
+
+// --- Farm integration --------------------------------------------------------
+
+gs::proto::Params fast_params() {
+  gs::proto::Params params;
+  params.beacon_phase = sim::seconds(2);
+  params.amg_stable_wait = sim::seconds(1);
+  params.gsc_stable_wait = sim::seconds(3);
+  return params;
+}
+
+TEST(FarmSpans, DetectionSpanClosesEndToEnd) {
+  sim::Simulator sim;
+  farm::Farm farm(sim, farm::FarmSpec::uniform(8, 1), fast_params(),
+                  /*seed=*/404);
+  SpanTracker& spans = farm.enable_span_tracking();
+  farm.start();
+  ASSERT_TRUE(farm::run_until_converged(farm, sim::seconds(120)));
+
+  const util::AdapterId victim = farm.node_adapters(4)[0];
+  farm.fabric().set_adapter_health(victim, net::HealthState::kDown);
+  const auto committed = farm::run_until(
+      sim, sim.now() + fast_params().move_window + sim::seconds(60), [&] {
+        return spans.closed(SpanKind::kDetection) >= 1;
+      });
+  ASSERT_TRUE(committed.has_value()) << "detection span never closed";
+  EXPECT_EQ(spans.open_count(SpanKind::kDetection), 0u);
+  const util::Histogram* h = farm.metrics().find_histogram("span.detection_us");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->count(), 1u);
+  // The end-to-end latency includes the move-inference hold; the leader-side
+  // histogram must come in strictly below it.
+  const util::Histogram* leader =
+      farm.metrics().find_histogram("span.detection_leader_us");
+  ASSERT_NE(leader, nullptr);
+  ASSERT_EQ(leader->count(), 1u);
+  EXPECT_GT(h->min(), leader->max());
+  EXPECT_GE(static_cast<double>(h->min()),
+            sim::to_seconds(fast_params().move_window) * 1e6);
+}
+
+// The zero-cost contract: what a legacy subscriber records must be
+// byte-identical whether or not the observatory rides on the same bus.
+TEST(FarmSpans, TrackerDoesNotPerturbLegacySubscribers) {
+  constexpr std::uint64_t kLegacyMask =
+      obs::kPhaseMask | obs::kFailureMask | obs::kReportMask;
+  auto run = [&](bool observed, const std::string& path) {
+    sim::Simulator sim;
+    farm::Farm farm(sim, farm::FarmSpec::uniform(6, 1), fast_params(),
+                    /*seed=*/505);
+    obs::JsonlSink sink;
+    ASSERT_TRUE(sink.open(path));
+    auto tap = sink.tap(farm.trace_bus(), kLegacyMask);
+    if (observed) {
+      farm.enable_span_tracking();
+      farm.enable_health_sampling(sim::seconds(5));
+    }
+    farm.start();
+    ASSERT_TRUE(farm::run_until_converged(farm, sim::seconds(120)));
+    farm.fabric().set_adapter_health(farm.node_adapters(3)[0],
+                                     net::HealthState::kDown);
+    sim.run_until(sim.now() + sim::seconds(30));
+  };
+  const std::string plain = ::testing::TempDir() + "/spans_legacy_plain.jsonl";
+  const std::string traced =
+      ::testing::TempDir() + "/spans_legacy_traced.jsonl";
+  run(false, plain);
+  run(true, traced);
+  std::ifstream a(plain), b(traced);
+  std::stringstream as, bs;
+  as << a.rdbuf();
+  bs << b.rdbuf();
+  ASSERT_GT(as.str().size(), 0u);
+  EXPECT_EQ(as.str(), bs.str())
+      << "attaching the observatory changed what a legacy tap records";
+  std::remove(plain.c_str());
+  std::remove(traced.c_str());
+}
+
+}  // namespace
+}  // namespace gs

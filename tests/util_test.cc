@@ -1,6 +1,9 @@
 // Unit tests for src/util: ids, ip, rng, stats, flags, thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -254,6 +257,67 @@ TEST(Histogram, StddevOfConstantIsZero) {
   Histogram h;
   for (int i = 0; i < 10; ++i) h.record(7);
   EXPECT_NEAR(h.stddev(), 0.0, 1e-9);
+}
+
+TEST(Histogram, QuantileEndpointsAreExactMinMax) {
+  Histogram h;
+  for (std::int64_t v : {17, 230, 4099, 88000}) h.record(v);
+  // The endpoints must be exact even though interior quantiles are
+  // bucket-resolved: span summaries report min/max through quantile(0)/(1).
+  EXPECT_EQ(h.quantile(0.0), 17);
+  EXPECT_EQ(h.quantile(1.0), 88000);
+  // Out-of-range and NaN degrade to the conservative endpoints.
+  EXPECT_EQ(h.quantile(-0.5), 17);
+  EXPECT_EQ(h.quantile(2.0), 88000);
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 17);
+}
+
+TEST(Histogram, EmptyQuantilesAreZeroForAnyQ) {
+  Histogram h;
+  for (double q : {0.0, 0.5, 0.99, 1.0, -1.0, 2.0}) EXPECT_EQ(h.quantile(q), 0);
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
+TEST(Histogram, MergeDisjointRangesKeepsBothPopulations) {
+  Histogram a, b;
+  for (std::int64_t v = 1; v <= 100; ++v) a.record(v);             // [1, 100]
+  for (std::int64_t v = 1000000; v <= 1000100; ++v) b.record(v);   // [1e6, ..]
+  a.merge(b);
+  EXPECT_EQ(a.count(), 201u);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 1000100);
+  // The median must fall in the gap's lower population and p99 in the
+  // upper one — merging disjoint ranges must not smear mass between them.
+  EXPECT_LE(a.quantile(0.25), 100);
+  EXPECT_GE(a.quantile(0.75), 1000000 * 0.97);
+  EXPECT_NEAR(a.mean(), (50.5 * 101 + 1000050.0 * 101) / 202.0,
+              a.mean() * 0.01);
+}
+
+TEST(Histogram, SubBucketRelativeErrorBound) {
+  // sub_bucket_bits=5 promises <= 1/2^5 relative error per recorded value:
+  // every quantile answer is a bucket upper bound at most (1 + 1/32) above
+  // some recorded value <= the true quantile.
+  Histogram h(5);
+  Rng rng(7);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v =
+        static_cast<std::int64_t>(rng.uniform() * 9.0e6) + 1;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size()))) - 1;
+    const double exact = static_cast<double>(values[rank]);
+    const double approx = static_cast<double>(h.quantile(q));
+    EXPECT_GE(approx, exact * (1.0 - 1.0 / 32.0))
+        << "q=" << q << " exact=" << exact;
+    EXPECT_LE(approx, exact * (1.0 + 1.0 / 32.0) + 1.0)
+        << "q=" << q << " exact=" << exact;
+  }
 }
 
 // --- StatsRegistry ------------------------------------------------------------------
