@@ -1,6 +1,7 @@
 #include "farm/farm.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <set>
 #include <sstream>
@@ -424,6 +425,34 @@ obs::FarmHealthSampler::Snapshot Farm::health_snapshot() {
   for (util::VlanId vlan : vlans()) {
     const net::SegmentLoad& load = fabric_->load(vlan);
     snapshot.wire.push_back({vlan, load.frames_sent, load.bytes_sent});
+  }
+  {
+    // Codec accounting is cumulative, so halted daemons' counters still
+    // belong in the farm-wide totals.
+    std::array<std::uint64_t, proto::WireStats::kTypeSlots> decoded{};
+    std::array<std::uint64_t, proto::WireStats::kDropSlots> dropped{};
+    for (const auto& daemon : daemons_) {
+      const proto::WireStats& stats = daemon->wire_stats();
+      for (std::size_t t = 0; t < decoded.size(); ++t)
+        decoded[t] += stats.decoded[t];
+      for (std::size_t d = 0; d < dropped.size(); ++d)
+        dropped[d] += stats.dropped[d];
+    }
+    obs::FarmHealthSampler::CodecSample codec;
+    for (std::size_t t = 0; t < decoded.size(); ++t) {
+      if (decoded[t] == 0) continue;
+      codec.decoded.emplace_back(
+          std::string(proto::to_string(static_cast<proto::MsgType>(t))),
+          decoded[t]);
+    }
+    for (std::size_t d = 0; d < dropped.size(); ++d) {
+      if (dropped[d] == 0) continue;
+      codec.dropped.emplace_back(
+          std::string(
+              proto::to_string(static_cast<proto::WireStats::Drop>(d))),
+          dropped[d]);
+    }
+    snapshot.codec = std::move(codec);
   }
   if (spans_) {
     obs::FarmHealthSampler::SpanSample span_sample;

@@ -73,8 +73,7 @@ void AdapterProtocol::restart() {
   begin_beaconing();
 }
 
-bool AdapterProtocol::unicast(util::IpAddress to,
-                              std::vector<std::uint8_t> frame) {
+bool AdapterProtocol::unicast(util::IpAddress to, net::Payload frame) {
   GS_CHECK(net_.unicast != nullptr);
   return net_.unicast(to, std::move(frame));
 }
@@ -110,7 +109,7 @@ void AdapterProtocol::beacon_tick() {
   b.is_leader = state_ == AdapterState::kLeader;
   b.view = committed_.empty() ? 0 : committed_.view();
   b.group_size = static_cast<std::uint32_t>(committed_.size());
-  if (net_.beacon_multicast) net_.beacon_multicast(to_frame(b));
+  if (net_.beacon_multicast) net_.beacon_multicast(framed(b));
   ++stats_.beacons_sent;
   trace(obs::TraceKind::kBeaconSent, {}, b.view, b.group_size);
   beacon_send_timer_ =
@@ -193,7 +192,7 @@ void AdapterProtocol::handle_prepare(util::IpAddress src, const Prepare& msg) {
     ack.view = msg.view;
     ack.ok = false;
     ack.holder_view = holder_view;
-    unicast(src, to_frame(ack));
+    unicast(src, framed(ack));
   };
 
   if (!committed_.empty() && msg.view <= committed_.view()) {
@@ -236,7 +235,7 @@ void AdapterProtocol::handle_prepare(util::IpAddress src, const Prepare& msg) {
   PrepareAck ack{};
   ack.view = msg.view;
   ack.ok = true;
-  unicast(src, to_frame(ack));
+  unicast(src, framed(ack));
 }
 
 void AdapterProtocol::handle_commit(const Commit& msg) {
@@ -405,7 +404,7 @@ void AdapterProtocol::propose() {
   prepare.view = proposal.view;
   prepare.leader = self_ip();
   prepare.members = proposal.membership.members();
-  const auto frame = to_frame(prepare);
+  const net::Payload frame = framed(prepare);
   for (util::IpAddress ip : proposal.awaiting) unicast(ip, frame);
   trace(obs::TraceKind::kTwoPcPrepare, {}, proposal.view,
         proposal.awaiting.size());
@@ -448,7 +447,7 @@ void AdapterProtocol::twopc_timeout() {
     prepare.view = proposal_->view;
     prepare.leader = self_ip();
     prepare.members = proposal_->membership.members();
-    const auto frame = to_frame(prepare);
+    const net::Payload frame = framed(prepare);
     for (util::IpAddress ip : proposal_->awaiting) unicast(ip, frame);
     proposal_->timer =
         sim_.after(params_.twopc_timeout, [this] { twopc_timeout(); });
@@ -512,7 +511,7 @@ void AdapterProtocol::do_commit() {
     line << self_ip() << " commits v" << commit.view << " members:";
     for (const MemberInfo& m : commit.members) line << " " << m.ip;
   }
-  const auto frame = to_frame(commit);
+  const net::Payload frame = framed(commit);
   for (const MemberInfo& m : membership.members())
     if (m.ip != self_ip()) unicast(m.ip, frame);
   trace(obs::TraceKind::kTwoPcCommit, {}, commit.view, membership.size());
@@ -589,7 +588,7 @@ void AdapterProtocol::maybe_send_join(util::IpAddress higher_leader) {
   for (const MemberInfo& m : committed_.members())
     if (m.ip <= self_ip()) join.members.push_back(m);
   if (join.members.empty()) join.members.push_back(self_);
-  unicast(higher_leader, to_frame(join));
+  unicast(higher_leader, framed(join));
 }
 
 void AdapterProtocol::handle_join_request(const JoinRequest& msg) {
@@ -641,7 +640,7 @@ void AdapterProtocol::start_verification(util::IpAddress suspect) {
 
   Probe probe{};
   probe.nonce = s.probe_nonce;
-  unicast(suspect, to_frame(probe));
+  unicast(suspect, framed(probe));
   ++stats_.probes_sent;
   trace(obs::TraceKind::kProbeSent, suspect);
   --s.probes_left;
@@ -656,7 +655,7 @@ void AdapterProtocol::probe_timeout(util::IpAddress suspect) {
   if (s.probes_left > 0) {
     Probe probe{};
     probe.nonce = s.probe_nonce;
-    unicast(suspect, to_frame(probe));
+    unicast(suspect, framed(probe));
     ++stats_.probes_sent;
     trace(obs::TraceKind::kProbeSent, suspect);
     --s.probes_left;
@@ -789,7 +788,7 @@ void AdapterProtocol::send_suspect(util::IpAddress suspect,
   Suspect msg{};
   msg.view = committed_.view();
   msg.suspect = suspect;
-  unicast(to, to_frame(msg));
+  unicast(to, framed(msg));
   ++stats_.suspects_sent;
   trace(obs::TraceKind::kSuspectSent, suspect);
 }
@@ -803,7 +802,7 @@ void AdapterProtocol::suspect_retry_expired(util::IpAddress suspect) {
     Suspect msg{};
     msg.view = committed_.view();
     msg.suspect = suspect;
-    unicast(out.to, to_frame(msg));
+    unicast(out.to, framed(msg));
     ++stats_.suspects_sent;
     trace(obs::TraceKind::kSuspectSent, suspect);
     out.timer = sim_.after(params_.suspect_retry,
@@ -838,7 +837,7 @@ void AdapterProtocol::begin_takeover_check() {
 
   Probe probe{};
   probe.nonce = takeover_->nonce;
-  unicast(leader_ip(), to_frame(probe));
+  unicast(leader_ip(), framed(probe));
   ++stats_.probes_sent;
   --takeover_->probes_left;
   takeover_->timer = sim_.after(params_.probe_timeout,
@@ -850,7 +849,7 @@ void AdapterProtocol::takeover_probe_timeout() {
   if (takeover_->probes_left > 0) {
     Probe probe{};
     probe.nonce = takeover_->nonce;
-    unicast(leader_ip(), to_frame(probe));
+    unicast(leader_ip(), framed(probe));
     ++stats_.probes_sent;
     --takeover_->probes_left;
     takeover_->timer = sim_.after(params_.probe_timeout,
@@ -914,12 +913,13 @@ void AdapterProtocol::start_fd() {
   ctx.sim = &sim_;
   ctx.params = &params_;
   ctx.self = self_ip();
-  ctx.send = [this](util::IpAddress to, std::vector<std::uint8_t> frame) {
+  ctx.send = [this](util::IpAddress to, net::Payload frame) {
     unicast(to, std::move(frame));
   };
   ctx.suspect = [this](util::IpAddress ip) { raise_suspicion(ip); };
   ctx.loopback_ok = net_.loopback_ok;
   ctx.rng = rng_.fork(0xFD + committed_.view());
+  ctx.encode_scratch = &scratch_;
   fd_ = make_failure_detector(params_.fd_kind, std::move(ctx));
   fd_->start(committed_);
 }
@@ -969,37 +969,56 @@ void AdapterProtocol::clear_leader_duty_state() {
 
 // --- Dispatch -------------------------------------------------------------------------
 
-void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
-                                   std::span<const std::uint8_t> payload) {
+HandleResult AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
+                                           FrameRef frame) {
+  // Every case decodes through frame.get(): the first receiver of a shared
+  // payload fills its cache, later receivers read it. `scratch` only
+  // engages when the payload is unshared or the cache is disabled.
   switch (type) {
     case MsgType::kBeacon: {
-      if (auto msg = decode_Beacon(payload)) handle_beacon(src, *msg);
-      return;
+      std::optional<Beacon> scratch;
+      const Beacon* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      handle_beacon(src, *msg);
+      return HandleResult::kHandled;
     }
     case MsgType::kJoinRequest: {
-      if (auto msg = decode_JoinRequest(payload)) handle_join_request(*msg);
-      return;
+      std::optional<JoinRequest> scratch;
+      const JoinRequest* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      handle_join_request(*msg);
+      return HandleResult::kHandled;
     }
     case MsgType::kPrepare: {
-      if (auto msg = decode_Prepare(payload)) handle_prepare(src, *msg);
-      return;
+      std::optional<Prepare> scratch;
+      const Prepare* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      handle_prepare(src, *msg);
+      return HandleResult::kHandled;
     }
     case MsgType::kPrepareAck: {
-      if (auto msg = decode_PrepareAck(payload)) handle_prepare_ack(src, *msg);
-      return;
+      std::optional<PrepareAck> scratch;
+      const PrepareAck* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      handle_prepare_ack(src, *msg);
+      return HandleResult::kHandled;
     }
     case MsgType::kCommit: {
-      if (auto msg = decode_Commit(payload)) handle_commit(*msg);
-      return;
+      std::optional<Commit> scratch;
+      const Commit* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      handle_commit(*msg);
+      return HandleResult::kHandled;
     }
     case MsgType::kHeartbeat: {
-      auto msg = decode_Heartbeat(payload);
-      if (!msg) return;
+      std::optional<Heartbeat> scratch;
+      const Heartbeat* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
       bump_clock(msg->view);
       maybe_implicit_commit(msg->view);
       if (is_committed() && committed_.contains(src)) {
         if (fd_) fd_->on_heartbeat(src, *msg);
-        return;
+        return HandleResult::kHandled;
       }
       if (is_committed() && msg->view <= committed_.view()) {
         // A stale ex-member is still heartbeating us: tell it to rejoin.
@@ -1013,22 +1032,23 @@ void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
           last = sim_.now();
           StaleNotice notice{};
           notice.current_view = committed_.view();
-          unicast(src, to_frame(notice));
+          unicast(src, framed(notice));
           ++stats_.stale_notices_sent;
         }
       }
-      return;
+      return HandleResult::kHandled;
     }
     case MsgType::kSuspect: {
-      auto msg = decode_Suspect(payload);
-      if (!msg) return;
+      std::optional<Suspect> scratch;
+      const Suspect* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
       bump_clock(msg->view);
       maybe_implicit_commit(msg->view);
       SuspectAck ack{};
       ack.view = msg->view;
       ack.suspect = msg->suspect;
-      unicast(src, to_frame(ack));
-      if (msg->suspect == self_ip()) return;
+      unicast(src, framed(ack));
+      if (msg->suspect == self_ip()) return HandleResult::kHandled;
       if (state_ == AdapterState::kLeader) {
         leader_handle_suspicion(msg->suspect, src);
       } else if (state_ == AdapterState::kMember && !committed_.empty() &&
@@ -1039,17 +1059,18 @@ void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
         // successor (the reporter may simply have been unable to reach it).
         raise_suspicion(msg->suspect);
       }
-      return;
+      return HandleResult::kHandled;
     }
     case MsgType::kSuspectAck: {
-      auto msg = decode_SuspectAck(payload);
-      if (!msg) return;
+      std::optional<SuspectAck> scratch;
+      const SuspectAck* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
       auto it = outstanding_suspects_.find(msg->suspect);
       if (it != outstanding_suspects_.end() && it->second.to == src) {
         it->second.timer.cancel();
         outstanding_suspects_.erase(it);
       }
-      return;
+      return HandleResult::kHandled;
     }
     case MsgType::kProbe: {
       // Liveness probes are answered in every state: the question is "is
@@ -1057,32 +1078,34 @@ void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
       // states whether we lead a committed view containing the prober, so a
       // takeover probe can distinguish "leader alive and still mine" from
       // "alive, but it restarted and abandoned us".
-      if (auto msg = decode_Probe(payload)) {
-        ProbeAck ack{};
-        ack.nonce = msg->nonce;
-        ack.leads_prober = state_ == AdapterState::kLeader && is_committed() &&
-                           committed_.contains(src);
-        unicast(src, to_frame(ack));
-      }
-      return;
+      std::optional<Probe> scratch;
+      const Probe* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      ProbeAck ack{};
+      ack.nonce = msg->nonce;
+      ack.leads_prober = state_ == AdapterState::kLeader && is_committed() &&
+                         committed_.contains(src);
+      unicast(src, framed(ack));
+      return HandleResult::kHandled;
     }
     case MsgType::kProbeAck: {
-      auto msg = decode_ProbeAck(payload);
-      if (!msg) return;
+      std::optional<ProbeAck> scratch;
+      const ProbeAck* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
       if (takeover_ && msg->nonce == takeover_->nonce) {
         takeover_->timer.cancel();
         if (msg->leads_prober) {
           // The leader is alive and still counts us a member; stand down.
           takeover_.reset();
           locally_suspected_.erase(leader_ip());
-          return;
+          return HandleResult::kHandled;
         }
         // Alive, but it no longer leads a view containing us: the leader
         // restarted (sub-detection-threshold blip) or was absorbed into
         // another group, silently orphaning this one. Mere liveness must
         // not veto the succession — leadership of our view is vacant.
         do_takeover();
-        return;
+        return HandleResult::kHandled;
       }
       for (auto it = suspicions_.begin(); it != suspicions_.end(); ++it) {
         if (it->second.probing && it->second.probe_nonce == msg->nonce) {
@@ -1090,57 +1113,67 @@ void AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
           trace(obs::TraceKind::kProbeRefuted, it->first);
           it->second.probe_timer.cancel();
           suspicions_.erase(it);
-          return;
+          return HandleResult::kHandled;
         }
       }
-      return;
+      return HandleResult::kHandled;
     }
     case MsgType::kStaleNotice: {
-      auto msg = decode_StaleNotice(payload);
-      if (!msg) return;
+      std::optional<StaleNotice> scratch;
+      const StaleNotice* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
       bump_clock(msg->current_view);
       if (state_ == AdapterState::kMember ||
           state_ == AdapterState::kWaitingForLeader)
         reset_to_discovery();
-      return;
+      return HandleResult::kHandled;
     }
     case MsgType::kPing: {
-      if (auto msg = decode_Ping(payload)) {
-        PingAck ack{};
-        ack.nonce = msg->nonce;
-        ack.target = self_ip();
-        unicast(msg->origin, to_frame(ack));
-      }
-      return;
+      std::optional<Ping> scratch;
+      const Ping* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      PingAck ack{};
+      ack.nonce = msg->nonce;
+      ack.target = self_ip();
+      unicast(msg->origin, framed(ack));
+      return HandleResult::kHandled;
     }
     case MsgType::kPingAck: {
-      if (auto msg = decode_PingAck(payload))
-        if (fd_) fd_->on_ping_ack(src, *msg);
-      return;
+      std::optional<PingAck> scratch;
+      const PingAck* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      if (fd_) fd_->on_ping_ack(src, *msg);
+      return HandleResult::kHandled;
     }
     case MsgType::kPingReq: {
-      if (auto msg = decode_PingReq(payload))
-        if (fd_) fd_->on_ping_req(src, *msg);
-      return;
+      std::optional<PingReq> scratch;
+      const PingReq* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      if (fd_) fd_->on_ping_req(src, *msg);
+      return HandleResult::kHandled;
     }
     case MsgType::kSubgroupPoll: {
-      if (auto msg = decode_SubgroupPoll(payload)) {
-        SubgroupPollAck ack{};
-        ack.seq = msg->seq;
-        unicast(src, to_frame(ack));
-      }
-      return;
+      std::optional<SubgroupPoll> scratch;
+      const SubgroupPoll* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      SubgroupPollAck ack{};
+      ack.seq = msg->seq;
+      unicast(src, framed(ack));
+      return HandleResult::kHandled;
     }
     case MsgType::kSubgroupPollAck: {
-      if (auto msg = decode_SubgroupPollAck(payload))
-        if (fd_) fd_->on_subgroup_poll_ack(src, *msg);
-      return;
+      std::optional<SubgroupPollAck> scratch;
+      const SubgroupPollAck* msg = frame.get(scratch);
+      if (msg == nullptr) return HandleResult::kDecodeError;
+      if (fd_) fd_->on_subgroup_poll_ack(src, *msg);
+      return HandleResult::kHandled;
     }
     case MsgType::kMembershipReport:
     case MsgType::kReportAck:
       // Routed by the daemon before frames reach the protocol.
-      return;
+      return HandleResult::kHandled;
   }
+  return HandleResult::kUnknownType;
 }
 
 }  // namespace gs::proto

@@ -50,6 +50,16 @@ enum class AdapterState : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(AdapterState s);
 
+// What became of one verified frame handed to a protocol instance. The
+// daemon turns this into per-type decoded / per-reason dropped accounting,
+// counted per receiver even when the decode itself came from the shared
+// payload cache.
+enum class HandleResult : std::uint8_t {
+  kHandled,      // typed decode succeeded and the message was processed
+  kDecodeError,  // the payload failed its typed decoder
+  kUnknownType,  // the type is not a known MsgType
+};
+
 struct ProtocolStats {
   std::uint64_t beacons_sent = 0;
   std::uint64_t suspicions_raised = 0;   // local FD suspicions
@@ -69,8 +79,8 @@ class AdapterProtocol {
   // How the protocol touches the outside world; the daemon wires these to
   // the fabric (and injects its processing-delay model upstream).
   struct NetIface {
-    std::function<bool(util::IpAddress, std::vector<std::uint8_t>)> unicast;
-    std::function<bool(std::vector<std::uint8_t>)> beacon_multicast;
+    std::function<bool(util::IpAddress, net::Payload)> unicast;
+    std::function<bool(net::Payload)> beacon_multicast;
     std::function<bool()> loopback_ok;
   };
 
@@ -99,8 +109,9 @@ class AdapterProtocol {
   void restart();
 
   // Handles one already-CRC-verified frame (daemon decoded the envelope).
-  void handle_frame(util::IpAddress src, MsgType type,
-                    std::span<const std::uint8_t> payload);
+  // The FrameRef may carry the shared decode cache of a multicast payload;
+  // the result feeds the daemon's per-type/per-reason codec accounting.
+  HandleResult handle_frame(util::IpAddress src, MsgType type, FrameRef frame);
 
   // --- Introspection --------------------------------------------------------
 
@@ -187,7 +198,14 @@ class AdapterProtocol {
   void clear_member_duty_state();
   void clear_leader_duty_state();
   [[nodiscard]] util::IpAddress self_ip() const { return self_.ip; }
-  bool unicast(util::IpAddress to, std::vector<std::uint8_t> frame);
+  bool unicast(util::IpAddress to, net::Payload frame);
+
+  // Encodes a message into the adapter's scratch Writer and snapshots it
+  // into a pooled payload: the steady-state (allocation-free) frame path.
+  template <typename T>
+  [[nodiscard]] net::Payload framed(const T& msg) {
+    return net::Payload::copy_of(build_frame(scratch_, msg));
+  }
 
   sim::Simulator& sim_;
   const Params& params_;
@@ -286,6 +304,10 @@ class AdapterProtocol {
 
   // Rate limit for StaleNotice replies (a stale member heartbeats fast).
   std::map<util::IpAddress, sim::SimTime> stale_notice_sent_;
+
+  // Reused by framed() for every frame this adapter (and its failure
+  // detector) encodes; grows to the largest frame and stays there.
+  wire::Writer scratch_;
 };
 
 }  // namespace gs::proto

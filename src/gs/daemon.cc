@@ -7,6 +7,37 @@
 
 namespace gs::proto {
 
+std::string_view to_string(WireStats::Drop reason) {
+  switch (reason) {
+    case WireStats::Drop::kTooShort: return "too-short";
+    case WireStats::Drop::kBadMagic: return "bad-magic";
+    case WireStats::Drop::kBadVersion: return "bad-version";
+    case WireStats::Drop::kLengthMismatch: return "length-mismatch";
+    case WireStats::Drop::kBadChecksum: return "bad-checksum";
+    case WireStats::Drop::kDecode: return "decode";
+    case WireStats::Drop::kUnknownType: return "unknown-type";
+    case WireStats::Drop::kCount_: break;
+  }
+  return "?";
+}
+
+namespace {
+
+WireStats::Drop drop_reason(wire::FrameError error) {
+  switch (error) {
+    case wire::FrameError::kTooShort: return WireStats::Drop::kTooShort;
+    case wire::FrameError::kBadMagic: return WireStats::Drop::kBadMagic;
+    case wire::FrameError::kBadVersion: return WireStats::Drop::kBadVersion;
+    case wire::FrameError::kLengthMismatch:
+      return WireStats::Drop::kLengthMismatch;
+    case wire::FrameError::kBadChecksum: return WireStats::Drop::kBadChecksum;
+    case wire::FrameError::kNone: break;
+  }
+  return WireStats::Drop::kTooShort;
+}
+
+}  // namespace
+
 GsDaemon::GsDaemon(sim::Simulator& sim, net::Fabric& fabric,
                    const Params& params, NodeConfig config,
                    std::vector<util::AdapterId> adapters, util::Rng rng)
@@ -36,11 +67,10 @@ GsDaemon::GsDaemon(sim::Simulator& sim, net::Fabric& fabric,
         config_.central_eligible && i == config_.admin_adapter_index;
 
     AdapterProtocol::NetIface net;
-    net.unicast = [this, id](util::IpAddress to,
-                             std::vector<std::uint8_t> frame) {
+    net.unicast = [this, id](util::IpAddress to, net::Payload frame) {
       return fabric_.send(id, to, std::move(frame));
     };
-    net.beacon_multicast = [this, id](std::vector<std::uint8_t> frame) {
+    net.beacon_multicast = [this, id](net::Payload frame) {
       return fabric_.multicast(id, net::kBeaconGroup, std::move(frame));
     };
     net.loopback_ok = [this, id] { return fabric_.adapter(id).loopback_ok(); };
@@ -136,26 +166,53 @@ void GsDaemon::on_datagram(std::size_t index, const net::Datagram& dgram) {
 
 void GsDaemon::dispatch(std::size_t index, const net::Datagram& dgram) {
   if (halted_) return;
-  const wire::DecodeResult decoded = wire::decode_frame(dgram.bytes());
-  if (!decoded.ok()) {
+  // Envelope verification is cached on the shared payload: the first
+  // receiver of a multicast pays the CRC, the rest read the stored verdict.
+  const wire::VerifiedFrame verified = dgram.payload.verified();
+  if (!verified.ok()) {
     ++frames_dropped_;
+    ++wire_stats_.dropped[static_cast<std::size_t>(drop_reason(verified.error))];
     GS_LOG(kDebug, "daemon") << config_.name << " dropped frame: "
-                             << wire::to_string(decoded.error);
+                             << wire::to_string(verified.error);
     return;
   }
-  const auto type = static_cast<MsgType>(decoded.frame.type);
+  const auto type = static_cast<MsgType>(verified.type);
+  const FrameRef frame(dgram.payload.frame_payload(), &dgram.payload);
 
+  HandleResult result;
   if (type == MsgType::kMembershipReport) {
-    if (auto rep = decode_MembershipReport(decoded.frame.payload))
-      handle_report_frame(dgram.src, *rep);
-    return;
+    std::optional<MembershipReport> scratch;
+    const MembershipReport* rep = frame.get(scratch);
+    if (rep != nullptr) handle_report_frame(dgram.src, *rep);
+    result = rep != nullptr ? HandleResult::kHandled : HandleResult::kDecodeError;
+  } else if (type == MsgType::kReportAck) {
+    std::optional<ReportAck> scratch;
+    const ReportAck* ack = frame.get(scratch);
+    if (ack != nullptr) handle_report_ack(*ack);
+    result = ack != nullptr ? HandleResult::kHandled : HandleResult::kDecodeError;
+  } else {
+    result = protocols_[index]->handle_frame(dgram.src, type, frame);
   }
-  if (type == MsgType::kReportAck) {
-    if (auto ack = decode_ReportAck(decoded.frame.payload))
-      handle_report_ack(*ack);
-    return;
+
+  switch (result) {
+    case HandleResult::kHandled:
+      ++wire_stats_.decoded[static_cast<std::size_t>(verified.type) %
+                            WireStats::kTypeSlots];
+      break;
+    case HandleResult::kDecodeError:
+      // A verified envelope whose typed payload would not decode: counted
+      // per receiver, exactly like envelope drops.
+      ++frames_dropped_;
+      ++wire_stats_.dropped[static_cast<std::size_t>(WireStats::Drop::kDecode)];
+      GS_LOG(kDebug, "daemon") << config_.name << " dropped "
+                               << to_string(type) << ": payload decode failed";
+      break;
+    case HandleResult::kUnknownType:
+      ++frames_dropped_;
+      ++wire_stats_
+            .dropped[static_cast<std::size_t>(WireStats::Drop::kUnknownType)];
+      break;
   }
-  protocols_[index]->handle_frame(dgram.src, type, decoded.frame.payload);
 }
 
 void GsDaemon::handle_report_frame(util::IpAddress src,
@@ -168,7 +225,8 @@ void GsDaemon::handle_report_frame(util::IpAddress src,
       deliver_ack_locally(ack);
       return;
     }
-    fabric_.send(admin_id, src, to_frame(ack));
+    fabric_.send(admin_id, src,
+                 net::Payload::copy_of(build_frame(scratch_, ack)));
   });
 }
 
@@ -204,7 +262,7 @@ void GsDaemon::report_pending(std::size_t index) {
   OutstandingReport out;
   out.report = proto.build_report();
   out.seq = out.report.seq;
-  out.frame = to_frame(out.report);
+  out.frame = net::Payload::copy_of(build_frame(scratch_, out.report));
   outstanding_[index] = std::move(out);
   try_send_report(index);
   arm_report_retry();

@@ -16,9 +16,11 @@
 //    full snapshots when GSC changes or asks (need_full).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gs/adapter_protocol.h"
@@ -28,8 +30,50 @@
 #include "sim/simulator.h"
 #include "util/ids.h"
 #include "util/rng.h"
+#include "wire/buffer.h"
 
 namespace gs::proto {
+
+// Per-daemon codec accounting: frames decoded per message type and frames
+// dropped per reason. Counted per receiver — a multicast decoded from the
+// shared cache still counts once per daemon that consumed it — so the
+// observatory sees delivery volume, not cache hit rate.
+struct WireStats {
+  // Indexed by MsgType value (1..18); slot 0 unused.
+  static constexpr std::size_t kTypeSlots = 19;
+
+  enum class Drop : std::uint8_t {
+    // Envelope rejections, mirroring wire::FrameError's nonzero values.
+    kTooShort = 0,
+    kBadMagic,
+    kBadVersion,
+    kLengthMismatch,
+    kBadChecksum,
+    // The envelope verified but the typed payload decoder rejected it.
+    kDecode,
+    // The envelope verified but the type is not a known MsgType.
+    kUnknownType,
+    kCount_,
+  };
+  static constexpr std::size_t kDropSlots =
+      static_cast<std::size_t>(Drop::kCount_);
+
+  std::array<std::uint64_t, kTypeSlots> decoded{};
+  std::array<std::uint64_t, kDropSlots> dropped{};
+
+  [[nodiscard]] std::uint64_t total_decoded() const {
+    std::uint64_t sum = 0;
+    for (const auto v : decoded) sum += v;
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    std::uint64_t sum = 0;
+    for (const auto v : dropped) sum += v;
+    return sum;
+  }
+};
+
+[[nodiscard]] std::string_view to_string(WireStats::Drop reason);
 
 class GsDaemon {
  public:
@@ -80,12 +124,13 @@ class GsDaemon {
     return frames_dropped_;
   }
   [[nodiscard]] std::uint64_t reports_sent() const { return reports_sent_; }
+  [[nodiscard]] const WireStats& wire_stats() const { return wire_stats_; }
 
  private:
   struct OutstandingReport {
     std::uint64_t seq = 0;
     MembershipReport report;
-    std::vector<std::uint8_t> frame;
+    net::Payload frame;  // encoded once; retries share the same bytes
   };
 
   void on_datagram(std::size_t index, const net::Datagram& dgram);
@@ -119,6 +164,10 @@ class GsDaemon {
 
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t reports_sent_ = 0;
+  WireStats wire_stats_;
+  // Scratch buffer for the daemon's own frames (report acks, reports);
+  // reused across messages so steady-state encodes do not allocate.
+  wire::Writer scratch_;
 };
 
 }  // namespace gs::proto

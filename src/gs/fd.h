@@ -40,13 +40,25 @@ struct FdContext {
   const Params* params = nullptr;
   util::IpAddress self;
   // Unicast a complete frame to a member of the group.
-  std::function<void(util::IpAddress, std::vector<std::uint8_t>)> send;
+  std::function<void(util::IpAddress, net::Payload)> send;
   // Raise a local suspicion (already deduplicated downstream).
   std::function<void(util::IpAddress)> suspect;
   // The adapter's loopback self-test; used before blaming a silent
   // neighbor (§3). Returns true when the local adapter is healthy.
   std::function<bool()> loopback_ok;
   util::Rng rng;
+  // Shared encode scratch (the owning AdapterProtocol's); optional — tests
+  // that drive a detector standalone may leave it null.
+  wire::Writer* encode_scratch = nullptr;
+
+  // Frames a message for send(), allocation-free when scratch is wired.
+  template <typename T>
+  [[nodiscard]] net::Payload framed(const T& msg) {
+    if (encode_scratch != nullptr)
+      return net::Payload::copy_of(build_frame(*encode_scratch, msg));
+    wire::Writer w;
+    return net::Payload::copy_of(build_frame(w, msg));
+  }
 };
 
 class FailureDetector {

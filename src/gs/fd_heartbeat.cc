@@ -128,7 +128,7 @@ void HeartbeatFd::send_heartbeats() {
     Heartbeat hb{};
     hb.view = view_.view();
     hb.seq = hb_seq_;
-    ctx_.send(peer, to_frame(hb));
+    ctx_.send(peer, ctx_.framed(hb));
   }
   send_timer_ = ctx_.sim->after(ctx_.params->hb_period,
                                 [this] { send_heartbeats(); });
@@ -191,7 +191,7 @@ void HeartbeatFd::send_polls() {
     poll.seq = ++poll_seq_;
     chunk.outstanding_seq = poll.seq;
     poll_chunk_by_seq_[poll.seq] = i;
-    ctx_.send(target, to_frame(poll));
+    ctx_.send(target, ctx_.framed(poll));
   }
   poll_timer_ = ctx_.sim->after(ctx_.params->subgroup_poll_period,
                                 [this] { send_polls(); });

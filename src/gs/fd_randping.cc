@@ -48,7 +48,7 @@ void RandPingFd::tick() {
   Ping ping{};
   ping.nonce = round_nonce_;
   ping.origin = ctx_.self;
-  ctx_.send(round_target_, to_frame(ping));
+  ctx_.send(round_target_, ctx_.framed(ping));
 
   direct_timer_ =
       ctx_.sim->after(ctx_.params->ping_timeout, [this] { direct_timeout(); });
@@ -72,7 +72,7 @@ void RandPingFd::direct_timeout() {
     req.nonce = round_nonce_;
     req.origin = ctx_.self;
     req.target = round_target_;
-    ctx_.send(candidates[pick], to_frame(req));
+    ctx_.send(candidates[pick], ctx_.framed(req));
     candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
   }
 }
@@ -92,7 +92,7 @@ void RandPingFd::on_ping_ack(util::IpAddress /*from*/, const PingAck& ack) {
     PingAck forward{};
     forward.nonce = ack.nonce;
     forward.target = ack.target;
-    ctx_.send(it->second.origin, to_frame(forward));
+    ctx_.send(it->second.origin, ctx_.framed(forward));
     proxy_pending_.erase(it);
   }
 }
@@ -103,7 +103,7 @@ void RandPingFd::on_ping_req(util::IpAddress /*from*/, const PingReq& req) {
   Ping ping{};
   ping.nonce = req.nonce;
   ping.origin = ctx_.self;  // the target acks to us; we forward
-  ctx_.send(req.target, to_frame(ping));
+  ctx_.send(req.target, ctx_.framed(ping));
 }
 
 }  // namespace gs::proto

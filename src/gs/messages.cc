@@ -54,221 +54,200 @@ std::vector<MemberInfo> decode_members(wire::Reader& r) {
   return r.vec<MemberInfo>([](wire::Reader& rr) { return decode_member(rr); });
 }
 
-template <typename T, typename Fn>
-std::optional<T> finish_decode(wire::Reader& r, T&& value, Fn) {
-  if (!r.finish()) return std::nullopt;
-  return std::forward<T>(value);
-}
-
 }  // namespace
+
+// The allocation-returning encode() and optional-returning decode_T() are
+// thin shims over the in-place pair (encode_into / decode_typed) that the
+// hot paths — scratch-Writer framing and the shared decode cache — use.
+#define GS_DEFINE_CODEC_SHIMS(T)                                       \
+  std::vector<std::uint8_t> encode(const T& msg) {                     \
+    wire::Writer w;                                                    \
+    encode_into(w, msg);                                               \
+    return w.take();                                                   \
+  }                                                                    \
+  std::optional<T> decode_##T(std::span<const std::uint8_t> payload) { \
+    T msg;                                                             \
+    if (!decode_typed(payload, &msg)) return std::nullopt;             \
+    return msg;                                                        \
+  }
 
 // --- Beacon -----------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const Beacon& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const Beacon& msg) {
   encode_member(w, msg.self);
   w.boolean(msg.is_leader);
   w.u64(msg.view);
   w.u32(msg.group_size);
-  return w.take();
 }
 
-std::optional<Beacon> decode_Beacon(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, Beacon* out) {
   wire::Reader r(payload);
-  Beacon msg;
-  msg.self = decode_member(r);
-  msg.is_leader = r.boolean();
-  msg.view = r.u64();
-  msg.group_size = r.u32();
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->self = decode_member(r);
+  out->is_leader = r.boolean();
+  out->view = r.u64();
+  out->group_size = r.u32();
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(Beacon)
 
 // --- JoinRequest ------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const JoinRequest& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const JoinRequest& msg) {
   w.u64(msg.view);
   encode_members(w, msg.members);
-  return w.take();
 }
 
-std::optional<JoinRequest> decode_JoinRequest(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, JoinRequest* out) {
   wire::Reader r(payload);
-  JoinRequest msg;
-  msg.view = r.u64();
-  msg.members = decode_members(r);
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->view = r.u64();
+  out->members = decode_members(r);
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(JoinRequest)
 
 // --- Prepare ----------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const Prepare& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const Prepare& msg) {
   w.u64(msg.view);
   w.u32(msg.leader.bits());
   encode_members(w, msg.members);
-  return w.take();
 }
 
-std::optional<Prepare> decode_Prepare(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, Prepare* out) {
   wire::Reader r(payload);
-  Prepare msg;
-  msg.view = r.u64();
-  msg.leader = util::IpAddress(r.u32());
-  msg.members = decode_members(r);
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->view = r.u64();
+  out->leader = util::IpAddress(r.u32());
+  out->members = decode_members(r);
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(Prepare)
 
 // --- PrepareAck -------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const PrepareAck& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const PrepareAck& msg) {
   w.u64(msg.view);
   w.boolean(msg.ok);
   w.u64(msg.holder_view);
-  return w.take();
 }
 
-std::optional<PrepareAck> decode_PrepareAck(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, PrepareAck* out) {
   wire::Reader r(payload);
-  PrepareAck msg;
-  msg.view = r.u64();
-  msg.ok = r.boolean();
-  msg.holder_view = r.u64();
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->view = r.u64();
+  out->ok = r.boolean();
+  out->holder_view = r.u64();
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(PrepareAck)
 
 // --- Commit -----------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const Commit& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const Commit& msg) {
   w.u64(msg.view);
   encode_members(w, msg.members);
-  return w.take();
 }
 
-std::optional<Commit> decode_Commit(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, Commit* out) {
   wire::Reader r(payload);
-  Commit msg;
-  msg.view = r.u64();
-  msg.members = decode_members(r);
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->view = r.u64();
+  out->members = decode_members(r);
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(Commit)
 
 // --- Heartbeat ----------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const Heartbeat& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const Heartbeat& msg) {
   w.u64(msg.view);
   w.u64(msg.seq);
-  return w.take();
 }
 
-std::optional<Heartbeat> decode_Heartbeat(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, Heartbeat* out) {
   wire::Reader r(payload);
-  Heartbeat msg;
-  msg.view = r.u64();
-  msg.seq = r.u64();
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->view = r.u64();
+  out->seq = r.u64();
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(Heartbeat)
 
 // --- Suspect / SuspectAck -----------------------------------------------------
 
-std::vector<std::uint8_t> encode(const Suspect& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const Suspect& msg) {
   w.u64(msg.view);
   w.u32(msg.suspect.bits());
-  return w.take();
 }
 
-std::optional<Suspect> decode_Suspect(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, Suspect* out) {
   wire::Reader r(payload);
-  Suspect msg;
-  msg.view = r.u64();
-  msg.suspect = util::IpAddress(r.u32());
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->view = r.u64();
+  out->suspect = util::IpAddress(r.u32());
+  return r.finish();
 }
 
-std::vector<std::uint8_t> encode(const SuspectAck& msg) {
-  wire::Writer w;
+GS_DEFINE_CODEC_SHIMS(Suspect)
+
+void encode_into(wire::Writer& w, const SuspectAck& msg) {
   w.u64(msg.view);
   w.u32(msg.suspect.bits());
-  return w.take();
 }
 
-std::optional<SuspectAck> decode_SuspectAck(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, SuspectAck* out) {
   wire::Reader r(payload);
-  SuspectAck msg;
-  msg.view = r.u64();
-  msg.suspect = util::IpAddress(r.u32());
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->view = r.u64();
+  out->suspect = util::IpAddress(r.u32());
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(SuspectAck)
 
 // --- Probe / ProbeAck ---------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const Probe& msg) {
-  wire::Writer w;
-  w.u64(msg.nonce);
-  return w.take();
-}
+void encode_into(wire::Writer& w, const Probe& msg) { w.u64(msg.nonce); }
 
-std::optional<Probe> decode_Probe(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, Probe* out) {
   wire::Reader r(payload);
-  Probe msg;
-  msg.nonce = r.u64();
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->nonce = r.u64();
+  return r.finish();
 }
 
-std::vector<std::uint8_t> encode(const ProbeAck& msg) {
-  wire::Writer w;
+GS_DEFINE_CODEC_SHIMS(Probe)
+
+void encode_into(wire::Writer& w, const ProbeAck& msg) {
   w.u64(msg.nonce);
   w.boolean(msg.leads_prober);
-  return w.take();
 }
 
-std::optional<ProbeAck> decode_ProbeAck(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, ProbeAck* out) {
   wire::Reader r(payload);
-  ProbeAck msg;
-  msg.nonce = r.u64();
-  msg.leads_prober = r.u8() != 0;
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->nonce = r.u64();
+  out->leads_prober = r.u8() != 0;
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(ProbeAck)
 
 // --- StaleNotice ---------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const StaleNotice& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const StaleNotice& msg) {
   w.u64(msg.current_view);
-  return w.take();
 }
 
-std::optional<StaleNotice> decode_StaleNotice(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, StaleNotice* out) {
   wire::Reader r(payload);
-  StaleNotice msg;
-  msg.current_view = r.u64();
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->current_view = r.u64();
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(StaleNotice)
 
 // --- MembershipReport / ReportAck ----------------------------------------------
 
-std::vector<std::uint8_t> encode(const MembershipReport& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const MembershipReport& msg) {
   w.u64(msg.seq);
   w.u64(msg.view);
   w.boolean(msg.full);
@@ -278,132 +257,118 @@ std::vector<std::uint8_t> encode(const MembershipReport& msg) {
     ww.u32(m.ip.bits());
     ww.u8(static_cast<std::uint8_t>(m.reason));
   });
-  return w.take();
 }
 
-std::optional<MembershipReport> decode_MembershipReport(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload,
+                  MembershipReport* out) {
   wire::Reader r(payload);
-  MembershipReport msg;
-  msg.seq = r.u64();
-  msg.view = r.u64();
-  msg.full = r.boolean();
-  msg.leader = decode_member(r);
-  msg.added = decode_members(r);
-  msg.removed = r.vec<RemovedMember>([](wire::Reader& rr) {
+  out->seq = r.u64();
+  out->view = r.u64();
+  out->full = r.boolean();
+  out->leader = decode_member(r);
+  out->added = decode_members(r);
+  out->removed = r.vec<RemovedMember>([](wire::Reader& rr) {
     RemovedMember m;
     m.ip = util::IpAddress(rr.u32());
     m.reason = static_cast<RemoveReason>(rr.u8());
     return m;
   });
-  if (!r.finish()) return std::nullopt;
-  for (const RemovedMember& m : msg.removed)
+  if (!r.finish()) return false;
+  for (const RemovedMember& m : out->removed)
     if (m.reason != RemoveReason::kFailed && m.reason != RemoveReason::kLeft)
-      return std::nullopt;
-  return msg;
+      return false;
+  return true;
 }
 
-std::vector<std::uint8_t> encode(const ReportAck& msg) {
-  wire::Writer w;
+GS_DEFINE_CODEC_SHIMS(MembershipReport)
+
+void encode_into(wire::Writer& w, const ReportAck& msg) {
   w.u64(msg.seq);
   w.u32(msg.leader.bits());
   w.boolean(msg.need_full);
-  return w.take();
 }
 
-std::optional<ReportAck> decode_ReportAck(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, ReportAck* out) {
   wire::Reader r(payload);
-  ReportAck msg;
-  msg.seq = r.u64();
-  msg.leader = util::IpAddress(r.u32());
-  msg.need_full = r.boolean();
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->seq = r.u64();
+  out->leader = util::IpAddress(r.u32());
+  out->need_full = r.boolean();
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(ReportAck)
 
 // --- Ping family -----------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const Ping& msg) {
-  wire::Writer w;
+void encode_into(wire::Writer& w, const Ping& msg) {
   w.u64(msg.nonce);
   w.u32(msg.origin.bits());
-  return w.take();
 }
 
-std::optional<Ping> decode_Ping(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, Ping* out) {
   wire::Reader r(payload);
-  Ping msg;
-  msg.nonce = r.u64();
-  msg.origin = util::IpAddress(r.u32());
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->nonce = r.u64();
+  out->origin = util::IpAddress(r.u32());
+  return r.finish();
 }
 
-std::vector<std::uint8_t> encode(const PingAck& msg) {
-  wire::Writer w;
+GS_DEFINE_CODEC_SHIMS(Ping)
+
+void encode_into(wire::Writer& w, const PingAck& msg) {
   w.u64(msg.nonce);
   w.u32(msg.target.bits());
-  return w.take();
 }
 
-std::optional<PingAck> decode_PingAck(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, PingAck* out) {
   wire::Reader r(payload);
-  PingAck msg;
-  msg.nonce = r.u64();
-  msg.target = util::IpAddress(r.u32());
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->nonce = r.u64();
+  out->target = util::IpAddress(r.u32());
+  return r.finish();
 }
 
-std::vector<std::uint8_t> encode(const PingReq& msg) {
-  wire::Writer w;
+GS_DEFINE_CODEC_SHIMS(PingAck)
+
+void encode_into(wire::Writer& w, const PingReq& msg) {
   w.u64(msg.nonce);
   w.u32(msg.origin.bits());
   w.u32(msg.target.bits());
-  return w.take();
 }
 
-std::optional<PingReq> decode_PingReq(std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, PingReq* out) {
   wire::Reader r(payload);
-  PingReq msg;
-  msg.nonce = r.u64();
-  msg.origin = util::IpAddress(r.u32());
-  msg.target = util::IpAddress(r.u32());
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->nonce = r.u64();
+  out->origin = util::IpAddress(r.u32());
+  out->target = util::IpAddress(r.u32());
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(PingReq)
 
 // --- Subgroup poll ------------------------------------------------------------------
 
-std::vector<std::uint8_t> encode(const SubgroupPoll& msg) {
-  wire::Writer w;
-  w.u64(msg.seq);
-  return w.take();
-}
+void encode_into(wire::Writer& w, const SubgroupPoll& msg) { w.u64(msg.seq); }
 
-std::optional<SubgroupPoll> decode_SubgroupPoll(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload, SubgroupPoll* out) {
   wire::Reader r(payload);
-  SubgroupPoll msg;
-  msg.seq = r.u64();
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->seq = r.u64();
+  return r.finish();
 }
 
-std::vector<std::uint8_t> encode(const SubgroupPollAck& msg) {
-  wire::Writer w;
+GS_DEFINE_CODEC_SHIMS(SubgroupPoll)
+
+void encode_into(wire::Writer& w, const SubgroupPollAck& msg) {
   w.u64(msg.seq);
-  return w.take();
 }
 
-std::optional<SubgroupPollAck> decode_SubgroupPollAck(
-    std::span<const std::uint8_t> payload) {
+bool decode_typed(std::span<const std::uint8_t> payload,
+                  SubgroupPollAck* out) {
   wire::Reader r(payload);
-  SubgroupPollAck msg;
-  msg.seq = r.u64();
-  if (!r.finish()) return std::nullopt;
-  return msg;
+  out->seq = r.u64();
+  return r.finish();
 }
+
+GS_DEFINE_CODEC_SHIMS(SubgroupPollAck)
+
+#undef GS_DEFINE_CODEC_SHIMS
 
 }  // namespace gs::proto

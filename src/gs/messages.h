@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/payload.h"
 #include "util/ids.h"
 #include "util/ip.h"
 #include "wire/buffer.h"
@@ -206,9 +207,20 @@ struct SubgroupPollAck {
 };
 
 // --- Codecs ----------------------------------------------------------------
+//
+// Each message has four codec entry points:
+//   encode_into(Writer&, msg)  — append the payload to a (scratch) Writer
+//   encode(msg)                — convenience: fresh Writer, returns a vector
+//   decode_typed(span, T*)     — decode in place, false on malformed input
+//   decode_T(span)             — convenience: optional<T>
+// The *_into/_typed pair is what the hot paths use: encode side reuses a
+// per-daemon scratch buffer, decode side fills the shared per-payload cache.
 
-#define GS_DECLARE_CODEC(T)                                     \
-  [[nodiscard]] std::vector<std::uint8_t> encode(const T& msg); \
+#define GS_DECLARE_CODEC(T)                                                    \
+  void encode_into(wire::Writer& w, const T& msg);                             \
+  [[nodiscard]] std::vector<std::uint8_t> encode(const T& msg);                \
+  [[nodiscard]] bool decode_typed(std::span<const std::uint8_t> payload,       \
+                                  T* out);                                     \
   [[nodiscard]] std::optional<T> decode_##T(std::span<const std::uint8_t> payload);
 
 GS_DECLARE_CODEC(Beacon)
@@ -237,5 +249,70 @@ template <typename T>
 [[nodiscard]] std::vector<std::uint8_t> to_frame(const T& msg) {
   return wire::encode_frame(static_cast<std::uint16_t>(T::kType), encode(msg));
 }
+
+// Allocation-free framing: rewinds `scratch`, emits header + payload, and
+// returns a view of the finished frame (valid until the next use of
+// `scratch`). Byte-identical to to_frame() for the same message.
+template <typename T>
+[[nodiscard]] std::span<const std::uint8_t> build_frame(wire::Writer& scratch,
+                                                        const T& msg) {
+  wire::begin_frame(scratch, static_cast<std::uint16_t>(T::kType));
+  encode_into(scratch, msg);
+  return wire::finish_frame(scratch);
+}
+
+// A verified frame's payload plus (optionally) the refcounted Payload that
+// owns the bytes. get<T>() is the decode-once read path: when the owner is
+// known and caching is on, the first receiver decodes into the payload's
+// shared slot and every later receiver — of any daemon — reads the cached
+// struct; otherwise it decodes into the caller's scratch optional. Either
+// way the returned pointer is valid for the current handler invocation only.
+class FrameRef {
+ public:
+  // Implicit on purpose: handlers and tests pass raw payload spans/vectors
+  // where a FrameRef is expected (no caching without an owner).
+  FrameRef(std::span<const std::uint8_t> payload)  // NOLINT
+      : payload_(payload) {}
+  FrameRef(const std::vector<std::uint8_t>& payload)  // NOLINT
+      : payload_(payload) {}
+  FrameRef(std::span<const std::uint8_t> payload, const net::Payload* owner)
+      : payload_(payload), owner_(owner) {}
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return payload_;
+  }
+
+  template <typename T>
+  [[nodiscard]] const T* get(std::optional<T>& scratch) const {
+    const auto tag = static_cast<std::uint16_t>(T::kType);
+    if (owner_ != nullptr && net::Payload::cache_enabled()) {
+      net::DecodeSlot* slot = owner_->decode_slot();
+      if (slot != nullptr) {
+        switch (slot->state()) {
+          case net::DecodeSlot::State::kEmpty:
+            return slot->fill<T>(tag, [this](T* out) {
+              return decode_typed(payload_, out);
+            });
+          case net::DecodeSlot::State::kDecoded:
+            if (slot->tag() == tag) return slot->value<T>();
+            break;  // cached as another type: decode privately below
+          case net::DecodeSlot::State::kFailed:
+            if (slot->tag() == tag) return nullptr;
+            break;
+        }
+      }
+    }
+    scratch.emplace();
+    if (!decode_typed(payload_, &*scratch)) {
+      scratch.reset();
+      return nullptr;
+    }
+    return &*scratch;
+  }
+
+ private:
+  std::span<const std::uint8_t> payload_;
+  const net::Payload* owner_ = nullptr;
+};
 
 }  // namespace gs::proto

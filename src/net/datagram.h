@@ -2,9 +2,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <span>
 #include <vector>
 
+#include "net/payload.h"
 #include "util/ids.h"
 #include "util/ip.h"
 
@@ -14,11 +15,10 @@ namespace gs::net {
 // shares one refcounted buffer across every in-flight copy instead of
 // cloning the bytes per receiver — the allocation cost of a multicast is
 // O(1) in the receiver count, matching the wire model (one frame on the
-// segment regardless of fan-out).
-using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
-
+// segment regardless of fan-out). The shared Payload also carries the
+// decode-once cache (see payload.h).
 [[nodiscard]] inline Payload make_payload(std::vector<std::uint8_t> bytes) {
-  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  return Payload::wrap(std::move(bytes));
 }
 
 struct Datagram {
@@ -28,8 +28,8 @@ struct Datagram {
   util::VlanId vlan;     // broadcast domain the datagram traversed
   Payload payload;       // a complete wire::Frame; shared, never mutated
 
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
-    return *payload;
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return payload.bytes();
   }
 };
 

@@ -204,7 +204,7 @@ std::optional<util::AdapterId> Fabric::find_by_ip(util::VlanId vlan,
 }
 
 std::uint16_t Fabric::peek_frame_type(
-    const std::vector<std::uint8_t>& bytes) const {
+    std::span<const std::uint8_t> bytes) const {
   // Frame layout: type lives at offset 6..7 (see wire/frame.h).
   if (bytes.size() < 8) return 0xFFFF;
   return static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
@@ -244,18 +244,30 @@ void Fabric::complete_delivery(std::uint32_t slot, util::AdapterId to) {
   if (--pending_[slot].remaining == 0) release_frame(slot);
 }
 
-bool Fabric::send(util::AdapterId from, util::IpAddress dst,
-                  std::vector<std::uint8_t> bytes) {
+std::uint32_t Fabric::park_corrupted(std::uint32_t slot, Segment& seg) {
+  const Datagram& clean = pending_[slot].dgram;
+  const std::span<const std::uint8_t> bytes = clean.bytes();
+  std::vector<std::uint8_t> flipped(bytes.begin(), bytes.end());
+  // XOR with a nonzero mask guarantees the byte actually changes.
+  flipped[seg.sample_corrupt_index(flipped.size())] ^= 0xFF;
+  const std::uint32_t corrupted = park_frame(Datagram{
+      clean.src, clean.dst, clean.multicast, clean.vlan,
+      make_payload(std::move(flipped))});
+  pending_[corrupted].remaining = 1;
+  return corrupted;
+}
+
+bool Fabric::send(util::AdapterId from, util::IpAddress dst, Payload payload) {
   const Adapter& src = adapter(from);
   const util::VlanId vlan = vlan_of(from);
   if (!src.can_send() || !vlan.valid()) return false;
 
   SegmentLoad& load = loads_[vlan];
   load.frames_sent++;
-  load.bytes_sent += bytes.size();
+  load.bytes_sent += payload.size();
   total_frames_sent_++;
-  total_bytes_sent_ += bytes.size();
-  frames_by_type_[peek_frame_type(bytes)]++;
+  total_bytes_sent_ += payload.size();
+  frames_by_type_[peek_frame_type(payload.bytes())]++;
 
   Segment& seg = segment(vlan);
   const auto target = find_by_ip(vlan, dst);
@@ -269,33 +281,42 @@ bool Fabric::send(util::AdapterId from, util::IpAddress dst,
     load.frames_lost++;
     return true;
   }
-  const std::uint32_t slot = park_frame(Datagram{
-      src.ip(), dst, /*multicast=*/false, vlan, make_payload(std::move(bytes))});
-  pending_[slot].remaining = 1;
+  std::uint32_t slot = park_frame(Datagram{
+      src.ip(), dst, /*multicast=*/false, vlan, std::move(payload)});
+  // Corruption injection clones the frame so the receiver gets its own
+  // mutated payload; the guard keeps the default model free of RNG draws.
+  if (seg.model().corrupt_probability > 0 && seg.sample_corruption()) {
+    load.frames_corrupted++;
+    const std::uint32_t corrupted = park_corrupted(slot, seg);
+    release_frame(slot);  // remaining still 0: no delivery was scheduled
+    slot = corrupted;
+  } else {
+    pending_[slot].remaining = 1;
+  }
   const util::AdapterId to = *target;
   sim_.after(*latency, [this, slot, to] { complete_delivery(slot, to); });
   return true;
 }
 
 bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
-                       std::vector<std::uint8_t> bytes) {
+                       Payload payload) {
   const Adapter& src = adapter(from);
   const util::VlanId vlan = vlan_of(from);
   if (!src.can_send() || !vlan.valid()) return false;
 
   SegmentLoad& load = loads_[vlan];
   load.frames_sent++;  // broadcast medium: one frame on the wire
-  load.bytes_sent += bytes.size();
+  load.bytes_sent += payload.size();
   total_frames_sent_++;
-  total_bytes_sent_ += bytes.size();
-  frames_by_type_[peek_frame_type(bytes)]++;
+  total_bytes_sent_ += payload.size();
+  frames_by_type_[peek_frame_type(payload.bytes())]++;
 
   Segment& seg = segment(vlan);
   // The frame is parked once — one payload allocation, one pool slot — and
   // every scheduled delivery shares it by slot reference.
   const std::uint32_t slot = park_frame(Datagram{
-      src.ip(), group, /*multicast=*/true, vlan, make_payload(std::move(bytes))});
-  PendingFrame& frame = pending_[slot];
+      src.ip(), group, /*multicast=*/true, vlan, std::move(payload)});
+  const bool may_corrupt = seg.model().corrupt_probability > 0;
   // Consecutive members usually share a switch; cache the liveness lookup.
   util::SwitchId cached_sw = util::SwitchId::invalid();
   bool cached_sw_failed = false;
@@ -319,10 +340,20 @@ bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
       load.frames_lost++;
       continue;
     }
-    frame.remaining++;
+    if (may_corrupt && seg.sample_corruption()) {
+      // This receiver alone sees flipped bytes: it gets a private payload
+      // copy in its own pool slot, leaving the shared frame — and the
+      // decode cache every clean receiver reuses — untouched.
+      load.frames_corrupted++;
+      const std::uint32_t corrupted = park_corrupted(slot, seg);
+      sim_.after(*latency,
+                 [this, corrupted, id] { complete_delivery(corrupted, id); });
+      continue;
+    }
+    pending_[slot].remaining++;
     sim_.after(*latency, [this, slot, id] { complete_delivery(slot, id); });
   }
-  if (frame.remaining == 0) release_frame(slot);
+  if (pending_[slot].remaining == 0) release_frame(slot);
   return true;
 }
 

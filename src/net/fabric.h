@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,10 @@ struct SegmentLoad {
   // receiver, dead switch, or partition. Unicast and multicast count these
   // identically, so the §4.2 load comparisons see the same denominator.
   std::uint64_t frames_unreachable = 0;
+  // Deliveries that arrived with an injected byte flip (per receiver). The
+  // soak invariant uses this to require that daemons only ever drop frames
+  // when corruption was actually injected.
+  std::uint64_t frames_corrupted = 0;
 };
 
 class Fabric {
@@ -122,12 +127,18 @@ class Fabric {
   // Unicast to dst on the sender's VLAN. Returns false if the frame never
   // left the adapter (sender dead/unwired); in-flight loss still returns
   // true, as a real sender cannot observe it.
+  bool send(util::AdapterId from, util::IpAddress dst, Payload payload);
   bool send(util::AdapterId from, util::IpAddress dst,
-            std::vector<std::uint8_t> bytes);
+            std::vector<std::uint8_t> bytes) {
+    return send(from, dst, make_payload(std::move(bytes)));
+  }
 
   // Multicast to every other adapter on the sender's VLAN.
+  bool multicast(util::AdapterId from, util::IpAddress group, Payload payload);
   bool multicast(util::AdapterId from, util::IpAddress group,
-                 std::vector<std::uint8_t> bytes);
+                 std::vector<std::uint8_t> bytes) {
+    return multicast(from, group, make_payload(std::move(bytes)));
+  }
 
   // --- Fault injection ----------------------------------------------------
 
@@ -189,8 +200,12 @@ class Fabric {
   std::uint32_t park_frame(Datagram dgram);
   void release_frame(std::uint32_t slot);
   void complete_delivery(std::uint32_t slot, util::AdapterId to);
+  // Parks a fresh, independently allocated copy of `slot`'s datagram with
+  // one byte flipped. The corrupted receiver must never share (or poison)
+  // the clean payload's decode cache, so the bytes are duplicated here.
+  [[nodiscard]] std::uint32_t park_corrupted(std::uint32_t slot, Segment& seg);
   [[nodiscard]] std::uint16_t peek_frame_type(
-      const std::vector<std::uint8_t>& bytes) const;
+      std::span<const std::uint8_t> bytes) const;
   void sample_loads();
   void index_add(util::VlanId vlan, util::AdapterId id);
   void index_remove(util::VlanId vlan, util::AdapterId id);

@@ -22,6 +22,10 @@ struct ChannelModel {
   sim::SimDuration base_latency = sim::microseconds(200);
   sim::SimDuration jitter = sim::microseconds(100);  // uniform in [0, jitter]
   double loss_probability = 0.0;  // applied independently per receiver
+  // Probability that a delivered frame arrives with one byte flipped, applied
+  // independently per receiver. Zero (the default) draws no randomness, so
+  // seeded schedules are bit-identical with the feature unused.
+  double corrupt_probability = 0.0;
 };
 
 class Segment {
@@ -41,6 +45,17 @@ class Segment {
     if (model_.jitter > 0)
       latency += rng_.range(0, model_.jitter);
     return latency;
+  }
+
+  // Samples per-receiver corruption for a delivered frame. Only called when
+  // corrupt_probability > 0, so the default model consumes no RNG draws.
+  [[nodiscard]] bool sample_corruption() {
+    return rng_.chance(model_.corrupt_probability);
+  }
+
+  // Which byte of a corrupted frame gets flipped.
+  [[nodiscard]] std::size_t sample_corrupt_index(std::size_t frame_size) {
+    return static_cast<std::size_t>(rng_.below(frame_size));
   }
 
   // --- Partitions -------------------------------------------------------

@@ -66,6 +66,13 @@ void FarmHealthSampler::publish(const Snapshot& snapshot) {
                snapshot.spans->closed, snapshot.spans->abandoned,
                "spans.done");
   }
+  if (snapshot.codec && trace) {
+    std::uint64_t decoded = 0, dropped = 0;
+    for (const auto& [label, count] : snapshot.codec->decoded) decoded += count;
+    for (const auto& [label, count] : snapshot.codec->dropped) dropped += count;
+    emit_trace(&bus_, TraceKind::kHealthSample, now, {}, {}, decoded, dropped,
+               "codec");
+  }
 
   if (registry_ == nullptr) return;
   registry_->counter("health.samples").add();
@@ -106,6 +113,14 @@ void FarmHealthSampler::publish(const Snapshot& snapshot) {
         .set(static_cast<double>(snapshot.spans->open));
     registry_->gauge("spans.open_watermark")
         .set(static_cast<double>(snapshot.spans->watermark));
+  }
+  if (snapshot.codec) {
+    for (const auto& [type, count] : snapshot.codec->decoded)
+      registry_->gauge(util::labeled("wire.decoded", {{"type", type}}))
+          .set(static_cast<double>(count));
+    for (const auto& [reason, count] : snapshot.codec->dropped)
+      registry_->gauge(util::labeled("wire.dropped", {{"reason", reason}}))
+          .set(static_cast<double>(count));
   }
 }
 

@@ -15,6 +15,8 @@
 //   detail="wire"        vlan, a=frames sent, b=bytes sent (cumulative)
 //   detail="spans.open"  a=open spans now, b=open-span high-water mark
 //   detail="spans.done"  a=spans closed, b=spans abandoned (cumulative)
+//   detail="codec"       a=frames decoded, b=frames dropped (cumulative,
+//                        summed over all daemons and types/reasons)
 //
 // Trace rows are gated on wants(kHealthSample): with nobody subscribed the
 // sampler only refreshes gauges. With no sampler constructed at all, the
@@ -24,6 +26,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.h"
@@ -63,11 +67,20 @@ class FarmHealthSampler {
     std::uint64_t closed = 0;
     std::uint64_t abandoned = 0;
   };
+  // Farm-wide codec accounting (obs cannot see proto::WireStats, so the
+  // embedder pre-labels each counter): frames decoded per message type and
+  // frames dropped per reason, aggregated over every daemon. Only nonzero
+  // counters need be present.
+  struct CodecSample {
+    std::vector<std::pair<std::string, std::uint64_t>> decoded;  // by type
+    std::vector<std::pair<std::string, std::uint64_t>> dropped;  // by reason
+  };
   struct Snapshot {
     std::vector<AmgSample> amgs;
     std::optional<GscSample> gsc;
     std::vector<WireSample> wire;
     std::optional<SpanSample> spans;
+    std::optional<CodecSample> codec;
   };
   using Provider = std::function<Snapshot()>;
 

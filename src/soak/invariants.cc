@@ -16,6 +16,7 @@ std::string_view to_string(Violation::Kind kind) {
     case Violation::Kind::kGscGroup: return "gsc-group";
     case Violation::Kind::kTrace: return "trace";
     case Violation::Kind::kSpanLeak: return "span-leak";
+    case Violation::Kind::kCodec: return "codec";
   }
   return "?";
 }
@@ -56,6 +57,7 @@ class Checker {
   std::vector<Violation> run() {
     check_amgs();
     check_central();
+    check_codec();
     return std::move(violations_);
   }
 
@@ -110,6 +112,26 @@ class Checker {
           add(Violation::Kind::kAmgMembership, detail.str());
         }
       }
+    }
+  }
+
+  // Invariant 6: with the decode-once codec path a daemon drops a frame
+  // only when its envelope or typed decode fails — and in simulation that
+  // can only happen when the fabric injected a byte flip. Drops without any
+  // injected corruption mean the codec path corrupted or mis-cached a
+  // payload on its own.
+  void check_codec() {
+    std::uint64_t corrupted = 0;
+    for (util::VlanId vlan : farm_.vlans())
+      corrupted += farm_.fabric().load(vlan).frames_corrupted;
+    std::uint64_t dropped = 0;
+    for (std::size_t n = 0; n < farm_.node_count(); ++n)
+      dropped += farm_.daemon(n).frames_dropped();
+    if (dropped > 0 && corrupted == 0) {
+      std::ostringstream detail;
+      detail << dropped << " frame(s) dropped by daemons but the fabric "
+             << "injected no corruption";
+      add(Violation::Kind::kCodec, detail.str());
     }
   }
 

@@ -35,6 +35,8 @@ struct Violation {
     kGscGroup,          // invariant 3: group table mismatch
     kTrace,             // invariant 4: trace-derived protocol violation
     kSpanLeak,          // invariant 5: latency span left open after quiesce
+    kCodec,             // invariant 6: frames dropped without injected
+                        // corruption anywhere on the fabric
   };
   Kind kind = Kind::kNotConverged;
   std::string detail;

@@ -57,6 +57,10 @@ class Writer {
   [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
+  // Rewinds to empty while keeping the allocation, so a long-lived scratch
+  // Writer reaches a steady state with zero per-message heap traffic.
+  void clear() { bytes_.clear(); }
+
  private:
   template <typename T>
   void append_le(T v) {

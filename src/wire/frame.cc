@@ -39,8 +39,30 @@ std::vector<std::uint8_t> encode_frame(std::uint16_t type,
   return bytes;
 }
 
-DecodeResult decode_frame(std::span<const std::uint8_t> bytes) {
-  DecodeResult result;
+void begin_frame(Writer& w, std::uint16_t type) {
+  w.clear();
+  w.u32(kFrameMagic);
+  w.u8(kWireVersion);
+  w.u8(0);  // reserved
+  w.u16(type);
+  w.u32(0);  // length placeholder
+  w.u32(0);  // crc placeholder
+}
+
+std::span<const std::uint8_t> finish_frame(Writer& w) {
+  const auto length = static_cast<std::uint32_t>(w.size() - kFrameHeaderSize);
+  w.patch_u32(8, length);
+  // CRC over the whole frame while the crc field still holds zeros, which
+  // is exactly the "header with crc zeroed, then payload" encode_frame rule.
+  std::uint32_t crc = crc32c_init();
+  crc = crc32c_update(crc, w.bytes());
+  crc = crc32c_finish(crc);
+  w.patch_u32(12, crc);
+  return w.bytes();
+}
+
+VerifiedFrame verify_frame(std::span<const std::uint8_t> bytes) {
+  VerifiedFrame result;
   if (bytes.size() < kFrameHeaderSize) {
     result.error = FrameError::kTooShort;
     return result;
@@ -78,8 +100,19 @@ DecodeResult decode_frame(std::span<const std::uint8_t> bytes) {
     return result;
   }
 
-  result.frame.type = type;
-  result.frame.payload.assign(bytes.begin() + kFrameHeaderSize, bytes.end());
+  result.type = type;
+  result.payload_size = length;
+  return result;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> bytes) {
+  const VerifiedFrame verified = verify_frame(bytes);
+  DecodeResult result;
+  result.error = verified.error;
+  if (verified.ok()) {
+    result.frame.type = verified.type;
+    result.frame.payload = bytes.subspan(kFrameHeaderSize);
+  }
   return result;
 }
 

@@ -38,22 +38,47 @@ enum class FrameError : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(FrameError err);
 
-struct Frame {
+// Zero-copy view of a decoded frame: `payload` aliases the datagram bytes
+// passed to decode_frame and is valid only while those bytes live.
+struct FrameView {
   std::uint16_t type = 0;
-  std::vector<std::uint8_t> payload;
+  std::span<const std::uint8_t> payload;
 };
 
 // Serializes type+payload into a complete datagram.
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(
     std::uint16_t type, std::span<const std::uint8_t> payload);
 
-struct DecodeResult {
+class Writer;
+
+// Allocation-free framing onto a reusable scratch Writer: begin_frame
+// rewinds the writer and emits the header with zeroed length/crc, the
+// caller appends the payload, finish_frame patches both fields. The bytes
+// produced are identical to encode_frame for the same type+payload.
+void begin_frame(Writer& w, std::uint16_t type);
+[[nodiscard]] std::span<const std::uint8_t> finish_frame(Writer& w);
+
+// Envelope verification result, expressed as offsets rather than pointers
+// so it can be cached beside refcounted payload bytes that may be pooled.
+struct VerifiedFrame {
   FrameError error = FrameError::kNone;
-  Frame frame;
+  std::uint16_t type = 0;
+  std::uint32_t payload_size = 0;
 
   [[nodiscard]] bool ok() const { return error == FrameError::kNone; }
 };
 
+// Validates magic/version/length/CRC without copying the payload.
+[[nodiscard]] VerifiedFrame verify_frame(std::span<const std::uint8_t> bytes);
+
+struct DecodeResult {
+  FrameError error = FrameError::kNone;
+  FrameView frame;
+
+  [[nodiscard]] bool ok() const { return error == FrameError::kNone; }
+};
+
+// verify_frame plus a FrameView into `bytes` (no payload copy).
 [[nodiscard]] DecodeResult decode_frame(std::span<const std::uint8_t> bytes);
 
 }  // namespace gs::wire

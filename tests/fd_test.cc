@@ -41,8 +41,9 @@ class FdHarness {
       ctx.self = m.ip;
       ctx.rng = util::Rng(m.ip.bits());
       ctx.send = [this, self = m.ip](util::IpAddress to,
-                                     std::vector<std::uint8_t> frame) {
-        route(self, to, std::move(frame));
+                                     net::Payload frame) {
+        route(self, to, std::vector<std::uint8_t>(frame.bytes().begin(),
+                                                  frame.bytes().end()));
       };
       ctx.suspect = [this, self = m.ip](util::IpAddress suspect) {
         suspicions_.emplace_back(self, suspect);
@@ -330,7 +331,7 @@ TEST(FdConsensus, ReporterRequirements) {
     ctx.sim = &sim;
     ctx.params = &p;
     ctx.self = member(1).ip;
-    ctx.send = [](util::IpAddress, std::vector<std::uint8_t>) {};
+    ctx.send = [](util::IpAddress, net::Payload) {};
     ctx.suspect = [](util::IpAddress) {};
     return make_failure_detector(kind, std::move(ctx));
   };

@@ -394,8 +394,8 @@ TEST_F(FabricTest, MulticastPayloadIsSharedAcrossReceivers) {
   ASSERT_EQ(seen.size(), 3u);
   // One frame allocation regardless of fan-out: all receivers observe the
   // same buffer.
-  EXPECT_EQ(seen[0].get(), seen[1].get());
-  EXPECT_EQ(seen[1].get(), seen[2].get());
+  EXPECT_EQ(seen[0].identity(), seen[1].identity());
+  EXPECT_EQ(seen[1].identity(), seen[2].identity());
 }
 
 TEST_F(FabricTest, SwitchPortExhaustionAllocationFails) {

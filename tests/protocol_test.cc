@@ -53,11 +53,10 @@ class ProtoHarness {
     self.node = fabric_.adapter(id).node();
 
     AdapterProtocol::NetIface net;
-    net.unicast = [this, id](util::IpAddress to,
-                             std::vector<std::uint8_t> frame) {
+    net.unicast = [this, id](util::IpAddress to, net::Payload frame) {
       return fabric_.send(id, to, std::move(frame));
     };
-    net.beacon_multicast = [this, id](std::vector<std::uint8_t> frame) {
+    net.beacon_multicast = [this, id](net::Payload frame) {
       return fabric_.multicast(id, net::kBeaconGroup, std::move(frame));
     };
     net.loopback_ok = [this, id] { return fabric_.adapter(id).loopback_ok(); };

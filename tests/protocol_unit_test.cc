@@ -44,12 +44,12 @@ class ProtocolUnit : public ::testing::Test {
 
   void make_protocol(std::uint8_t host) {
     AdapterProtocol::NetIface net;
-    net.unicast = [this](util::IpAddress to, std::vector<std::uint8_t> frame) {
-      record(to, std::move(frame));
+    net.unicast = [this](util::IpAddress to, net::Payload frame) {
+      record(to, frame);
       return true;
     };
-    net.beacon_multicast = [this](std::vector<std::uint8_t> frame) {
-      record(util::IpAddress(), std::move(frame));
+    net.beacon_multicast = [this](net::Payload frame) {
+      record(util::IpAddress(), frame);
       return true;
     };
     net.loopback_ok = [] { return true; };
@@ -60,11 +60,12 @@ class ProtocolUnit : public ::testing::Test {
                                                util::Rng(host));
   }
 
-  void record(util::IpAddress to, std::vector<std::uint8_t> bytes) {
-    auto decoded = wire::decode_frame(bytes);
+  void record(util::IpAddress to, const net::Payload& frame) {
+    auto decoded = wire::decode_frame(frame.bytes());
     ASSERT_TRUE(decoded.ok());
-    sent_.push_back(SentFrame{to, static_cast<MsgType>(decoded.frame.type),
-                              decoded.frame.payload});
+    sent_.push_back(
+        SentFrame{to, static_cast<MsgType>(decoded.frame.type),
+                  {decoded.frame.payload.begin(), decoded.frame.payload.end()}});
   }
 
   // Injects a message as if received from `src`.

@@ -1,6 +1,9 @@
 // Unit tests for the wire format: buffers, CRC, frames, corruption handling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "gs/messages.h"
 #include "util/rng.h"
 #include "wire/buffer.h"
 #include "wire/checksum.h"
@@ -164,7 +167,49 @@ TEST(Frame, RoundTrip) {
   auto result = decode_frame(bytes);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.frame.type, 7);
-  EXPECT_EQ(result.frame.payload, payload);
+  // FrameView is zero-copy: the payload span aliases the frame bytes.
+  EXPECT_EQ(result.frame.payload.data(), bytes.data() + kFrameHeaderSize);
+  EXPECT_TRUE(std::equal(result.frame.payload.begin(),
+                         result.frame.payload.end(), payload.begin(),
+                         payload.end()));
+}
+
+TEST(Frame, VerifyFrameMatchesDecodeFrame) {
+  std::vector<std::uint8_t> payload{9, 8, 7};
+  auto bytes = encode_frame(11, payload);
+  const VerifiedFrame verified = verify_frame(bytes);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(verified.type, 11);
+  EXPECT_EQ(verified.payload_size, payload.size());
+
+  bytes.back() ^= 0x40;
+  EXPECT_EQ(verify_frame(bytes).error, FrameError::kBadChecksum);
+}
+
+TEST(Frame, ScratchFramingIsByteIdenticalToEncodeFrame) {
+  Writer scratch;
+  // Two frames through the same scratch Writer: each must match the
+  // allocating encode_frame byte for byte (the golden-trace guarantee for
+  // the scratch-buffer encode path).
+  const std::vector<std::uint8_t> first{1, 2, 3, 4, 5, 6, 7};
+  begin_frame(scratch, 3);
+  for (auto b : first) scratch.u8(b);
+  auto view = finish_frame(scratch);
+  const auto legacy_first = encode_frame(3, first);
+  EXPECT_EQ(std::vector<std::uint8_t>(view.begin(), view.end()), legacy_first);
+
+  const std::vector<std::uint8_t> second{42};
+  begin_frame(scratch, 9);
+  scratch.u8(42);
+  view = finish_frame(scratch);
+  const auto legacy_second = encode_frame(9, second);
+  EXPECT_EQ(std::vector<std::uint8_t>(view.begin(), view.end()),
+            legacy_second);
+
+  begin_frame(scratch, 5);
+  view = finish_frame(scratch);
+  EXPECT_EQ(std::vector<std::uint8_t>(view.begin(), view.end()),
+            encode_frame(5, {}));
 }
 
 TEST(Frame, EmptyPayload) {
@@ -229,6 +274,42 @@ TEST_P(FrameBitFlip, AnySingleBitFlipIsRejected) {
 
 INSTANTIATE_TEST_SUITE_P(AllBits, FrameBitFlip,
                          ::testing::Range<std::size_t>(0, (16 + 5) * 8));
+
+// Exhaustive corruption sweep over a real protocol message: flip every byte
+// of a framed heartbeat and assert the exact typed FrameError for each
+// position. This pins the rejection *reason*, not just the rejection — the
+// fabric's corruption injection and the soak invariant both key off it.
+class FramedHeartbeatByteFlip : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static FrameError expected_error(std::size_t index) {
+    if (index < 4) return FrameError::kBadMagic;        // magic
+    if (index == 4) return FrameError::kBadVersion;     // version
+    if (index >= 8 && index < 12)
+      return FrameError::kLengthMismatch;               // length field
+    // Reserved byte, type field, CRC field, and payload are all only
+    // covered by the checksum.
+    return FrameError::kBadChecksum;
+  }
+};
+
+TEST_P(FramedHeartbeatByteFlip, EveryByteFlipYieldsTheTypedError) {
+  proto::Heartbeat hb;
+  hb.view = 7;
+  hb.seq = 123456;
+  auto bytes = proto::to_frame(hb);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + 16);  // two u64 fields
+  const std::size_t index = GetParam();
+  ASSERT_LT(index, bytes.size());
+  bytes[index] ^= 0xFF;
+  const VerifiedFrame verified = verify_frame(bytes);
+  EXPECT_EQ(verified.error, expected_error(index))
+      << "byte " << index << ": got " << to_string(verified.error);
+  // decode_frame must agree with verify_frame everywhere.
+  EXPECT_EQ(decode_frame(bytes).error, verified.error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBytes, FramedHeartbeatByteFlip,
+                         ::testing::Range<std::size_t>(0, 16 + 16));
 
 // Fuzz: random byte strings never crash the decoder.
 TEST(Frame, FuzzRandomInputNeverCrashes) {
