@@ -113,26 +113,30 @@ void Farm::finish_node(std::size_t index, NodeRole role, util::DomainId domain,
     adapter_owner_[adapters[i]] = {index, i};
   }
 
-  proto::GsDaemon::NodeConfig config;
-  config.node = node_id;
-  config.name = name.str();
-  config.central_eligible = eligible;
-  config.admin_adapter_index = 0;  // paper §2.2: by convention, adapter 0
-
-  daemons_.push_back(std::make_unique<proto::GsDaemon>(
-      sim_, *fabric_, params_, config, std::move(adapters),
-      rng_.fork(0xDAE0000 + index)));
-
   if (eligible) {
     auto central =
         std::make_unique<proto::Central>(sim_, params_, &db_, console_.get());
     central_taps_.push_back(central->event_bus().subscribe(
         [this](const proto::FarmEvent& event) { event_bus_.publish(event); }));
-    daemons_.back()->set_central(central.get());
     centrals_.push_back(std::move(central));
   } else {
     centrals_.push_back(nullptr);
   }
+
+  transports_.push_back(
+      std::make_unique<net::FabricTransport>(*fabric_, std::move(adapters)));
+
+  proto::GsDaemon::Options opts;
+  opts.clock = &sim_;
+  opts.transport = transports_.back().get();
+  opts.params = &params_;
+  opts.node.node = node_id;
+  opts.node.name = name.str();
+  opts.node.central_eligible = eligible;
+  opts.node.admin_adapter_index = 0;  // paper §2.2: by convention, adapter 0
+  opts.rng = rng_.fork(0xDAE0000 + index);
+  opts.central = centrals_.back().get();
+  daemons_.push_back(std::make_unique<proto::GsDaemon>(std::move(opts)));
 }
 
 void Farm::build_uniform() {
@@ -398,14 +402,15 @@ obs::SpanTracker& Farm::enable_span_tracking() {
 
 obs::FarmHealthSampler::Snapshot Farm::health_snapshot() {
   obs::FarmHealthSampler::Snapshot snapshot;
-  for (const auto& daemon : daemons_) {
+  for (std::size_t n = 0; n < daemons_.size(); ++n) {
+    const auto& daemon = daemons_[n];
     if (daemon->halted()) continue;
     for (std::size_t i = 0; i < daemon->adapter_count(); ++i) {
       const proto::AdapterProtocol& proto = daemon->protocol(i);
       if (!proto.is_leader() || !proto.is_committed()) continue;
       obs::FarmHealthSampler::AmgSample amg;
       amg.leader = proto.self().ip;
-      amg.vlan = fabric_->vlan_of(daemon->adapter_id(i));
+      amg.vlan = fabric_->vlan_of(nodes_[n].adapters[i]);
       amg.view = proto.committed().view();
       amg.size = proto.committed().size();
       amg.committed_at = proto.committed_at();

@@ -19,6 +19,7 @@
 #include "gs/gulfstream.h"
 #include "net/console.h"
 #include "net/fabric.h"
+#include "net/fabric_transport.h"
 #include "obs/health.h"
 #include "obs/spans.h"
 #include "obs/trace.h"
@@ -157,6 +158,9 @@ class Farm {
   std::unique_ptr<obs::FarmHealthSampler> health_;
 
   std::vector<NodeInfo> nodes_;
+  // Per-node sim-backend transports; destroyed after the daemons that
+  // borrow them.
+  std::vector<std::unique_ptr<net::FabricTransport>> transports_;
   std::vector<std::unique_ptr<proto::GsDaemon>> daemons_;
   std::vector<std::unique_ptr<proto::Central>> centrals_;  // sparse by node
   std::vector<obs::Subscription> central_taps_;  // Central -> farm event bus

@@ -25,10 +25,10 @@ std::string_view to_string(AdapterState s) {
   return "?";
 }
 
-AdapterProtocol::AdapterProtocol(sim::Simulator& sim, const Params& params,
+AdapterProtocol::AdapterProtocol(sim::TimeSource& clock, const Params& params,
                                  MemberInfo self, NetIface net, Hooks hooks,
                                  util::Rng rng)
-    : sim_(sim),
+    : sim_(clock),
       params_(params),
       self_(self),
       net_(std::move(net)),
@@ -39,6 +39,28 @@ void AdapterProtocol::trace(obs::TraceKind kind, util::IpAddress peer,
                             std::uint64_t a, std::uint64_t b) {
   obs::emit_trace(params_.trace, kind, sim_.now(), self_.ip, peer, a, b, {},
                   self_.node);
+}
+
+AdapterProtocol::~AdapterProtocol() { cancel_all_timers(); }
+
+void AdapterProtocol::cancel_all_timers() {
+  // Destruction-path cleanup only: cancels without tracing or notifying —
+  // shutdown()'s kTwoPcAbort emission must not happen during teardown,
+  // where sinks may already be gone (and golden traces would change).
+  if (fd_) {
+    fd_->stop();
+    fd_.reset();
+  }
+  beacon_send_timer_.cancel();
+  beacon_end_timer_.cancel();
+  defer_timer_.cancel();
+  if (pending_prepare_) pending_prepare_->expiry.cancel();
+  if (proposal_) proposal_->timer.cancel();
+  change_timer_.cancel();
+  for (auto& [ip, s] : suspicions_) s.probe_timer.cancel();
+  report_timer_.cancel();
+  for (auto& [ip, out] : outstanding_suspects_) out.timer.cancel();
+  if (takeover_) takeover_->timer.cancel();
 }
 
 void AdapterProtocol::start() {

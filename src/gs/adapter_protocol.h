@@ -33,7 +33,7 @@
 #include "gs/fd.h"
 #include "gs/messages.h"
 #include "gs/params.h"
-#include "sim/simulator.h"
+#include "sim/time_source.h"
 #include "util/ip.h"
 #include "util/rng.h"
 
@@ -93,11 +93,17 @@ class AdapterProtocol {
     std::function<void()> on_reset;
   };
 
-  AdapterProtocol(sim::Simulator& sim, const Params& params, MemberInfo self,
-                  NetIface net, Hooks hooks, util::Rng rng);
+  AdapterProtocol(sim::TimeSource& clock, const Params& params,
+                  MemberInfo self, NetIface net, Hooks hooks, util::Rng rng);
 
   AdapterProtocol(const AdapterProtocol&) = delete;
   AdapterProtocol& operator=(const AdapterProtocol&) = delete;
+
+  // Cancels every pending timer (trace-free, unlike shutdown()): an
+  // instance destroyed with timers in flight must never leave callbacks
+  // behind that would fire into freed memory — the wall-clock backends
+  // outlive individual daemons.
+  ~AdapterProtocol();
 
   // Enters the beacon phase. Call once (the daemon applies start-up skew).
   void start();
@@ -192,6 +198,7 @@ class AdapterProtocol {
   void reset_to_discovery();
 
   // --- Helpers --------------------------------------------------------------------
+  void cancel_all_timers();
   void bump_clock(std::uint64_t seen) { clock_ = std::max(clock_, seen); }
   void start_fd();
   void stop_fd();
@@ -207,7 +214,7 @@ class AdapterProtocol {
     return net::Payload::copy_of(build_frame(scratch_, msg));
   }
 
-  sim::Simulator& sim_;
+  sim::TimeSource& sim_;
   const Params& params_;
   MemberInfo self_;
   NetIface net_;

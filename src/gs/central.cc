@@ -29,13 +29,17 @@ std::string_view to_string(FarmEvent::Kind kind) {
   return "?";
 }
 
-Central::Central(sim::Simulator& sim, const Params& params,
+Central::Central(sim::TimeSource& clock, const Params& params,
                  config::ConfigDb* db, net::SwitchConsole* console)
-    : sim_(sim), params_(params), db_(db), console_(console) {}
+    : sim_(clock), params_(params), db_(db), console_(console) {}
 
-void Central::set_event_callback(EventCallback cb) {
-  legacy_subscription_ = event_bus_.subscribe(
-      [cb = std::move(cb)](const FarmEvent& event) { cb(event); });
+Central::~Central() { cancel_all_timers(); }
+
+void Central::cancel_all_timers() {
+  for (auto& [ip, state] : expected_moves_) state.deadline.cancel();
+  for (auto& [ip, timer] : held_failures_) timer.cancel();
+  stability_timer_.cancel();
+  lease_timer_.cancel();
 }
 
 void Central::emit(FarmEvent event) {

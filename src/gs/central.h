@@ -32,7 +32,7 @@
 #include "gs/messages.h"
 #include "gs/params.h"
 #include "net/console.h"
-#include "sim/simulator.h"
+#include "sim/time_source.h"
 
 namespace gs::proto {
 
@@ -41,20 +41,19 @@ class Central {
   // `db` and `console` may be null: a Central on a node without database /
   // switch-console access can still aggregate failure reports for its
   // partition, but cannot verify, correlate switches, or reconfigure (§2.2).
-  Central(sim::Simulator& sim, const Params& params, config::ConfigDb* db,
+  Central(sim::TimeSource& clock, const Params& params, config::ConfigDb* db,
           net::SwitchConsole* console);
 
   Central(const Central&) = delete;
   Central& operator=(const Central&) = delete;
 
+  // Cancels stability/lease/held-failure/move timers without emitting
+  // events or traces; safe with callbacks still queued on a live clock.
+  ~Central();
+
   // Dissemination bus (§2.2): subscribe for farm events; any number of
   // subscribers, each holding an RAII obs::Subscription.
   [[nodiscard]] EventBus& event_bus() { return event_bus_; }
-
-  // Deprecated shim over event_bus().subscribe(); replaces (not stacks) any
-  // previous callback. Will be removed next release.
-  [[deprecated("subscribe on event_bus() instead")]] void set_event_callback(
-      EventCallback cb);
 
   void activate(util::IpAddress self_admin_ip);
   void deactivate();
@@ -213,13 +212,13 @@ class Central {
   void correlate_recovery(util::IpAddress ip);
   void maybe_complete_move(util::IpAddress ip);
   void clear_all_state();
+  void cancel_all_timers();
 
-  sim::Simulator& sim_;
+  sim::TimeSource& sim_;
   const Params& params_;
   config::ConfigDb* db_;
   net::SwitchConsole* console_;
   EventBus event_bus_;
-  obs::Subscription legacy_subscription_;
 
   bool active_ = false;
   util::IpAddress self_ip_;

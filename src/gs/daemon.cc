@@ -38,28 +38,29 @@ WireStats::Drop drop_reason(wire::FrameError error) {
 
 }  // namespace
 
-GsDaemon::GsDaemon(sim::Simulator& sim, net::Fabric& fabric,
-                   const Params& params, NodeConfig config,
-                   std::vector<util::AdapterId> adapters, util::Rng rng)
-    : sim_(sim),
-      fabric_(fabric),
-      params_(params),
-      config_(std::move(config)),
-      adapter_ids_(std::move(adapters)),
-      rng_(rng) {
-  GS_CHECK(!adapter_ids_.empty());
-  GS_CHECK(config_.admin_adapter_index < adapter_ids_.size());
-  outstanding_.resize(adapter_ids_.size());
+GsDaemon::GsDaemon(Options opts)
+    : sim_(*opts.clock),
+      transport_(*opts.transport),
+      params_(*opts.params),
+      config_(std::move(opts.node)),
+      rng_(opts.rng),
+      central_(opts.central),
+      alive_(std::make_shared<GsDaemon*>(this)) {
+  GS_CHECK_MSG(opts.clock != nullptr && opts.transport != nullptr &&
+                   opts.params != nullptr,
+               "GsDaemon::Options requires clock, transport, and params");
+  const std::size_t ports = transport_.port_count();
+  GS_CHECK(ports > 0);
+  GS_CHECK(config_.admin_adapter_index < ports);
+  outstanding_.resize(ports);
 
-  for (std::size_t i = 0; i < adapter_ids_.size(); ++i) {
-    const util::AdapterId id = adapter_ids_[i];
-    const net::Adapter& adapter = fabric_.adapter(id);
-    GS_CHECK_MSG(!adapter.ip().is_unspecified(),
+  for (std::size_t i = 0; i < ports; ++i) {
+    GS_CHECK_MSG(!transport_.local_ip(i).is_unspecified(),
                  "assign adapter IPs before constructing the daemon");
 
     MemberInfo self;
-    self.ip = adapter.ip();
-    self.mac = adapter.mac();
+    self.ip = transport_.local_ip(i);
+    self.mac = transport_.local_mac(i);
     self.node = config_.node;
     // §2.2: beacons on the administrative adapter of an eligible node carry
     // the central-eligibility flag.
@@ -67,13 +68,13 @@ GsDaemon::GsDaemon(sim::Simulator& sim, net::Fabric& fabric,
         config_.central_eligible && i == config_.admin_adapter_index;
 
     AdapterProtocol::NetIface net;
-    net.unicast = [this, id](util::IpAddress to, net::Payload frame) {
-      return fabric_.send(id, to, std::move(frame));
+    net.unicast = [this, i](util::IpAddress to, net::Payload frame) {
+      return transport_.unicast(i, to, std::move(frame));
     };
-    net.beacon_multicast = [this, id](net::Payload frame) {
-      return fabric_.multicast(id, net::kBeaconGroup, std::move(frame));
+    net.beacon_multicast = [this, i](net::Payload frame) {
+      return transport_.multicast(i, net::kBeaconGroup, std::move(frame));
     };
-    net.loopback_ok = [this, id] { return fabric_.adapter(id).loopback_ok(); };
+    net.loopback_ok = [this, i] { return transport_.loopback_ok(i); };
 
     AdapterProtocol::Hooks hooks;
     hooks.on_report_pending = [this, i] { report_pending(i); };
@@ -96,6 +97,16 @@ GsDaemon::GsDaemon(sim::Simulator& sim, net::Fabric& fabric,
   }
 }
 
+GsDaemon::~GsDaemon() {
+  alive_.reset();  // voids in-flight skew / processing-delay callbacks
+  report_retry_timer_.cancel();
+  report_refresh_timer_.cancel();
+  if (started_) {
+    for (std::size_t i = 0; i < protocols_.size(); ++i)
+      transport_.set_receive_handler(i, nullptr);
+  }
+}
+
 AdapterProtocol& GsDaemon::protocol(std::size_t index) {
   GS_CHECK(index < protocols_.size());
   return *protocols_[index];
@@ -104,11 +115,6 @@ AdapterProtocol& GsDaemon::protocol(std::size_t index) {
 const AdapterProtocol& GsDaemon::protocol(std::size_t index) const {
   GS_CHECK(index < protocols_.size());
   return *protocols_[index];
-}
-
-util::AdapterId GsDaemon::adapter_id(std::size_t index) const {
-  GS_CHECK(index < adapter_ids_.size());
-  return adapter_ids_[index];
 }
 
 util::IpAddress GsDaemon::gsc_ip() const {
@@ -122,15 +128,18 @@ void GsDaemon::start() {
   started_ = true;
   const sim::SimDuration skew =
       params_.start_skew_max > 0 ? rng_.range(0, params_.start_skew_max) : 0;
-  sim_.after(skew, [this] {
-    for (std::size_t i = 0; i < protocols_.size(); ++i) {
-      fabric_.adapter(adapter_ids_[i])
-          .set_receive_handler([this, i](const net::Datagram& dgram) {
-            on_datagram(i, dgram);
-          });
-      if (!halted_) protocols_[i]->start();
+  // Fire-and-forget (no Timer member): guard with the life token so a
+  // daemon destroyed mid-skew never starts into freed memory.
+  sim_.after(skew, [self = std::weak_ptr<GsDaemon*>(alive_)] {
+    const auto locked = self.lock();
+    if (!locked) return;
+    GsDaemon* d = *locked;
+    for (std::size_t i = 0; i < d->protocols_.size(); ++i) {
+      d->transport_.set_receive_handler(
+          i, [d, i](const net::Datagram& dgram) { d->on_datagram(i, dgram); });
+      if (!d->halted_) d->protocols_[i]->start();
     }
-    if (!halted_) arm_report_refresh();
+    if (!d->halted_) d->arm_report_refresh();
   });
 }
 
@@ -161,7 +170,13 @@ void GsDaemon::on_datagram(std::size_t index, const net::Datagram& dgram) {
     delay = static_cast<sim::SimDuration>(
         rng_.exponential(static_cast<double>(params_.proc_delay_mean)));
   }
-  sim_.after(delay, [this, index, dgram] { dispatch(index, dgram); });
+  // Fire-and-forget: the life token voids the dispatch if the daemon is
+  // destroyed while the processing delay is pending.
+  sim_.after(delay,
+             [self = std::weak_ptr<GsDaemon*>(alive_), index, dgram] {
+               if (const auto locked = self.lock())
+                 (*locked)->dispatch(index, dgram);
+             });
 }
 
 void GsDaemon::dispatch(std::size_t index, const net::Datagram& dgram) {
@@ -218,15 +233,14 @@ void GsDaemon::dispatch(std::size_t index, const net::Datagram& dgram) {
 void GsDaemon::handle_report_frame(util::IpAddress src,
                                    const MembershipReport& rep) {
   if (central_ == nullptr || !central_->active()) return;
-  const util::AdapterId admin_id = adapter_ids_[config_.admin_adapter_index];
-  central_->handle_report(src, rep, [this, src, admin_id](const ReportAck& ack) {
-    if (src == fabric_.adapter(admin_id).ip()) {
+  central_->handle_report(src, rep, [this, src](const ReportAck& ack) {
+    if (src == admin_ip()) {
       // The reporting leader lives on this very node: loop back.
       deliver_ack_locally(ack);
       return;
     }
-    fabric_.send(admin_id, src,
-                 net::Payload::copy_of(build_frame(scratch_, ack)));
+    transport_.unicast(config_.admin_adapter_index, src,
+                       net::Payload::copy_of(build_frame(scratch_, ack)));
   });
 }
 
@@ -273,12 +287,11 @@ void GsDaemon::try_send_report(std::size_t index) {
   const util::IpAddress gsc = gsc_ip();
   if (gsc.is_unspecified()) return;  // admin AMG not formed yet; retried
 
-  const util::AdapterId admin_id = adapter_ids_[config_.admin_adapter_index];
   ++reports_sent_;
   obs::emit_trace(params_.trace, obs::TraceKind::kReportSent, sim_.now(),
                   protocols_[index]->self().ip, gsc, outstanding_[index]->seq,
                   outstanding_[index]->report.full ? 1 : 0, {}, config_.node);
-  if (gsc == fabric_.adapter(admin_id).ip()) {
+  if (gsc == admin_ip()) {
     // This node hosts GulfStream Central: deliver without the network.
     if (central_ != nullptr && central_->active()) {
       central_->handle_report(
@@ -287,7 +300,8 @@ void GsDaemon::try_send_report(std::size_t index) {
     }
     return;
   }
-  fabric_.send(admin_id, gsc, outstanding_[index]->frame);
+  transport_.unicast(config_.admin_adapter_index, gsc,
+                     outstanding_[index]->frame);
 }
 
 void GsDaemon::arm_report_retry() {
@@ -340,8 +354,7 @@ void GsDaemon::report_refresh_tick() {
 void GsDaemon::on_admin_committed(const MembershipView& view) {
   if (halted_) return;
   const util::IpAddress gsc = view.leader().ip;
-  const util::AdapterId admin_id = adapter_ids_[config_.admin_adapter_index];
-  const bool self_leads = gsc == fabric_.adapter(admin_id).ip();
+  const bool self_leads = gsc == admin_ip();
 
   if (central_ != nullptr) {
     if (self_leads && config_.central_eligible) {

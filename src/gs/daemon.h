@@ -14,6 +14,10 @@
 //  * reliable report delivery: leaders' MembershipReports are sent via the
 //    admin adapter to the current GSC, retried until acked, rebuilt as
 //    full snapshots when GSC changes or asks (need_full).
+//
+// The daemon sees the outside world only through two seams: a TimeSource
+// (virtual simulator time or a wall clock) and a Transport (the simulated
+// fabric or real UDP sockets). It does not know which backend it runs on.
 #pragma once
 
 #include <array>
@@ -26,8 +30,8 @@
 #include "gs/adapter_protocol.h"
 #include "gs/central.h"
 #include "gs/params.h"
-#include "net/fabric.h"
-#include "sim/simulator.h"
+#include "net/transport.h"
+#include "sim/time_source.h"
 #include "util/ids.h"
 #include "util/rng.h"
 #include "wire/buffer.h"
@@ -86,16 +90,30 @@ class GsDaemon {
     std::size_t admin_adapter_index = 0;
   };
 
-  GsDaemon(sim::Simulator& sim, net::Fabric& fabric, const Params& params,
-           NodeConfig config, std::vector<util::AdapterId> adapters,
-           util::Rng rng);
+  // The single wiring struct: everything a daemon touches comes in here.
+  // clock/transport/params are borrowed and must outlive the daemon; the
+  // daemon hosts one protocol per transport port.
+  struct Options {
+    sim::TimeSource* clock = nullptr;    // required
+    net::Transport* transport = nullptr;  // required
+    const Params* params = nullptr;       // required
+    NodeConfig node;
+    util::Rng rng;
+    // Hosted Central instance (optional; only meaningful for
+    // central-eligible nodes — it activates when the admin adapter leads).
+    Central* central = nullptr;
+  };
+
+  explicit GsDaemon(Options opts);
 
   GsDaemon(const GsDaemon&) = delete;
   GsDaemon& operator=(const GsDaemon&) = delete;
 
-  // Wires a Central instance hosted on this node (only meaningful for
-  // central-eligible nodes; it activates when the admin adapter leads).
-  void set_central(Central* central) { central_ = central; }
+  // Cancels every daemon-held timer and unhooks the transport's receive
+  // handlers. In-flight start-skew / processing-delay callbacks hold a weak
+  // life token and become no-ops — a daemon destroyed with timers in flight
+  // never fires into a dead transport.
+  ~GsDaemon();
 
   // Begins operation after the modelled start-up skew.
   void start();
@@ -111,7 +129,6 @@ class GsDaemon {
   [[nodiscard]] std::size_t adapter_count() const { return protocols_.size(); }
   [[nodiscard]] AdapterProtocol& protocol(std::size_t index);
   [[nodiscard]] const AdapterProtocol& protocol(std::size_t index) const;
-  [[nodiscard]] util::AdapterId adapter_id(std::size_t index) const;
   [[nodiscard]] AdapterProtocol& admin_protocol() {
     return protocol(config_.admin_adapter_index);
   }
@@ -119,6 +136,7 @@ class GsDaemon {
   // The admin-AMG leader's IP = where reports go (invalid if uncommitted).
   [[nodiscard]] util::IpAddress gsc_ip() const;
   [[nodiscard]] Central* central() { return central_; }
+  [[nodiscard]] net::Transport& transport() { return transport_; }
 
   [[nodiscard]] std::uint64_t frames_dropped() const {
     return frames_dropped_;
@@ -145,15 +163,21 @@ class GsDaemon {
   void arm_report_refresh();
   void report_refresh_tick();
   void on_admin_committed(const MembershipView& view);
+  [[nodiscard]] util::IpAddress admin_ip() const {
+    return transport_.local_ip(config_.admin_adapter_index);
+  }
 
-  sim::Simulator& sim_;
-  net::Fabric& fabric_;
+  sim::TimeSource& sim_;
+  net::Transport& transport_;
   const Params& params_;
   NodeConfig config_;
-  std::vector<util::AdapterId> adapter_ids_;
   std::vector<std::unique_ptr<AdapterProtocol>> protocols_;
   util::Rng rng_;
   Central* central_ = nullptr;
+
+  // Life token for fire-and-forget callbacks (start skew, per-message
+  // processing delay): they hold a weak_ptr and no-op once this resets.
+  std::shared_ptr<GsDaemon*> alive_;
 
   util::IpAddress last_gsc_;
   std::vector<std::optional<OutstandingReport>> outstanding_;

@@ -64,8 +64,4 @@ inline constexpr std::uint64_t kAllEvents = obs::kAllKinds;
   return obs::kind_bit(kind);
 }
 
-// Deprecated single-callback signature, kept one release for the
-// set_event_callback() shim.
-using EventCallback = std::function<void(const FarmEvent&)>;
-
 }  // namespace gs::proto

@@ -29,14 +29,14 @@
 #include "gs/amg.h"
 #include "gs/messages.h"
 #include "gs/params.h"
-#include "sim/simulator.h"
+#include "sim/time_source.h"
 #include "util/ip.h"
 #include "util/rng.h"
 
 namespace gs::proto {
 
 struct FdContext {
-  sim::Simulator* sim = nullptr;
+  sim::TimeSource* sim = nullptr;
   const Params* params = nullptr;
   util::IpAddress self;
   // Unicast a complete frame to a member of the group.

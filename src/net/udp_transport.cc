@@ -1,0 +1,295 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace gs::net {
+
+namespace {
+
+// Poll granularity cap: epoll timeouts are milliseconds, and run_until()'s
+// predicate must be re-checked even when no packet or timer wakes us.
+constexpr sim::SimDuration kMaxPollSlice = sim::milliseconds(50);
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+// --- EventLoop -------------------------------------------------------------
+
+EventLoop::EventLoop() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  GS_CHECK_MSG(epfd_ >= 0, "epoll_create1 failed");
+}
+
+EventLoop::~EventLoop() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
+  GS_CHECK(fd >= 0 && on_readable != nullptr);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  const int rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  GS_CHECK_MSG(rc == 0, "epoll_ctl(ADD) failed");
+  handlers_[fd] = std::move(on_readable);
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (handlers_.erase(fd) == 0) return;
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::poll(sim::WallClock& clock, sim::SimDuration max_wait) {
+  sim::SimDuration wait = std::clamp<sim::SimDuration>(max_wait, 0,
+                                                       kMaxPollSlice);
+  if (const auto deadline = clock.next_deadline()) {
+    wait = std::clamp<sim::SimDuration>(*deadline - clock.now(), 0, wait);
+  }
+  // Round up so a timer due in 300us does not busy-spin on 0ms timeouts.
+  const int timeout_ms =
+      static_cast<int>((wait + sim::kMillisecond - 1) / sim::kMillisecond);
+
+  std::array<epoll_event, 64> events;
+  const int n = ::epoll_wait(epfd_, events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    // Re-resolved per event: an earlier handler in this batch may have
+    // removed (or closed) this fd; a removed fd's events are stale.
+    const auto it = handlers_.find(events[static_cast<std::size_t>(i)].data.fd);
+    if (it == handlers_.end()) continue;
+    const std::function<void()> handler = it->second;  // survives self-removal
+    handler();
+  }
+  clock.run_due();
+}
+
+bool EventLoop::run_until(sim::WallClock& clock, sim::SimTime deadline,
+                          const std::function<bool()>& until) {
+  while (true) {
+    clock.run_due();
+    if (until != nullptr && until()) return true;
+    const sim::SimTime now = clock.now();
+    if (now >= deadline) return false;
+    poll(clock, deadline - now);
+  }
+}
+
+// --- UdpPortMap ------------------------------------------------------------
+
+std::uint16_t UdpPortMap::vlan_base(util::VlanId vlan) {
+  const auto it = vlan_bases_.find(vlan);
+  if (it != vlan_bases_.end()) return it->second;
+  const auto index = static_cast<std::uint16_t>(vlan_bases_.size());
+  const std::uint16_t base =
+      static_cast<std::uint16_t>(base_port_ + index * vlan_stride_);
+  GS_CHECK_MSG(base >= base_port_, "UDP port space exhausted");
+  vlan_bases_.emplace(vlan, base);
+  return base;
+}
+
+std::uint16_t UdpPortMap::add(util::IpAddress ip, util::VlanId vlan) {
+  GS_CHECK(!ip.is_unspecified());
+  if (const auto existing = port_of(ip)) return *existing;
+  const std::uint16_t base = vlan_base(vlan);
+  std::vector<std::uint16_t>& ports = vlan_ports_[vlan];
+  GS_CHECK_MSG(ports.size() < vlan_stride_,
+               "VLAN UDP port range full; raise vlan_stride");
+  const auto port = static_cast<std::uint16_t>(base + ports.size());
+  ports.push_back(port);  // allocation order => already ascending
+  port_by_ip_.emplace(ip.bits(), port);
+  ip_by_port_.emplace(port, ip);
+  return port;
+}
+
+std::optional<std::uint16_t> UdpPortMap::port_of(util::IpAddress ip) const {
+  const auto it = port_by_ip_.find(ip.bits());
+  if (it == port_by_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<util::IpAddress> UdpPortMap::ip_of(std::uint16_t port) const {
+  const auto it = ip_by_port_.find(port);
+  if (it == ip_by_port_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<std::uint16_t>& UdpPortMap::vlan_ports(
+    util::VlanId vlan) const {
+  const auto it = vlan_ports_.find(vlan);
+  return it == vlan_ports_.end() ? empty_ : it->second;
+}
+
+// --- UdpTransport ----------------------------------------------------------
+
+UdpTransport::UdpTransport(EventLoop& loop, UdpPortMap& map,
+                           std::vector<PortSpec> ports)
+    : loop_(loop), map_(map) {
+  GS_CHECK(!ports.empty());
+  socks_.reserve(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    Sock sock;
+    sock.spec = ports[i];
+    sock.udp_port = map_.add(sock.spec.ip, sock.spec.vlan);
+
+    sock.fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    GS_CHECK_MSG(sock.fd >= 0, "socket() failed");
+    const int one = 1;
+    ::setsockopt(sock.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = loopback_addr(sock.udp_port);
+    const int rc = ::bind(sock.fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr));
+    GS_CHECK_MSG(rc == 0, "bind(127.0.0.1) failed — port range in use?");
+
+    socks_.push_back(std::move(sock));
+    loop_.add_fd(socks_.back().fd, [this, i] { on_readable(i); });
+  }
+}
+
+UdpTransport::~UdpTransport() { close(); }
+
+void UdpTransport::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (Sock& sock : socks_) {
+    if (sock.fd < 0) continue;
+    loop_.remove_fd(sock.fd);
+    ::close(sock.fd);
+    sock.fd = -1;
+    sock.handler = nullptr;
+  }
+}
+
+util::IpAddress UdpTransport::local_ip(std::size_t port) const {
+  GS_CHECK(port < socks_.size());
+  return socks_[port].spec.ip;
+}
+
+util::MacAddress UdpTransport::local_mac(std::size_t port) const {
+  GS_CHECK(port < socks_.size());
+  return socks_[port].spec.mac;
+}
+
+std::uint16_t UdpTransport::udp_port(std::size_t port) const {
+  GS_CHECK(port < socks_.size());
+  return socks_[port].udp_port;
+}
+
+util::VlanId UdpTransport::vlan_of(std::size_t port) const {
+  GS_CHECK(port < socks_.size());
+  return socks_[port].spec.vlan;
+}
+
+bool UdpTransport::loopback_ok(std::size_t port) const {
+  GS_CHECK(port < socks_.size());
+  return !closed_ && socks_[port].fd >= 0;
+}
+
+void UdpTransport::set_receive_handler(std::size_t port,
+                                       ReceiveHandler handler) {
+  GS_CHECK(port < socks_.size());
+  if (closed_) return;
+  socks_[port].handler = std::move(handler);
+}
+
+bool UdpTransport::send_to_port(std::size_t index, std::uint16_t dst_port,
+                                const Payload& frame) {
+  const Sock& sock = socks_[index];
+  const auto bytes = frame.bytes();
+  const sockaddr_in addr = loopback_addr(dst_port);
+  const ssize_t n =
+      ::sendto(sock.fd, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n < 0) {
+    // Matches the wire model: a full socket buffer (or a receiver that went
+    // away) is in-flight loss, which a real sender cannot observe.
+    ++stats_.send_errors;
+    return true;
+  }
+  ++stats_.frames_sent;
+  stats_.bytes_sent += static_cast<std::uint64_t>(n);
+  return true;
+}
+
+bool UdpTransport::unicast(std::size_t port, util::IpAddress dst,
+                           Payload frame) {
+  GS_CHECK(port < socks_.size());
+  if (closed_ || socks_[port].fd < 0) return false;
+  const auto dst_port = map_.port_of(dst);
+  if (!dst_port) {
+    // No such endpoint registered — the unreachable-receiver case.
+    ++stats_.send_errors;
+    return true;
+  }
+  return send_to_port(port, *dst_port, frame);
+}
+
+bool UdpTransport::multicast(std::size_t port, util::IpAddress group,
+                             Payload frame) {
+  GS_CHECK(port < socks_.size());
+  (void)group;  // one beacon group per VLAN; the range *is* the group
+  if (closed_ || socks_[port].fd < 0) return false;
+  const Sock& sock = socks_[port];
+  for (const std::uint16_t dst_port : map_.vlan_ports(sock.spec.vlan)) {
+    if (dst_port == sock.udp_port) continue;  // never self-deliver
+    send_to_port(port, dst_port, frame);
+  }
+  return true;
+}
+
+void UdpTransport::on_readable(std::size_t index) {
+  Sock& sock = socks_[index];
+  std::vector<std::uint8_t> buf;
+  while (sock.fd >= 0) {
+    buf.resize(64 * 1024);
+    sockaddr_in src{};
+    socklen_t src_len = sizeof(src);
+    const ssize_t n =
+        ::recvfrom(sock.fd, buf.data(), buf.size(), 0,
+                   reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        GS_LOG(kDebug, "udp") << "recvfrom: " << std::strerror(errno);
+      }
+      return;
+    }
+    const auto src_ip = map_.ip_of(ntohs(src.sin_port));
+    if (!src_ip) {
+      ++stats_.recv_unknown;  // not part of this deployment — drop
+      continue;
+    }
+    ++stats_.frames_received;
+    if (sock.handler == nullptr) continue;  // daemon not started yet
+
+    buf.resize(static_cast<std::size_t>(n));
+    Datagram dgram;
+    dgram.src = *src_ip;
+    dgram.dst = sock.spec.ip;
+    dgram.vlan = sock.spec.vlan;
+    dgram.payload = Payload::wrap(std::move(buf));
+    buf = std::vector<std::uint8_t>();
+    // The handler may halt the daemon or close this transport mid-loop;
+    // the `sock.fd >= 0` guard re-checks before the next recvfrom.
+    sock.handler(dgram);
+  }
+}
+
+}  // namespace gs::net

@@ -5,7 +5,7 @@
 
 namespace gs::obs {
 
-FarmHealthSampler::FarmHealthSampler(sim::Simulator& sim, TraceBus& bus,
+FarmHealthSampler::FarmHealthSampler(sim::TimeSource& sim, TraceBus& bus,
                                      Provider provider,
                                      sim::SimDuration period,
                                      util::StatsRegistry* registry)

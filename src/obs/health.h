@@ -31,7 +31,7 @@
 #include <vector>
 
 #include "obs/trace.h"
-#include "sim/simulator.h"
+#include "sim/time_source.h"
 #include "sim/time.h"
 #include "util/ids.h"
 #include "util/ip.h"
@@ -86,7 +86,7 @@ class FarmHealthSampler {
 
   // Starts sampling immediately; first tick fires one `period` from now.
   // `registry` may be null (trace rows only).
-  FarmHealthSampler(sim::Simulator& sim, TraceBus& bus, Provider provider,
+  FarmHealthSampler(sim::TimeSource& sim, TraceBus& bus, Provider provider,
                     sim::SimDuration period,
                     util::StatsRegistry* registry = nullptr);
 
@@ -101,7 +101,7 @@ class FarmHealthSampler {
   void tick();
   void publish(const Snapshot& snapshot);
 
-  sim::Simulator& sim_;
+  sim::TimeSource& sim_;
   TraceBus& bus_;
   Provider provider_;
   sim::SimDuration period_;

@@ -75,6 +75,14 @@ SimTime EventQueue::next_time() {
   return heap_.front().when;
 }
 
+void EventQueue::clear() {
+  heap_.clear();
+  free_.clear();
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot)
+    release_slot(slot);  // gen bump: every outstanding id goes stale
+  live_ = 0;
+}
+
 std::pair<SimTime, std::function<void()>> EventQueue::pop() {
   GS_CHECK(!empty());
   skim_stale();

@@ -54,6 +54,12 @@ class EventQueue {
   // Removes and returns the earliest pending event. Requires !empty().
   std::pair<SimTime, std::function<void()>> pop();
 
+  // Drops every pending event without running it, releasing the callbacks
+  // (and whatever their closures pin) immediately. Outstanding EventIds are
+  // invalidated by generation bump, so a later cancel() on them is a safe
+  // no-op — this is the wall-clock backend's shutdown path.
+  void clear();
+
   // --- Introspection (tests/benches) -------------------------------------
   // Size of the slot pool: peaks at the high-water mark of concurrently
   // pending events, independent of how many were ever pushed.

@@ -5,31 +5,13 @@
 
 namespace gs::sim {
 
-bool Timer::cancel() {
-  if (sim_ == nullptr || id_ == 0) return false;
-  const bool was_pending = sim_->queue_.cancel(id_);
-  id_ = 0;
-  return was_pending;
-}
-
-bool Timer::armed() const {
-  // A timer is "armed" until cancelled or until its simulator fires it; we
-  // approximate the latter by asking the queue (cancel of a fired event
-  // returns false, so armed() can only over-report between fire and the
-  // next cancel() — callers treat it as a hint).
-  return sim_ != nullptr && id_ != 0;
-}
-
 Timer Simulator::at(SimTime when, std::function<void()> fn) {
   GS_CHECK_MSG(when >= now_, "cannot schedule in the past");
   const EventId id = queue_.push(when, std::move(fn));
-  return Timer(this, id);
+  return make_timer(id);
 }
 
-Timer Simulator::after(SimDuration delay, std::function<void()> fn) {
-  GS_CHECK(delay >= 0);
-  return at(now_ + delay, std::move(fn));
-}
+bool Simulator::cancel_event(EventId id) { return queue_.cancel(id); }
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t n = 0;

@@ -1,10 +1,10 @@
-// The discrete-event simulator driving every run.
+// The discrete-event simulator driving every simulated run.
 //
 // Single-threaded by design: determinism is the property everything else in
-// this repository leans on. Components schedule callbacks with `after()` /
-// `at()` and hold the returned Timer to cancel or re-arm (heartbeat
-// suspicion timers re-arm on every arrival). run_until() advances simulated
-// time; nothing here touches the wall clock.
+// this repository leans on. Components schedule callbacks through the
+// TimeSource seam (`after()` / `at()`) and hold the returned Timer to cancel
+// or re-arm (heartbeat suspicion timers re-arm on every arrival).
+// run_until() advances simulated time; nothing here touches the wall clock.
 #pragma once
 
 #include <cstdint>
@@ -13,44 +13,21 @@
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "sim/time_source.h"
 
 namespace gs::sim {
 
-class Simulator;
-
-// RAII-free timer handle: copyable, cheap, safe to outlive the event (cancel
-// on a fired/cancelled timer is a no-op). A default-constructed Timer is
-// inert.
-class Timer {
- public:
-  Timer() = default;
-
-  // True if the timer was still pending and is now cancelled.
-  bool cancel();
-
-  [[nodiscard]] bool armed() const;
-
- private:
-  friend class Simulator;
-  Timer(Simulator* sim, EventId id) : sim_(sim), id_(id) {}
-
-  Simulator* sim_ = nullptr;
-  EventId id_ = 0;
-};
-
-class Simulator {
+class Simulator final : public TimeSource {
  public:
   Simulator() = default;
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   // Schedules fn at an absolute simulated time (>= now).
-  Timer at(SimTime when, std::function<void()> fn);
-  // Schedules fn after a relative delay (>= 0).
-  Timer after(SimDuration delay, std::function<void()> fn);
+  Timer at(SimTime when, std::function<void()> fn) override;
 
   // Runs events until the queue drains or simulated time would pass
   // `deadline`; time is left at min(deadline, last event time). Returns the
@@ -71,9 +48,10 @@ class Simulator {
   // Installs this simulator as the global logger's timestamp source.
   void install_log_clock();
 
- private:
-  friend class Timer;
+ protected:
+  bool cancel_event(EventId id) override;
 
+ private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,81 @@
+// The time/timer seam every protocol component schedules against.
+//
+// GulfStream's daemons never touch a clock directly: they ask a TimeSource
+// for `now()` and arm callbacks with `after()`/`at()`, holding the returned
+// Timer to cancel or re-arm. Two implementations exist:
+//  * sim::Simulator — discrete-event virtual time, the deterministic
+//    backend every test, bench, and golden trace runs on;
+//  * sim::WallClock — microseconds of real elapsed time, driven by the
+//    epoll event loop of the UDP transport backend (see net/udp_transport.h).
+// Timestamps are SimTime microseconds in both cases, so Params and all
+// protocol arithmetic are backend-agnostic.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace gs::sim {
+
+class TimeSource;
+
+// RAII-free timer handle: copyable, cheap, safe to outlive the event (cancel
+// on a fired/cancelled timer is a no-op). A default-constructed Timer is
+// inert. The handle is backend-agnostic: it only remembers which TimeSource
+// issued it.
+class Timer {
+ public:
+  Timer() = default;
+
+  // True if the timer was still pending and is now cancelled.
+  bool cancel();
+
+  [[nodiscard]] bool armed() const { return src_ != nullptr && id_ != 0; }
+
+ private:
+  friend class TimeSource;
+  Timer(TimeSource* src, EventId id) : src_(src), id_(id) {}
+
+  TimeSource* src_ = nullptr;
+  EventId id_ = 0;
+};
+
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+
+  // Current time in microseconds. Monotonically non-decreasing.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  // Schedules fn at an absolute time (>= now).
+  virtual Timer at(SimTime when, std::function<void()> fn) = 0;
+
+  // Schedules fn after a relative delay (>= 0).
+  Timer after(SimDuration delay, std::function<void()> fn) {
+    GS_CHECK(delay >= 0);
+    return at(now() + delay, std::move(fn));
+  }
+
+ protected:
+  // How Timer reaches back into its issuing backend.
+  friend class Timer;
+  virtual bool cancel_event(EventId id) = 0;
+  [[nodiscard]] Timer make_timer(EventId id) { return Timer(this, id); }
+};
+
+inline bool Timer::cancel() {
+  if (src_ == nullptr || id_ == 0) return false;
+  const bool was_pending = src_->cancel_event(id_);
+  id_ = 0;
+  return was_pending;
+}
+
+}  // namespace gs::sim
+
+namespace gs {
+// The seam names the design docs use: gs::TimeSource is the interface the
+// daemons are wired against, whichever backend implements it.
+using TimeSource = sim::TimeSource;
+}  // namespace gs

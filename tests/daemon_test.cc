@@ -44,7 +44,7 @@ TEST_F(DaemonTest, AdminAdapterConventionIsIndexZero) {
     EXPECT_EQ(daemon.config().admin_adapter_index, 0u);
     EXPECT_EQ(&daemon.admin_protocol(), &daemon.protocol(0));
     // The admin protocol sits on the admin VLAN.
-    EXPECT_EQ(farm_->fabric().vlan_of(daemon.adapter_id(0)),
+    EXPECT_EQ(farm_->fabric().vlan_of(farm_->node_adapters(i)[0]),
               farm::admin_vlan());
   }
 }
@@ -91,7 +91,7 @@ TEST_F(DaemonTest, CorruptFramesAreDroppedAndCounted) {
   stabilize();
   // Inject a corrupted frame directly at node 0's adapter.
   GsDaemon& daemon = farm_->daemon(0);
-  const util::AdapterId id = daemon.adapter_id(0);
+  const util::AdapterId id = farm_->node_adapters(0)[0];
   std::vector<std::uint8_t> payload{1, 2, 3};
   auto frame = wire::encode_frame(6, payload);
   frame[wire::kFrameHeaderSize] ^= 0xFF;  // corrupt the payload

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "gs/adapter_protocol.h"
+#include "sim/simulator.h"
 #include "wire/frame.h"
 
 namespace gs::proto {
