@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "net/shard_router.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -24,12 +25,23 @@ util::IpAddress make_ip(util::VlanId vlan, std::uint32_t host) {
 
 Farm::Farm(sim::Simulator& sim, const FarmSpec& spec,
            const proto::Params& params, std::uint64_t seed)
-    : sim_(sim), spec_(spec), params_(params), rng_(seed) {
+    : Farm(sim, spec, params, seed, ShardView{}) {}
+
+Farm::Farm(sim::Simulator& sim, const FarmSpec& spec,
+           const proto::Params& params, std::uint64_t seed,
+           const ShardView& view)
+    : sim_(sim), spec_(spec), params_(params), rng_(seed), view_(view) {
+  GS_CHECK(view_.shards >= 1 && view_.shard < view_.shards);
   // Every layer built below captures a reference to params_, so pointing it
   // at the farm-wide trace bus here wires them all at once.
   params_.trace = &trace_bus_;
+  // Same seed on every shard: the fabric fork (and through it each VLAN's
+  // segment RNG stream) is identical across shards, so a VLAN's channel
+  // draws do not depend on which shard hosts which member.
   fabric_ = std::make_unique<net::Fabric>(sim_, rng_.fork(0xFAB));
   fabric_->set_trace(&trace_bus_);
+  if (view_.router != nullptr)
+    view_.router->add_fabric(view_.shard, fabric_.get());
   console_ = std::make_unique<net::SwitchConsole>(*fabric_);
   current_switch_ = fabric_->add_switch(
       static_cast<std::size_t>(spec_.switch_ports));
@@ -71,11 +83,17 @@ void Farm::ensure_rack_capacity(std::size_t ports_needed) {
 
 util::AdapterId Farm::new_racked_adapter(util::NodeId node, util::VlanId vlan,
                                          util::IpAddress ip, bool /*admin*/) {
-  GS_CHECK_MSG(fabric_->nic_switch(current_switch_).free_port().has_value(),
-               "reserve rack capacity per node before wiring");
+  // Ghost adapters (remote nodes of a sharded build) are constructed but
+  // never wired: every shard must agree on adapter ids, IPs, and db rows,
+  // while switches and wiring stay shard-local.
+  const bool local = is_local(node.value());
+  if (local)
+    GS_CHECK_MSG(fabric_->nic_switch(current_switch_).free_port().has_value(),
+                 "reserve rack capacity per node before wiring");
   const util::AdapterId id = fabric_->add_adapter(node);
-  fabric_->attach(id, current_switch_, vlan);
+  if (local) fabric_->attach(id, current_switch_, vlan);
   fabric_->set_adapter_ip(id, ip);
+  planned_vlan_[id] = vlan;
   return id;
 }
 
@@ -99,21 +117,24 @@ void Farm::finish_node(std::size_t index, NodeRole role, util::DomainId domain,
   node_record.central_eligible = eligible;
   db_.put_node(node_record);
 
+  const bool local = is_local(index);
   for (std::size_t i = 0; i < adapters.size(); ++i) {
     const net::Adapter& adapter = fabric_->adapter(adapters[i]);
     config::AdapterRecord record;
     record.adapter = adapters[i];
     record.node = node_id;
     record.ip = adapter.ip();
-    record.expected_vlan = fabric_->vlan_of(adapters[i]);
+    // planned_vlan_, not vlan_of(): identical for wired adapters, and the
+    // only VLAN a ghost has — every shard's db carries the same rows.
+    record.expected_vlan = planned_vlan_.at(adapters[i]);
     record.wired_switch = adapter.attached_switch();
     record.wired_port = adapter.attached_port();
     record.admin = i == 0;
     db_.put_adapter(record);
-    adapter_owner_[adapters[i]] = {index, i};
+    if (local) adapter_owner_[adapters[i]] = {index, i};
   }
 
-  if (eligible) {
+  if (eligible && local) {
     auto central =
         std::make_unique<proto::Central>(sim_, params_, &db_, console_.get());
     central_taps_.push_back(central->event_bus().subscribe(
@@ -121,6 +142,14 @@ void Farm::finish_node(std::size_t index, NodeRole role, util::DomainId domain,
     centrals_.push_back(std::move(central));
   } else {
     centrals_.push_back(nullptr);
+  }
+
+  if (!local) {
+    // Remote ghost: no transport, no daemon. The node's protocol state
+    // lives on its home shard; here only its fabric/db identity exists.
+    transports_.push_back(nullptr);
+    daemons_.push_back(nullptr);
+    return;
   }
 
   transports_.push_back(
@@ -144,7 +173,7 @@ void Farm::build_uniform() {
   const auto adapters = static_cast<std::size_t>(spec_.adapters_per_generic_node);
   for (std::size_t n = 0; n < nodes; ++n) {
     const util::NodeId node_id(static_cast<std::uint32_t>(n));
-    ensure_rack_capacity(adapters);
+    if (is_local(n)) ensure_rack_capacity(adapters);
     std::vector<util::AdapterId> ids;
     ids.reserve(adapters);
     for (std::size_t a = 0; a < adapters; ++a) {
@@ -175,7 +204,7 @@ void Farm::build_oceano() {
   // admin-AMG leader — GulfStream Central — is always an eligible node.
   for (int m = 0; m < spec_.management_nodes; ++m) {
     const util::NodeId node_id(static_cast<std::uint32_t>(index));
-    ensure_rack_capacity(1);
+    if (is_local(index)) ensure_rack_capacity(1);
     std::vector<util::AdapterId> ids;
     ids.push_back(new_racked_adapter(node_id, admin_vlan(),
                                      make_ip(admin_vlan(), mgmt_admin_host++),
@@ -188,7 +217,8 @@ void Farm::build_oceano() {
   // domain's dispatch VLAN (Figure 1: every domain talks to dispatchers).
   for (int d = 0; d < spec_.dispatchers; ++d) {
     const util::NodeId node_id(static_cast<std::uint32_t>(index));
-    ensure_rack_capacity(1 + static_cast<std::size_t>(spec_.domains));
+    if (is_local(index))
+      ensure_rack_capacity(1 + static_cast<std::size_t>(spec_.domains));
     std::vector<util::AdapterId> ids;
     ids.push_back(new_racked_adapter(node_id, admin_vlan(),
                                      make_ip(admin_vlan(), admin_host++),
@@ -212,7 +242,7 @@ void Farm::build_oceano() {
 
     for (int f = 0; f < spec_.fronts_per_domain; ++f) {
       const util::NodeId node_id(static_cast<std::uint32_t>(index));
-      ensure_rack_capacity(3);
+      if (is_local(index)) ensure_rack_capacity(3);
       std::vector<util::AdapterId> ids;
       ids.push_back(new_racked_adapter(node_id, admin_vlan(),
                                        make_ip(admin_vlan(), admin_host++),
@@ -227,7 +257,7 @@ void Farm::build_oceano() {
     }
     for (int b = 0; b < spec_.backs_per_domain; ++b) {
       const util::NodeId node_id(static_cast<std::uint32_t>(index));
-      ensure_rack_capacity(2);
+      if (is_local(index)) ensure_rack_capacity(2);
       std::vector<util::AdapterId> ids;
       ids.push_back(new_racked_adapter(node_id, admin_vlan(),
                                        make_ip(admin_vlan(), admin_host++),
@@ -241,11 +271,14 @@ void Farm::build_oceano() {
 }
 
 void Farm::start() {
-  for (auto& daemon : daemons_) daemon->start();
+  for (auto& daemon : daemons_)
+    if (daemon != nullptr) daemon->start();
 }
 
 proto::GsDaemon& Farm::daemon(std::size_t node_index) {
   GS_CHECK(node_index < daemons_.size());
+  GS_CHECK_MSG(daemons_[node_index] != nullptr,
+               "node lives on another shard (ghost here)");
   return *daemons_[node_index];
 }
 
@@ -298,12 +331,16 @@ proto::Central* Farm::active_central() {
 
 void Farm::fail_node(std::size_t node_index) {
   GS_CHECK(node_index < daemons_.size());
+  GS_CHECK_MSG(daemons_[node_index] != nullptr,
+               "fault injection must target the node's home shard");
   daemons_[node_index]->halt();
   fabric_->fail_node(util::NodeId(static_cast<std::uint32_t>(node_index)));
 }
 
 void Farm::recover_node(std::size_t node_index) {
   GS_CHECK(node_index < daemons_.size());
+  GS_CHECK_MSG(daemons_[node_index] != nullptr,
+               "fault injection must target the node's home shard");
   fabric_->recover_node(util::NodeId(static_cast<std::uint32_t>(node_index)));
   daemons_[node_index]->resume();
 }
@@ -404,7 +441,7 @@ obs::FarmHealthSampler::Snapshot Farm::health_snapshot() {
   obs::FarmHealthSampler::Snapshot snapshot;
   for (std::size_t n = 0; n < daemons_.size(); ++n) {
     const auto& daemon = daemons_[n];
-    if (daemon->halted()) continue;
+    if (daemon == nullptr || daemon->halted()) continue;
     for (std::size_t i = 0; i < daemon->adapter_count(); ++i) {
       const proto::AdapterProtocol& proto = daemon->protocol(i);
       if (!proto.is_leader() || !proto.is_committed()) continue;
@@ -437,6 +474,7 @@ obs::FarmHealthSampler::Snapshot Farm::health_snapshot() {
     std::array<std::uint64_t, proto::WireStats::kTypeSlots> decoded{};
     std::array<std::uint64_t, proto::WireStats::kDropSlots> dropped{};
     for (const auto& daemon : daemons_) {
+      if (daemon == nullptr) continue;
       const proto::WireStats& stats = daemon->wire_stats();
       for (std::size_t t = 0; t < decoded.size(); ++t)
         decoded[t] += stats.decoded[t];

@@ -1,0 +1,110 @@
+// ShardedFarm — the whole deployment, partitioned across worker threads.
+//
+// Builds N Farm instances from ONE spec and ONE seed, each seeing the full
+// global topology (every adapter id, IP, and ConfigDb row identical on every
+// shard) but owning only the nodes with index % N == shard: only those are
+// wired to switches and get daemons/Centrals. A net::ShardRouter carries
+// frames between shards on VLANs whose membership spans them (the admin VLAN
+// always does), and a sim::ShardSet drives the shards in conservative epoch
+// windows sized at or below the minimum cross-shard segment latency — see
+// sim/shard.h for the synchronization argument and DESIGN.md "Sharded
+// simulation" for the full protocol.
+//
+// Determinism: at a fixed shard count, a (spec, seed) pair replays exactly —
+// every shard is a deterministic single-threaded simulation and the mailbox
+// exchange is ordered by (when, shard, seq). With shards=1 the build takes
+// the classic whole-farm path (no router installed, byte-identical traces).
+// Across DIFFERENT shard counts, digests match only for topologies whose
+// VLANs do not span shards (each VLAN's RNG stream is identical everywhere,
+// but spanning VLANs interleave local and foreign draws differently); the
+// determinism suite pins both properties at the honest scope.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "farm/farm.h"
+#include "net/shard_router.h"
+#include "obs/shard_merge.h"
+#include "sim/shard.h"
+
+namespace gs::farm {
+
+class ShardedFarm {
+ public:
+  // epoch == 0 derives the window from the topology: the router's
+  // max_safe_epoch() (minimum spanning-segment base latency), or 1ms when
+  // nothing spans shards.
+  ShardedFarm(const FarmSpec& spec, const proto::Params& params,
+              std::uint64_t seed, std::size_t shards,
+              sim::SimDuration epoch = 0);
+  ~ShardedFarm();
+
+  ShardedFarm(const ShardedFarm&) = delete;
+  ShardedFarm& operator=(const ShardedFarm&) = delete;
+
+  // Captures every shard's full trace stream for merged_trace() /
+  // trace_digest(). Call before start(); costs record construction, so
+  // perf runs leave it off.
+  void enable_trace_capture();
+
+  // Starts every daemon on every shard.
+  void start();
+
+  // Drives all shards in lockstep epochs (see ShardSet::run_until). Returns
+  // events executed across shards.
+  std::size_t run_until(sim::SimTime deadline);
+  [[nodiscard]] sim::SimTime now() const { return set_->now(); }
+
+  // --- Shards and nodes ---------------------------------------------------
+  [[nodiscard]] std::size_t shard_count() const { return farms_.size(); }
+  [[nodiscard]] Farm& shard(std::size_t s) { return *farms_[s]; }
+  [[nodiscard]] std::size_t shard_of_node(std::size_t node_index) const {
+    return node_index % farms_.size();
+  }
+  [[nodiscard]] std::size_t node_count() const {
+    return farms_[0]->node_count();
+  }
+  [[nodiscard]] net::ShardRouter& router() { return router_; }
+  [[nodiscard]] sim::ShardSet& shard_set() { return *set_; }
+
+  // --- Fault injection (between runs; routed to the owner shard) ----------
+  void fail_node(std::size_t node_index);
+  void recover_node(std::size_t node_index);
+
+  // --- Ground truth -------------------------------------------------------
+  // Global convergence: for every VLAN — including ones spanning shards —
+  // the healthy wired adapters farm-wide form one committed AMG led by the
+  // highest IP, all members agreeing on one view.
+  [[nodiscard]] bool converged();
+
+  // --- Merged observability (requires enable_trace_capture) ---------------
+  [[nodiscard]] std::vector<obs::ShardTraceRecord> merged_trace() const;
+  [[nodiscard]] std::uint64_t trace_digest() const;
+
+  // Quiesces and joins the shard threads: every shard drops its pending
+  // events and in-flight frames ON ITS OWN THREAD (payload pools are
+  // thread-local), then the workers exit. Idempotent; the destructor calls
+  // it. After shutdown only accessors are valid.
+  void shutdown();
+
+ private:
+  std::vector<std::unique_ptr<sim::Simulator>> sims_;
+  std::vector<std::unique_ptr<Farm>> farms_;
+  net::ShardRouter router_;
+  std::vector<std::vector<obs::TraceRecord>> traces_;
+  std::vector<obs::Subscription> taps_;
+  std::unique_ptr<sim::ShardSet> set_;  // last: joins threads before the
+                                        // farms/sims it runs are destroyed
+  bool down_ = false;
+};
+
+// Convenience entry point matching the roadmap's name for this feature:
+// builds a ShardedFarm, starts it, runs to `deadline`, returns events
+// executed.
+std::size_t run_sharded(const FarmSpec& spec, const proto::Params& params,
+                        std::uint64_t seed, std::size_t n_shards,
+                        sim::SimTime deadline);
+
+}  // namespace gs::farm

@@ -33,6 +33,9 @@
 
 namespace gs::net {
 
+class ShardRouter;
+struct ForeignFrame;
+
 // Wire-load accounting for one VLAN, consumed by the scaling benches.
 struct SegmentLoad {
   std::uint64_t frames_sent = 0;     // wire occupancy (multicast counts once)
@@ -107,6 +110,10 @@ class Fabric {
   [[nodiscard]] const std::vector<util::AdapterId>& vlan_members(
       util::VlanId vlan) const;
 
+  // Every VLAN with at least one wired member, ascending — the shard
+  // router's registration input.
+  [[nodiscard]] std::vector<util::VlanId> indexed_vlans() const;
+
   // Recomputes wired membership from the switches and compares it with the
   // incremental index; tests call this after topology churn.
   [[nodiscard]] bool vlan_index_consistent() const;
@@ -139,6 +146,27 @@ class Fabric {
                  std::vector<std::uint8_t> bytes) {
     return multicast(from, group, make_payload(std::move(bytes)));
   }
+
+  // --- Sharding -----------------------------------------------------------
+
+  // Installs the cross-shard router (normally via ShardRouter::finalize).
+  // With no router installed — every single-shard run — the traffic paths
+  // are bit-identical to the unsharded fabric. Non-owning.
+  void set_shard_router(ShardRouter* router, std::size_t shard);
+  [[nodiscard]] std::size_t shard_id() const { return shard_id_; }
+
+  // Delivers a frame another shard forwarded here: rebuilds the payload from
+  // the copied bytes on this thread, then runs the normal receiver-side
+  // checks and channel sampling against the local segment. Deliveries land
+  // at sent_at + sampled_latency, which the epoch contract guarantees is not
+  // in this shard's past. Foreign senders sit in partition part 0 and are
+  // exempt from corruption injection (both documented in DESIGN.md).
+  void deliver_foreign(const ForeignFrame& frame);
+
+  // Drops every parked in-flight frame without delivering it. Teardown only
+  // (after the simulator's queue is cleared), on the owning thread, so the
+  // payloads die in their home pool.
+  void drop_in_flight();
 
   // --- Fault injection ----------------------------------------------------
 
@@ -240,6 +268,10 @@ class Fabric {
   obs::TraceBus* trace_ = nullptr;
   sim::SimDuration load_sample_period_ = 0;
   sim::Timer load_sample_timer_;
+
+  // Cross-shard handoff; null in every single-shard run.
+  ShardRouter* router_ = nullptr;
+  std::size_t shard_id_ = 0;
 };
 
 }  // namespace gs::net

@@ -16,16 +16,44 @@
 // state sends and receives without touching the heap. Larger payloads spill
 // into a std::vector that is retained across recycles, amortising to zero
 // as well. The refcount is non-atomic: each simulation is single-threaded
-// and parallel harnesses (soak runner, bench trials) give every thread its
-// own Farm, so a Rep never crosses threads.
+// and parallel harnesses (soak runner, bench trials, the sharded driver)
+// give every thread its own Farm, so a Rep never crosses threads. Sharded
+// runs enforce this by deep-copying frame bytes at shard boundaries (see
+// net::ShardRouter) and rebuilding the Payload on the destination thread.
+//
+// Each Rep remembers the thread that allocated it. Releasing the last
+// reference on a different thread is a contract violation — the decrement
+// itself raced, and pooling the Rep would plant it on the wrong thread-local
+// free list. Debug and TSan builds abort on such a release (opt out with
+// ForeignReleaseScope for controlled teardown paths); release builds delete
+// the Rep instead of pooling it, so a foreign release that happened to be
+// benign at least cannot corrupt a free list.
 #pragma once
 
 #include <cstdint>
 #include <new>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "wire/frame.h"
+
+// Owner-thread assertions on Payload release: on in debug builds and under
+// ThreadSanitizer, compiled out of optimized release builds.
+#ifndef GS_PAYLOAD_OWNER_CHECK
+#if !defined(NDEBUG)
+#define GS_PAYLOAD_OWNER_CHECK 1
+#elif defined(__SANITIZE_THREAD__)
+#define GS_PAYLOAD_OWNER_CHECK 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GS_PAYLOAD_OWNER_CHECK 1
+#endif
+#endif
+#ifndef GS_PAYLOAD_OWNER_CHECK
+#define GS_PAYLOAD_OWNER_CHECK 0
+#endif
+#endif
 
 namespace gs::net {
 
@@ -161,6 +189,34 @@ class Payload {
   [[nodiscard]] static std::size_t pool_size();
   static void trim_pool();
 
+  // Suspends the owner-thread abort (debug/TSan builds) on the current
+  // thread for releases that are foreign by construction but provably
+  // unracing — e.g. a teardown path destroying a quiesced shard's leftovers.
+  // The release still bypasses the pool and deletes the Rep.
+  class ForeignReleaseScope {
+   public:
+    ForeignReleaseScope();
+    ~ForeignReleaseScope();
+    ForeignReleaseScope(const ForeignReleaseScope&) = delete;
+    ForeignReleaseScope& operator=(const ForeignReleaseScope&) = delete;
+  };
+
+  // Payloads created inside this scope are UNOWNED: never pooled, released
+  // (heap-deleted) on any thread without tripping the owner check. For
+  // control-plane calls that inject frames into a quiesced shard from the
+  // driving thread — e.g. ShardedFarm::fail_node sending from the caller
+  // while the shard's worker is parked at the epoch barrier, with the frame
+  // delivered (and its payload released) later on that worker. The barrier
+  // provides the happens-before; this scope tells the ownership check the
+  // cross-thread release is by construction, not a race.
+  class UnownedCreationScope {
+   public:
+    UnownedCreationScope();
+    ~UnownedCreationScope();
+    UnownedCreationScope(const UnownedCreationScope&) = delete;
+    UnownedCreationScope& operator=(const UnownedCreationScope&) = delete;
+  };
+
  private:
   struct Rep {
     std::uint32_t refs = 1;
@@ -168,6 +224,7 @@ class Payload {
     bool verified_valid = false;
     wire::VerifiedFrame verified;
     DecodeSlot slot;
+    std::thread::id owner;  // thread whose pool this Rep belongs to
     std::vector<std::uint8_t> spill;  // holds the bytes when size > inline
     alignas(8) std::uint8_t inline_buf[kInlineCapacity];
 

@@ -1,0 +1,78 @@
+#include "net/shard_router.h"
+
+#include <limits>
+#include <utility>
+
+#include "net/fabric.h"
+#include "util/check.h"
+
+namespace gs::net {
+
+void ShardRouter::add_fabric(std::size_t shard, Fabric* fabric) {
+  GS_CHECK(fabric != nullptr);
+  GS_CHECK_MSG(set_ == nullptr, "add_fabric after finalize");
+  if (fabrics_.size() <= shard) fabrics_.resize(shard + 1, nullptr);
+  GS_CHECK_MSG(fabrics_[shard] == nullptr, "shard already has a fabric");
+  fabrics_[shard] = fabric;
+}
+
+std::map<util::VlanId, std::vector<std::size_t>> ShardRouter::build_homes()
+    const {
+  std::map<util::VlanId, std::vector<std::size_t>> homes;
+  for (std::size_t shard = 0; shard < fabrics_.size(); ++shard) {
+    GS_CHECK_MSG(fabrics_[shard] != nullptr, "missing fabric for a shard");
+    for (util::VlanId vlan : fabrics_[shard]->indexed_vlans())
+      homes[vlan].push_back(shard);  // shard order: already ascending
+  }
+  return homes;
+}
+
+sim::SimDuration ShardRouter::max_safe_epoch() const {
+  sim::SimDuration safe = std::numeric_limits<sim::SimDuration>::max();
+  for (const auto& [vlan, shards] : build_homes()) {
+    if (shards.size() < 2) continue;
+    for (std::size_t shard : shards) {
+      safe = std::min(safe,
+                      fabrics_[shard]->segment(vlan).model().base_latency);
+    }
+  }
+  return safe;
+}
+
+void ShardRouter::finalize(sim::ShardSet& set) {
+  GS_CHECK_MSG(set_ == nullptr, "finalize called twice");
+  GS_CHECK(set.shard_count() == fabrics_.size());
+  homes_ = build_homes();
+  GS_CHECK_MSG(set.epoch() <= max_safe_epoch(),
+               "epoch window exceeds a spanning VLAN's base latency; "
+               "cross-shard frames would arrive in the past");
+  set_ = &set;
+  for (std::size_t shard = 0; shard < fabrics_.size(); ++shard)
+    fabrics_[shard]->set_shard_router(this, shard);
+}
+
+bool ShardRouter::spans_other_shards(std::size_t shard,
+                                     util::VlanId vlan) const {
+  const auto it = homes_.find(vlan);
+  if (it == homes_.end()) return false;
+  const std::vector<std::size_t>& shards = it->second;
+  return shards.size() > 1 || (shards.size() == 1 && shards[0] != shard);
+}
+
+void ShardRouter::forward(std::size_t from_shard, const ForeignFrame& frame) {
+  GS_CHECK_MSG(set_ != nullptr, "forward before finalize");
+  const auto it = homes_.find(frame.vlan);
+  if (it == homes_.end()) return;
+  const sim::SimTime inject_at = frame.sent_at + set_->epoch();
+  for (std::size_t target : it->second) {
+    if (target == from_shard) continue;
+    frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
+    // Per-target byte copy: each destination thread builds its own Payload.
+    set_->post(from_shard, target, inject_at,
+               [fabric = fabrics_[target], copy = frame] {
+                 fabric->deliver_foreign(copy);
+               });
+  }
+}
+
+}  // namespace gs::net

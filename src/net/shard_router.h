@@ -1,0 +1,96 @@
+// Cross-shard frame handoff for the sharded simulation.
+//
+// Each shard runs one Fabric on one worker thread. When a VLAN's membership
+// spans shards, a frame sent on it must reach the other shards' receivers —
+// but Payload Reps are pooled per thread with non-atomic refcounts and must
+// never cross. The router therefore ships a ForeignFrame: the raw bytes
+// deep-copied into a plain vector, plus addressing and the send timestamp.
+// The destination shard rebuilds a Payload (and its decode cache) from the
+// bytes on its own thread and runs the normal receiver-side checks.
+//
+// Timing contract: a frame sent at t is posted into the destination shard at
+// t + epoch (the first instant the conservative barrier scheme allows) and
+// delivered at t + sampled_latency. ShardRouter::finalize checks that every
+// spanning VLAN's base latency is >= the epoch window, which makes
+// t + latency >= t + epoch always hold — cross-shard frames are never late,
+// so parallel execution replays the single-shard event order exactly for
+// frames that cross, and per-shard determinism holds throughout.
+//
+// Registration is static: build the whole topology, add every shard's
+// fabric, then finalize() once before the first epoch. Rewiring a VLAN onto
+// a shard that had no members of it at finalize() time is not supported.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/shard.h"
+#include "sim/time.h"
+#include "util/ids.h"
+#include "util/ip.h"
+
+namespace gs::net {
+
+class Fabric;
+
+// A frame crossing a shard boundary. Bytes only — never a Payload: the
+// destination thread builds its own Rep from them.
+struct ForeignFrame {
+  util::IpAddress src;
+  util::IpAddress dst;  // unicast target, or the multicast group address
+  bool multicast = false;
+  util::VlanId vlan;
+  sim::SimTime sent_at = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Registers shard `shard`'s fabric. All registration happens on one thread
+  // before finalize().
+  void add_fabric(std::size_t shard, Fabric* fabric);
+
+  // The largest epoch window the registered topology admits: the minimum
+  // base latency across every VLAN whose wired membership spans more than
+  // one shard (SimTime max if nothing spans). Valid once fabrics are added.
+  [[nodiscard]] sim::SimDuration max_safe_epoch() const;
+
+  // Builds the VLAN -> home-shards map from the fabrics' wired membership,
+  // validates set.epoch() against max_safe_epoch(), and installs the router
+  // into every fabric. Call once, after topology construction, before the
+  // first epoch runs.
+  void finalize(sim::ShardSet& set);
+  [[nodiscard]] bool finalized() const { return set_ != nullptr; }
+
+  // --- Called by Fabric on the owning shard's worker thread ---------------
+
+  // Does `vlan` have wired members on any shard other than `shard`?
+  [[nodiscard]] bool spans_other_shards(std::size_t shard,
+                                        util::VlanId vlan) const;
+
+  // Ships `frame` to every other shard that homes its VLAN; each target gets
+  // its own byte copy, injected at sent_at + epoch through the mailboxes.
+  void forward(std::size_t from_shard, const ForeignFrame& frame);
+
+  [[nodiscard]] std::uint64_t frames_forwarded() const {
+    return frames_forwarded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] std::map<util::VlanId, std::vector<std::size_t>> build_homes()
+      const;
+
+  std::vector<Fabric*> fabrics_;  // index == shard
+  std::map<util::VlanId, std::vector<std::size_t>> homes_;
+  sim::ShardSet* set_ = nullptr;
+  std::atomic<std::uint64_t> frames_forwarded_{0};
+};
+
+}  // namespace gs::net

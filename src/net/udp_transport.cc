@@ -95,15 +95,26 @@ bool EventLoop::run_until(sim::WallClock& clock, sim::SimTime deadline,
 
 // --- UdpPortMap ------------------------------------------------------------
 
+std::size_t UdpPortMap::max_vlans() const {
+  return (65536u - std::uint32_t{base_port_}) / std::uint32_t{vlan_stride_};
+}
+
 std::uint16_t UdpPortMap::vlan_base(util::VlanId vlan) {
   const auto it = vlan_bases_.find(vlan);
   if (it != vlan_bases_.end()) return it->second;
-  const auto index = static_cast<std::uint16_t>(vlan_bases_.size());
-  const std::uint16_t base =
-      static_cast<std::uint16_t>(base_port_ + index * vlan_stride_);
-  GS_CHECK_MSG(base >= base_port_, "UDP port space exhausted");
-  vlan_bases_.emplace(vlan, base);
-  return base;
+  // Computed in 32 bits: the old 16-bit arithmetic wrapped silently once the
+  // range ran past port 65535 (~72 VLANs at the default base/stride), and
+  // the wrapped bases collided with earlier VLANs' ports.
+  const auto index = static_cast<std::uint32_t>(vlan_bases_.size());
+  const std::uint32_t base =
+      std::uint32_t{base_port_} + index * std::uint32_t{vlan_stride_};
+  const std::uint32_t last = base + std::uint32_t{vlan_stride_} - 1u;
+  GS_CHECK_MSG(last <= 65535u,
+               "UDP port space exhausted: this VLAN's port range would run "
+               "past 65535 — lower base_port, shrink vlan_stride, or run "
+               "fewer VLANs per process (see UdpPortMap::max_vlans)");
+  vlan_bases_.emplace(vlan, static_cast<std::uint16_t>(base));
+  return static_cast<std::uint16_t>(base);
 }
 
 std::uint16_t UdpPortMap::add(util::IpAddress ip, util::VlanId vlan) {

@@ -77,8 +77,13 @@ class UdpPortMap {
 
   [[nodiscard]] std::optional<std::uint16_t> port_of(util::IpAddress ip) const;
   [[nodiscard]] std::optional<util::IpAddress> ip_of(std::uint16_t port) const;
-  // First UDP port of the VLAN's range (registers the VLAN if new).
+  // First UDP port of the VLAN's range (registers the VLAN if new). Aborts
+  // with a clear message when the new range would run past port 65535 — the
+  // map never hands out wrapped, colliding ranges.
   [[nodiscard]] std::uint16_t vlan_base(util::VlanId vlan);
+  // How many VLANs fit below port 65536 at this base/stride (72 with the
+  // defaults). Lets callers validate a deployment before binding sockets.
+  [[nodiscard]] std::size_t max_vlans() const;
   // Every registered port in the VLAN, ascending — the multicast fan-out.
   [[nodiscard]] const std::vector<std::uint16_t>& vlan_ports(
       util::VlanId vlan) const;

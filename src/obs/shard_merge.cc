@@ -1,0 +1,46 @@
+#include "obs/shard_merge.h"
+
+#include <algorithm>
+
+namespace gs::obs {
+
+std::vector<ShardTraceRecord> merge_shard_traces(
+    const std::vector<std::vector<TraceRecord>>& per_shard) {
+  std::vector<ShardTraceRecord> merged;
+  std::size_t total = 0;
+  for (const auto& stream : per_shard) total += stream.size();
+  merged.reserve(total);
+  for (std::size_t shard = 0; shard < per_shard.size(); ++shard) {
+    for (std::size_t i = 0; i < per_shard[shard].size(); ++i)
+      merged.push_back({shard, i, per_shard[shard][i]});
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ShardTraceRecord& x, const ShardTraceRecord& y) {
+              if (x.record.time != y.record.time)
+                return x.record.time < y.record.time;
+              if (x.shard != y.shard) return x.shard < y.shard;
+              return x.seq < y.seq;
+            });
+  return merged;
+}
+
+std::string shard_trace_jsonl(const std::vector<ShardTraceRecord>& merged) {
+  std::string out;
+  for (const ShardTraceRecord& r : merged) {
+    out += to_json(r.record);
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t shard_trace_digest(const std::vector<ShardTraceRecord>& merged) {
+  const std::string jsonl = shard_trace_jsonl(merged);
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a
+  for (const char c : jsonl) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace gs::obs

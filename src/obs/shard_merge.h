@@ -1,0 +1,41 @@
+// Seed-stable merging of per-shard trace streams.
+//
+// Each shard of a sharded run publishes TraceRecords on its own bus, in its
+// own simulated-time order. The merged farm-wide view orders records by
+// (time, shard, seq): `seq` is the record's publish index within its shard,
+// so the triple is a pure function of the simulated traffic — merging the
+// same per-shard streams always yields the same sequence, and a digest of
+// the merged stream is the determinism suite's comparison key. A one-shard
+// run's merged stream is exactly its only shard's stream, byte-identical to
+// an unsharded run's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gs::obs {
+
+struct ShardTraceRecord {
+  std::size_t shard = 0;
+  std::uint64_t seq = 0;  // publish index within the shard's stream
+  TraceRecord record;
+};
+
+// Merges per-shard streams (index == shard, each already in publish order)
+// into one stream ordered by (time, shard, seq).
+[[nodiscard]] std::vector<ShardTraceRecord> merge_shard_traces(
+    const std::vector<std::vector<TraceRecord>>& per_shard);
+
+// The merged stream as JSONL (one to_json line per record, '\n'-terminated)
+// — the byte-identity comparison format.
+[[nodiscard]] std::string shard_trace_jsonl(
+    const std::vector<ShardTraceRecord>& merged);
+
+// FNV-1a over shard_trace_jsonl, the determinism suite's compact digest.
+[[nodiscard]] std::uint64_t shard_trace_digest(
+    const std::vector<ShardTraceRecord>& merged);
+
+}  // namespace gs::obs

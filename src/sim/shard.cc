@@ -1,0 +1,146 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gs::sim {
+
+ShardSet::ShardSet(std::vector<Simulator*> shards, SimDuration epoch)
+    : sims_(std::move(shards)),
+      epoch_(epoch),
+      sync_(static_cast<std::ptrdiff_t>(sims_.size()) + 1) {
+  GS_CHECK_MSG(!sims_.empty(), "ShardSet needs at least one shard");
+  GS_CHECK_MSG(epoch_ > 0, "epoch window must be positive");
+  for (const Simulator* sim : sims_) GS_CHECK(sim != nullptr);
+  floor_ = sims_[0]->now();
+  for (const Simulator* sim : sims_)
+    GS_CHECK_MSG(sim->now() == floor_, "shard clocks disagree");
+  window_end_ = floor_;
+
+  const std::size_t n = sims_.size();
+  mail_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    mail_.push_back(std::make_unique<Mailbox>());
+  state_.resize(n);
+
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker(i); });
+}
+
+ShardSet::~ShardSet() { shutdown(); }
+
+void ShardSet::shutdown() {
+  if (down_) return;
+  phase_ = Phase::kExit;
+  sync_.arrive_and_wait();  // workers observe kExit and return
+  for (auto& w : workers_) w.join();
+  down_ = true;
+}
+
+void ShardSet::worker(std::size_t index) {
+  for (;;) {
+    sync_.arrive_and_wait();  // main has configured the phase
+    switch (phase_) {
+      case Phase::kExit:
+        return;
+      case Phase::kWindow:
+        state_[index].events += sims_[index]->run_window(window_end_);
+        break;
+      case Phase::kCall:
+        (*call_)(index);
+        break;
+    }
+    sync_.arrive_and_wait();  // phase complete; main may collect
+  }
+}
+
+void ShardSet::post(std::size_t from, std::size_t to, SimTime when,
+                    std::function<void()> fn) {
+  GS_CHECK(from < sims_.size() && to < sims_.size());
+  GS_CHECK(fn != nullptr);
+  // The conservative condition: never into the running (or any past) window.
+  GS_CHECK_MSG(when >= window_end_,
+               "cross-shard post targets the current epoch window; "
+               "shrink the epoch below the minimum cross-shard latency");
+  Post post;
+  post.when = when;
+  post.from = from;
+  post.seq = state_[from].post_seq++;
+  post.fn = std::move(fn);
+  Mailbox& box = *mail_[from * sims_.size() + to];
+  std::lock_guard lock(box.mu);
+  box.posts.push_back(std::move(post));
+}
+
+bool ShardSet::any_mail() {
+  for (const auto& box : mail_) {
+    std::lock_guard lock(box->mu);
+    if (!box->posts.empty()) return true;
+  }
+  return false;
+}
+
+void ShardSet::drain_mail() {
+  const std::size_t n = sims_.size();
+  std::vector<Post> posts;
+  for (std::size_t to = 0; to < n; ++to) {
+    posts.clear();
+    for (std::size_t from = 0; from < n; ++from) {
+      Mailbox& box = *mail_[from * n + to];
+      std::lock_guard lock(box.mu);
+      for (Post& post : box.posts) posts.push_back(std::move(post));
+      box.posts.clear();
+    }
+    if (posts.empty()) continue;
+    // Injection order — and with it the destination queue's FIFO tiebreak
+    // among same-time events — depends only on (when, from, seq), all three
+    // functions of simulated traffic, never of thread timing.
+    std::sort(posts.begin(), posts.end(), [](const Post& a, const Post& b) {
+      if (a.when != b.when) return a.when < b.when;
+      if (a.from != b.from) return a.from < b.from;
+      return a.seq < b.seq;
+    });
+    for (Post& post : posts) sims_[to]->at(post.when, std::move(post.fn));
+  }
+}
+
+std::size_t ShardSet::run_until(SimTime deadline) {
+  GS_CHECK_MSG(!down_, "run_until after shutdown");
+  floor_ = sims_[0]->now();
+  for (const Simulator* sim : sims_)
+    GS_CHECK_MSG(sim->now() == floor_, "shard clocks disagree");
+  for (ShardState& s : state_) s.events = 0;
+
+  for (;;) {
+    if (floor_ >= deadline) break;
+    bool idle = !any_mail();
+    for (const Simulator* sim : sims_) idle = idle && sim->idle();
+    if (idle) break;
+
+    window_end_ = floor_ + epoch_;
+    phase_ = Phase::kWindow;
+    sync_.arrive_and_wait();  // release the workers into the window
+    sync_.arrive_and_wait();  // every shard reached window_end_
+    drain_mail();
+    floor_ = window_end_;
+  }
+
+  std::size_t total = 0;
+  for (const ShardState& s : state_) total += s.events;
+  return total;
+}
+
+void ShardSet::for_each_shard(const std::function<void(std::size_t)>& fn) {
+  GS_CHECK_MSG(!down_, "for_each_shard after shutdown");
+  GS_CHECK(fn != nullptr);
+  call_ = &fn;
+  phase_ = Phase::kCall;
+  sync_.arrive_and_wait();
+  sync_.arrive_and_wait();
+  call_ = nullptr;
+}
+
+}  // namespace gs::sim

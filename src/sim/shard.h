@@ -1,0 +1,126 @@
+// Conservative epoch-barrier driver for sharded simulation.
+//
+// A ShardSet owns one persistent worker thread per shard; each shard is a
+// plain single-threaded Simulator that the worker advances in lockstep
+// epoch windows:
+//
+//   while work remains:
+//     every worker:  sim[i]->run_window(floor + epoch)     (in parallel)
+//     barrier
+//     main thread:   drain mailboxes -> sim[dst]->at(...)  (alone)
+//     floor += epoch
+//
+// Within a window shards share nothing; cross-shard effects travel as
+// mailbox posts stamped (when, from_shard, seq) and are injected between
+// windows, sorted by that stamp — so injection order (and therefore each
+// destination queue's tiebreak order) is a pure function of the simulated
+// traffic, never of thread scheduling. The conservative correctness
+// condition is the caller's to establish: a post made during window
+// [t, t+W) must target when >= t+W (ShardSet checks this). net::ShardRouter
+// satisfies it by sizing W at or below the minimum base latency of any
+// cross-shard segment.
+//
+// Worker threads are persistent for a reason beyond reuse cost: pooled
+// net::Payload Reps live in thread-local free lists, so every event of shard
+// i must run on one fixed thread for the shard's entire lifetime, including
+// teardown (for_each_shard runs cleanup on the owning threads before the
+// destructor joins them).
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace gs::sim {
+
+class ShardSet {
+ public:
+  // `shards` are borrowed and must outlive the ShardSet's shutdown(). Epoch
+  // is the lockstep window width; every shard's clock must already agree
+  // (freshly constructed simulators all start at 0).
+  ShardSet(std::vector<Simulator*> shards, SimDuration epoch);
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return sims_.size(); }
+  [[nodiscard]] SimDuration epoch() const { return epoch_; }
+  // The epoch floor: every shard's clock sits here between runs.
+  [[nodiscard]] SimTime now() const { return floor_; }
+
+  // Cross-shard handoff. Callable from shard `from`'s worker while a window
+  // runs (the only concurrent caller of a given (from, to) mailbox is shard
+  // `from`'s thread) and from the main thread between runs. `when` must not
+  // land inside the currently running window — the conservative condition.
+  // Posts are injected at the next barrier in (when, from, seq) order.
+  void post(std::size_t from, std::size_t to, SimTime when,
+            std::function<void()> fn);
+
+  // Advances all shards in lockstep windows until every queue and mailbox
+  // drains or the floor reaches `deadline` (whichever first; the floor only
+  // moves in whole epochs, so it can end past `deadline` by less than one
+  // epoch). Returns the number of events executed across all shards.
+  std::size_t run_until(SimTime deadline);
+
+  // Runs fn(shard_index) on every shard's worker thread, one after the
+  // barrier — the hook for work that must touch thread-local state, e.g.
+  // draining payload pools at teardown.
+  void for_each_shard(const std::function<void(std::size_t)>& fn);
+
+  // Joins the workers. Idempotent; the destructor calls it. After shutdown
+  // the ShardSet is inert (run_until and for_each_shard must not be called).
+  void shutdown();
+
+ private:
+  enum class Phase : std::uint8_t { kWindow, kCall, kExit };
+
+  struct Post {
+    SimTime when = 0;
+    std::size_t from = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<Post> posts;
+  };
+
+  // Padded so neighbouring shards' event tallies never share a cache line.
+  struct alignas(64) ShardState {
+    std::uint64_t events = 0;
+    std::uint64_t post_seq = 0;
+  };
+
+  void worker(std::size_t index);
+  [[nodiscard]] bool any_mail();
+  void drain_mail();
+
+  std::vector<Simulator*> sims_;
+  const SimDuration epoch_;
+  SimTime floor_ = 0;
+  SimTime window_end_ = 0;  // written by main between barriers only
+
+  Phase phase_ = Phase::kWindow;
+  const std::function<void(std::size_t)>* call_ = nullptr;
+
+  std::vector<std::unique_ptr<Mailbox>> mail_;  // [from * n + to]
+  std::vector<ShardState> state_;
+
+  // Workers and the main thread all participate; two arrivals bracket each
+  // phase (configure -> run -> collect).
+  std::barrier<> sync_;
+  std::vector<std::thread> workers_;
+  bool down_ = false;
+};
+
+}  // namespace gs::sim

@@ -38,6 +38,17 @@ class Simulator final : public TimeSource {
   // self-rescheduling periodic timers).
   std::size_t run() { return run_until(std::numeric_limits<SimTime>::max()); }
 
+  // Epoch step for the sharded driver: runs every event with time < `end`
+  // (half-open, unlike run_until's inclusive deadline) and leaves now() ==
+  // end. Events the barrier exchange injects afterwards land at >= end, so
+  // they are never in this window's past.
+  std::size_t run_window(SimTime end);
+
+  // Discards every pending event without running it. Teardown only: events
+  // own closures (and through them payloads) that must be destroyed on the
+  // thread that created them.
+  void drop_pending() { queue_.clear(); }
+
   // Executes at most one event. Returns false if none is pending.
   bool step();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "util/check.h"
 
@@ -24,6 +25,13 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& w : workers_)
+    if (w.get_id() == self) return true;
+  return false;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   GS_CHECK(task != nullptr);
   {
@@ -36,25 +44,66 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
+  GS_CHECK_MSG(!on_worker_thread(), "wait_idle from a pool worker deadlocks");
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+// Completion state for one parallel_for call. Helpers and the caller pull
+// indices from `next`; whoever bumps `done` to n wakes the caller. Shared
+// ownership: a helper task queued behind a long backlog may outlive the
+// parallel_for call (it finds next >= n and returns without touching `fn`,
+// which lives on the caller's stack).
+struct ForBatch {
+  explicit ForBatch(std::size_t count,
+                    const std::function<void(std::size_t)>& f)
+      : n(count), fn(&f) {}
+
+  const std::size_t n;
+  const std::function<void(std::size_t)>* const fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Claims and runs iterations until the index space is exhausted. `fn` is
+  // only dereferenced for claimed indices < n, and an unfinished claimed
+  // index keeps done < n, which keeps the caller (and `fn`) alive.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      (*fn)(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t tasks = std::min(n, size());
-  for (std::size_t t = 0; t < tasks; ++t) {
-    submit([next, n, &fn] {
-      for (;;) {
-        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
+  if (n == 1) {
+    fn(0);
+    return;
   }
-  wait_idle();
+  auto batch = std::make_shared<ForBatch>(n, fn);
+  // The caller runs iterations too, so n-1 helpers saturate the batch.
+  const std::size_t helpers = std::min(n - 1, size());
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([batch] { batch->drain(); });
+  }
+  batch->drain();
+  std::unique_lock lock(batch->mu);
+  batch->cv.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) >= batch->n;
+  });
 }
 
 void ThreadPool::worker_loop() {

@@ -1,0 +1,500 @@
+// Sharded-simulation core tests: Simulator::run_window semantics, the
+// ShardSet epoch-barrier protocol and its deterministic mailbox ordering,
+// cross-shard traffic through net::ShardRouter (deep-copied payloads, both
+// unicast and multicast), payload thread-ownership rules at the shard
+// boundary, and digest-level determinism of sharded runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/payload.h"
+#include "net/shard_router.h"
+#include "sim/shard.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "wire/frame.h"
+
+namespace gs {
+namespace {
+
+// --- Simulator::run_window ----------------------------------------------------
+
+TEST(RunWindow, HalfOpenWindowAndClockLandsOnEnd) {
+  sim::Simulator sim;
+  std::vector<int> ran;
+  sim.at(5, [&] { ran.push_back(5); });
+  sim.at(10, [&] { ran.push_back(10); });  // == end: NOT in the first window
+  sim.at(15, [&] { ran.push_back(15); });
+
+  EXPECT_EQ(sim.run_window(10), 1u);
+  EXPECT_EQ(ran, (std::vector<int>{5}));
+  EXPECT_EQ(sim.now(), 10);  // clock parks on the window end, even when idle
+
+  EXPECT_EQ(sim.run_window(20), 2u);
+  EXPECT_EQ(ran, (std::vector<int>{5, 10, 15}));
+  EXPECT_EQ(sim.now(), 20);
+
+  EXPECT_EQ(sim.run_window(30), 0u);  // empty window still advances the clock
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(RunWindow, EventsScheduledInsideTheWindowStillRun) {
+  sim::Simulator sim;
+  int chained = 0;
+  sim.at(2, [&] {
+    sim.at(4, [&] { ++chained; });  // lands inside the same window
+  });
+  sim.run_window(10);
+  EXPECT_EQ(chained, 1);
+}
+
+// --- ShardSet -----------------------------------------------------------------
+
+TEST(ShardSet, RunsEveryShardToTheDeadline) {
+  sim::Simulator a, b;
+  std::vector<sim::Simulator*> sims = {&a, &b};
+  int a_runs = 0, b_runs = 0;
+  // Self-rescheduling 100us timers on both shards, stopped by the deadline.
+  std::function<void()> tick_a = [&] {
+    ++a_runs;
+    a.after(100, tick_a);
+  };
+  std::function<void()> tick_b = [&] {
+    ++b_runs;
+    b.after(100, tick_b);
+  };
+  a.at(0, tick_a);
+  b.at(50, tick_b);
+
+  sim::ShardSet set(sims, sim::microseconds(200));
+  const std::size_t events = set.run_until(sim::milliseconds(1));
+  EXPECT_GE(set.now(), sim::milliseconds(1));
+  EXPECT_EQ(events, static_cast<std::size_t>(a_runs + b_runs));
+  EXPECT_EQ(a_runs, 10);  // t = 0, 100, ... 900
+  EXPECT_EQ(b_runs, 10);  // t = 50, 150, ... 950
+  EXPECT_EQ(a.now(), b.now());
+
+  set.for_each_shard([&](std::size_t s) { sims[s]->drop_pending(); });
+  set.shutdown();
+}
+
+TEST(ShardSet, RunUntilStopsWhenEverythingDrains) {
+  sim::Simulator a, b;
+  std::vector<sim::Simulator*> sims = {&a, &b};
+  int ran = 0;
+  a.at(100, [&] { ++ran; });
+  sim::ShardSet set(sims, sim::microseconds(200));
+  // One event at t=100; the set must stop at the idle point, not spin whole
+  // epochs until the far deadline.
+  EXPECT_EQ(set.run_until(sim::seconds(100)), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_LT(set.now(), sim::milliseconds(1));
+  set.shutdown();
+}
+
+TEST(ShardSet, MailboxPostsInjectInWhenFromSeqOrder) {
+  // Both shards post into shard 0 at identical target times; the injected
+  // execution order must be (when, from, seq) regardless of which worker ran
+  // first. Repeat the whole run to pin repeatability.
+  for (int round = 0; round < 2; ++round) {
+    sim::Simulator a, b;
+    std::vector<sim::Simulator*> sims = {&a, &b};
+    std::vector<int> order;  // only shard 0's thread appends
+    sim::ShardSet set(sims, sim::microseconds(100));
+
+    auto tag = [&order](int t) { return [&order, t] { order.push_back(t); }; };
+    // During window [0, 100): each shard posts two handoffs at when == 100.
+    a.at(10, [&] {
+      set.post(0, 0, 100, tag(1));
+      set.post(0, 0, 100, tag(2));  // same when, same from: seq breaks the tie
+    });
+    b.at(20, [&] {
+      set.post(1, 0, 100, tag(3));
+      set.post(1, 0, 150, tag(5));  // later when sorts last
+      set.post(1, 0, 100, tag(4));
+    });
+    set.run_until(sim::milliseconds(1));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+    set.shutdown();
+  }
+}
+
+// --- Cross-shard traffic through the router -----------------------------------
+
+// Two shards, one spanning VLAN: adapter A (shard 0) talks to B and C
+// (shard 1); D shares shard 0 with A. Zero jitter and loss so arrival times
+// are exact.
+struct SpanHarness {
+  sim::Simulator sim0, sim1;
+  net::Fabric fab0{sim0, util::Rng(0x11)};
+  net::Fabric fab1{sim1, util::Rng(0x11)};
+  net::ShardRouter router;
+  util::AdapterId a, d;  // shard 0
+  util::AdapterId b, c;  // shard 1
+
+  SpanHarness() {
+    net::ChannelModel model;
+    model.base_latency = sim::microseconds(200);
+    model.jitter = 0;
+    model.loss_probability = 0;
+    fab0.set_default_channel(model);
+    fab1.set_default_channel(model);
+    const util::VlanId vlan(7);
+    auto wire = [&](net::Fabric& fab, std::uint32_t node, std::uint8_t host) {
+      const auto sw = fab.add_switch(4);
+      const auto id = fab.add_adapter(util::NodeId(node));
+      fab.attach(id, sw, vlan);
+      fab.set_adapter_ip(id, util::IpAddress(10, 0, 0, host));
+      return id;
+    };
+    a = wire(fab0, 0, 1);
+    d = wire(fab0, 3, 4);
+    b = wire(fab1, 1, 2);
+    c = wire(fab1, 2, 3);
+    router.add_fabric(0, &fab0);
+    router.add_fabric(1, &fab1);
+  }
+};
+
+TEST(ShardRouter, MaxSafeEpochIsTheSpanningVlanBaseLatency) {
+  SpanHarness h;
+  EXPECT_EQ(h.router.max_safe_epoch(), sim::microseconds(200));
+  // Span queries come from the fabrics' send paths, which only run once
+  // finalize() has built the VLAN homes map.
+  std::vector<sim::Simulator*> sims = {&h.sim0, &h.sim1};
+  sim::ShardSet set(sims, sim::microseconds(200));
+  h.router.finalize(set);
+  EXPECT_TRUE(h.router.spans_other_shards(0, util::VlanId(7)));
+  EXPECT_FALSE(h.router.spans_other_shards(0, util::VlanId(9)));
+  set.shutdown();
+}
+
+TEST(ShardRouter, UnicastCrossesShardsWithDeepCopiedBytes) {
+  SpanHarness h;
+  std::vector<sim::Simulator*> sims = {&h.sim0, &h.sim1};
+  sim::ShardSet set(sims, sim::microseconds(200));
+  h.router.finalize(set);
+  ASSERT_TRUE(h.router.finalized());
+
+  const std::vector<std::uint8_t> body = {0xAA, 0xBB, 0xCC};
+  const auto frame = wire::encode_frame(3, body);
+  // Copy the datagram's fields out on the receiving shard's thread: a
+  // Datagram holds a Payload ref, which must not be released off-thread.
+  struct Got {
+    util::IpAddress src, dst;
+    util::VlanId vlan;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Got> got;  // only shard 1's thread appends
+  sim::SimTime got_at = 0;
+  h.fab1.adapter(h.b).set_receive_handler([&](const net::Datagram& dg) {
+    const auto bytes = dg.bytes();
+    got.push_back(Got{dg.src, dg.dst, dg.vlan,
+                      std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
+    got_at = h.sim1.now();
+  });
+
+  // B's IP is unknown to shard 0's fabric; the router must carry it over.
+  h.sim0.at(50, [&] {
+    EXPECT_TRUE(h.fab0.send(h.a, util::IpAddress(10, 0, 0, 2), frame));
+  });
+  set.run_until(sim::milliseconds(2));
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].src, util::IpAddress(10, 0, 0, 1));
+  EXPECT_EQ(got[0].dst, util::IpAddress(10, 0, 0, 2));
+  EXPECT_EQ(got[0].vlan, util::VlanId(7));
+  EXPECT_EQ(got[0].bytes, frame);
+  // Delivered at sent_at + base latency, exactly as an unsharded fabric
+  // would: the epoch handoff adds no simulated-time penalty.
+  EXPECT_EQ(got_at, 50 + 200);
+  EXPECT_EQ(h.router.frames_forwarded(), 1u);
+
+  got.clear();
+  set.for_each_shard([&](std::size_t s) {
+    sims[s]->drop_pending();
+    (s == 0 ? h.fab0 : h.fab1).drop_in_flight();
+  });
+  set.shutdown();
+}
+
+TEST(ShardRouter, MulticastReachesLocalAndRemoteMembers) {
+  SpanHarness h;
+  std::vector<sim::Simulator*> sims = {&h.sim0, &h.sim1};
+  sim::ShardSet set(sims, sim::microseconds(200));
+  h.router.finalize(set);
+
+  const std::vector<std::uint8_t> body = {0x42};
+  const auto frame = wire::encode_frame(1, body);
+  int d_got = 0, b_got = 0, c_got = 0, a_got = 0;
+  h.fab0.adapter(h.a).set_receive_handler([&](const net::Datagram&) { ++a_got; });
+  h.fab0.adapter(h.d).set_receive_handler([&](const net::Datagram&) { ++d_got; });
+  h.fab1.adapter(h.b).set_receive_handler([&](const net::Datagram&) { ++b_got; });
+  h.fab1.adapter(h.c).set_receive_handler([&](const net::Datagram&) { ++c_got; });
+
+  h.sim0.at(0, [&] {
+    EXPECT_TRUE(h.fab0.multicast(h.a, net::kBeaconGroup, frame));
+  });
+  set.run_until(sim::milliseconds(2));
+
+  EXPECT_EQ(d_got, 1);  // local member, normal path
+  EXPECT_EQ(b_got, 1);  // remote members, one forwarded copy fanned out
+  EXPECT_EQ(c_got, 1);
+  EXPECT_EQ(a_got, 0);  // never self-delivers
+  EXPECT_EQ(h.router.frames_forwarded(), 1u);  // one copy per target shard
+
+  set.for_each_shard([&](std::size_t s) {
+    sims[s]->drop_pending();
+    (s == 0 ? h.fab0 : h.fab1).drop_in_flight();
+  });
+  set.shutdown();
+}
+
+TEST(ShardRouter, FinalizeRejectsAnEpochWiderThanTheSpanningLatency) {
+  SpanHarness h;
+  std::vector<sim::Simulator*> sims = {&h.sim0, &h.sim1};
+  sim::ShardSet set(sims, sim::microseconds(500));  // > 200us base latency
+  EXPECT_DEATH(h.router.finalize(set), "epoch");
+  set.shutdown();
+}
+
+// --- Determinism --------------------------------------------------------------
+
+// One delivery observation; the merged, sorted multiset of these must be
+// identical for every run (and every shard count on disjoint topologies).
+struct Obs {
+  sim::SimTime when;
+  std::uint32_t vlan;
+  std::uint32_t receiver_ip;
+  std::size_t size;
+
+  bool operator==(const Obs&) const = default;
+  bool operator<(const Obs& o) const {
+    if (when != o.when) return when < o.when;
+    if (vlan != o.vlan) return vlan < o.vlan;
+    if (receiver_ip != o.receiver_ip) return receiver_ip < o.receiver_ip;
+    return size < o.size;
+  }
+};
+
+std::uint64_t obs_digest(std::vector<Obs> all) {
+  std::sort(all.begin(), all.end());
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a over the tuples
+  auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xFF;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  for (const Obs& o : all) {
+    mix(static_cast<std::uint64_t>(o.when));
+    mix(o.vlan);
+    mix(o.receiver_ip);
+    mix(o.size);
+  }
+  return hash;
+}
+
+// A VLAN-disjoint mini farm, partitioned by VLAN across `shards` threads:
+// 4 VLANs x 3 adapters, everyone multicasting every 500us for 10ms, with
+// default channel jitter and some loss so the per-VLAN RNG streams are
+// genuinely exercised. Returns the digest of every delivery observed.
+std::uint64_t run_disjoint_mini(std::size_t shards) {
+  constexpr std::size_t kVlans = 4, kPerVlan = 3;
+  struct Shard {
+    sim::Simulator sim;
+    std::unique_ptr<net::Fabric> fabric;
+    std::vector<util::AdapterId> adapters;
+    std::vector<std::size_t> global_index;  // local index -> global i
+    std::vector<Obs> seen;
+  };
+  std::vector<std::unique_ptr<Shard>> shard;
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto ctx = std::make_unique<Shard>();
+    ctx->fabric = std::make_unique<net::Fabric>(ctx->sim, util::Rng(0xD15C));
+    net::ChannelModel model;  // default 200us/100us, plus loss
+    model.loss_probability = 0.05;
+    ctx->fabric->set_default_channel(model);
+    shard.push_back(std::move(ctx));
+  }
+  for (std::size_t v = 0; v < kVlans; ++v) {
+    Shard& c = *shard[v % shards];
+    const auto sw = c.fabric->add_switch(kPerVlan);
+    for (std::size_t m = 0; m < kPerVlan; ++m) {
+      const std::size_t i = v * kPerVlan + m;
+      const auto id =
+          c.fabric->add_adapter(util::NodeId(static_cast<std::uint32_t>(i)));
+      c.fabric->attach(id, sw, util::VlanId(static_cast<std::uint32_t>(1 + v)));
+      const util::IpAddress ip(10, 0, 1, static_cast<std::uint8_t>(i));
+      c.fabric->set_adapter_ip(id, ip);
+      c.fabric->adapter(id).set_receive_handler(
+          [&c, ip](const net::Datagram& dg) {
+            c.seen.push_back(
+                Obs{c.sim.now(), dg.vlan.value(), ip.bits(), dg.bytes().size()});
+          });
+      c.adapters.push_back(id);
+      c.global_index.push_back(i);
+    }
+  }
+  const std::vector<std::uint8_t> body = {0x01, 0x02, 0x03};
+  const auto frame = wire::encode_frame(1, body);
+  for (auto& ctx : shard) {
+    Shard& c = *ctx;
+    for (std::size_t li = 0; li < c.adapters.size(); ++li) {
+      const auto beat = [&c, li, &frame] {
+        c.fabric->multicast(c.adapters[li], net::kBeaconGroup, frame);
+      };
+      // Phase by GLOBAL index: the traffic pattern must be a property of the
+      // topology, not of how it happens to be partitioned.
+      for (sim::SimTime t = static_cast<sim::SimTime>(c.global_index[li]) * 37;
+           t < sim::milliseconds(10); t += 500)
+        c.sim.at(t, beat);
+    }
+  }
+  std::vector<sim::Simulator*> sims;
+  for (auto& ctx : shard) sims.push_back(&ctx->sim);
+  sim::ShardSet set(sims, sim::microseconds(200));
+  set.run_until(sim::milliseconds(12));
+  std::vector<Obs> all;
+  set.for_each_shard([&](std::size_t s) {
+    shard[s]->sim.drop_pending();
+    shard[s]->fabric->drop_in_flight();
+  });
+  set.shutdown();
+  for (auto& ctx : shard)
+    all.insert(all.end(), ctx->seen.begin(), ctx->seen.end());
+  return obs_digest(std::move(all));
+}
+
+TEST(ShardDeterminism, DisjointTopologyDigestsAgreeAcrossShardCounts) {
+  const std::uint64_t one = run_disjoint_mini(1);
+  EXPECT_EQ(one, run_disjoint_mini(2));
+  EXPECT_EQ(one, run_disjoint_mini(4));
+}
+
+std::uint64_t run_spanning_once() {
+  SpanHarness h;
+  std::vector<sim::Simulator*> sims = {&h.sim0, &h.sim1};
+  sim::ShardSet set(sims, sim::microseconds(200));
+  h.router.finalize(set);
+  std::vector<Obs> seen0, seen1;  // each appended only by its own shard
+  auto observe = [](net::Fabric& fab, sim::Simulator& sim,
+                    std::vector<Obs>& out, util::AdapterId id,
+                    std::uint32_t ip_bits) {
+    fab.adapter(id).set_receive_handler(
+        [&sim, &out, ip_bits](const net::Datagram& dg) {
+          out.push_back(
+              Obs{sim.now(), dg.vlan.value(), ip_bits, dg.bytes().size()});
+        });
+  };
+  observe(h.fab0, h.sim0, seen0, h.a, 1);
+  observe(h.fab0, h.sim0, seen0, h.d, 4);
+  observe(h.fab1, h.sim1, seen1, h.b, 2);
+  observe(h.fab1, h.sim1, seen1, h.c, 3);
+  const std::vector<std::uint8_t> body = {0x33};
+  const auto frame = wire::encode_frame(1, body);
+  for (sim::SimTime t = 0; t < sim::milliseconds(5); t += 250) {
+    h.sim0.at(t, [&] { h.fab0.multicast(h.a, net::kBeaconGroup, frame); });
+    h.sim1.at(t + 40, [&] { h.fab1.multicast(h.b, net::kBeaconGroup, frame); });
+  }
+  set.run_until(sim::milliseconds(6));
+  set.for_each_shard([&](std::size_t s) {
+    sims[s]->drop_pending();
+    (s == 0 ? h.fab0 : h.fab1).drop_in_flight();
+  });
+  set.shutdown();
+  seen0.insert(seen0.end(), seen1.begin(), seen1.end());
+  return obs_digest(std::move(seen0));
+}
+
+TEST(ShardDeterminism, SpanningTrafficIsRepeatableAtFixedShardCount) {
+  const std::uint64_t first = run_spanning_once();
+  EXPECT_EQ(first, run_spanning_once());
+  EXPECT_EQ(first, run_spanning_once());
+}
+
+// --- Payload ownership at the shard boundary ----------------------------------
+
+TEST(PayloadOwnership, ForeignReleaseDeletesInsteadOfPoisoningThePool) {
+  const std::vector<std::uint8_t> body = {0x01};
+  const auto bytes = wire::encode_frame(2, body);
+  auto payload = std::make_unique<net::Payload>(net::Payload::copy_of(bytes));
+  std::size_t foreign_pool_after = 99;
+  std::thread t([&] {
+    // This thread never owned the Rep; releasing it here must delete it, not
+    // push it into THIS thread's free list where the wrong thread would pop
+    // it later. (The scope authorizes what is otherwise a fatal misuse when
+    // owner checking is compiled in.)
+    net::Payload::ForeignReleaseScope scope;
+    payload.reset();
+    foreign_pool_after = net::Payload::pool_size();
+  });
+  t.join();
+  EXPECT_EQ(foreign_pool_after, 0u);
+}
+
+TEST(PayloadOwnership, OwnerThreadReleaseStillPools) {
+  net::Payload::trim_pool();
+  const std::size_t before = net::Payload::pool_size();
+  const std::vector<std::uint8_t> body = {0x02};
+  {
+    const auto p = net::Payload::copy_of(wire::encode_frame(2, body));
+    (void)p;
+  }
+  EXPECT_EQ(net::Payload::pool_size(), before + 1);
+}
+
+TEST(PayloadOwnership, UnownedPayloadReleasesAnywhereWithoutScopeOrPooling) {
+  // A control thread sending into a parked shard creates payloads that the
+  // shard's worker will release after delivery: born inside
+  // UnownedCreationScope they belong to no pool and any thread may delete
+  // them, with no ForeignReleaseScope at the release site.
+  net::Payload::trim_pool();
+  const std::vector<std::uint8_t> body = {0x04};
+  std::unique_ptr<net::Payload> p;
+  {
+    net::Payload::UnownedCreationScope scope;
+    p = std::make_unique<net::Payload>(
+        net::Payload::copy_of(wire::encode_frame(2, body)));
+  }
+  std::size_t other_pool_after = 99;
+  std::thread t([&] {
+    p.reset();  // no scope here — must not abort, must not pool
+    other_pool_after = net::Payload::pool_size();
+  });
+  t.join();
+  EXPECT_EQ(other_pool_after, 0u);
+
+  // Released on the CREATING thread it still skips the pool: unowned means
+  // unowned, not "owned until it happens to die at home".
+  {
+    net::Payload::UnownedCreationScope scope;
+    const auto q = net::Payload::copy_of(wire::encode_frame(2, body));
+    (void)q;
+  }
+  EXPECT_EQ(net::Payload::pool_size(), 0u);
+}
+
+#if GS_PAYLOAD_OWNER_CHECK
+TEST(PayloadOwnership, UnscopedForeignReleaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::vector<std::uint8_t> body = {0x03};
+  EXPECT_DEATH(
+      {
+        auto victim = std::make_unique<net::Payload>(
+            net::Payload::copy_of(wire::encode_frame(2, body)));
+        std::thread t([&] { victim.reset(); });
+        t.join();
+      },
+      "released on a thread other than its owner");
+}
+#endif
+
+}  // namespace
+}  // namespace gs

@@ -41,6 +41,23 @@ TEST(UdpPortMapTest, VlansGetDisjointRangesAndEndpointsSequentialPorts) {
   EXPECT_TRUE(map.vlan_ports(util::VlanId(7)).empty());
 }
 
+TEST(UdpPortMapTest, MaxVlansMatchesPortSpaceArithmetic) {
+  EXPECT_EQ(UdpPortMap(47000, 256).max_vlans(), 72u);  // the defaults
+  EXPECT_EQ(UdpPortMap(65000, 32).max_vlans(), 16u);
+  EXPECT_EQ(UdpPortMap(0, 256).max_vlans(), 256u);
+}
+
+// Regression: past the end of the 16-bit port space, vlan_base used to wrap
+// silently and hand out ranges colliding with low VLANs' ports. It must
+// refuse instead.
+TEST(UdpPortMapTest, PortSpaceExhaustionAbortsInsteadOfWrapping) {
+  UdpPortMap map(65000, 32);  // room for exactly 16 VLAN ranges
+  for (std::uint32_t v = 1; v <= 16; ++v)
+    EXPECT_EQ(map.vlan_base(util::VlanId(v)),
+              65000 + (v - 1) * 32);  // last range ends at 65511
+  EXPECT_DEATH((void)map.vlan_base(util::VlanId(17)), "port space exhausted");
+}
+
 struct Harness {
   sim::WallClock clock;
   EventLoop loop;

@@ -424,5 +424,46 @@ TEST(ThreadPool, WaitIdleOnEmptyPool) {
   pool.wait_idle();  // must not hang
 }
 
+TEST(ThreadPool, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.parallel_for(1, [&](std::size_t) { ran = std::this_thread::get_id(); });
+  EXPECT_EQ(ran, caller);
+}
+
+// Regression: parallel_for called FROM a pool worker used to deadlock — the
+// old implementation waited for the pool's global in-flight count to reach
+// zero, which included the waiting task itself. Per-batch completion plus
+// the caller draining its own batch makes nesting safe on any pool size
+// (even one worker, where the outer task's thread does all the inner work).
+TEST(ThreadPool, NestedParallelForFromWorkerDoesNotDeadlock) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> hits(64);
+    std::atomic<bool> inner_done{false};
+    pool.submit([&] {
+      pool.parallel_for(64, [&](std::size_t i) { hits[i]++; });
+      inner_done = true;
+    });
+    pool.wait_idle();
+    EXPECT_TRUE(inner_done.load());
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+// Two external threads issuing parallel_for concurrently must not cross
+// wires: each batch tracks its own completion, not pool-global idleness.
+TEST(ThreadPool, ConcurrentParallelForFromTwoThreads) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> a(200), b(200);
+  std::thread t1([&] { pool.parallel_for(200, [&](std::size_t i) { a[i]++; }); });
+  std::thread t2([&] { pool.parallel_for(200, [&](std::size_t i) { b[i]++; }); });
+  t1.join();
+  t2.join();
+  for (auto& h : a) EXPECT_EQ(h.load(), 1);
+  for (auto& h : b) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace gs::util
