@@ -48,6 +48,8 @@ Farm::Farm(sim::Simulator& sim, const FarmSpec& spec,
 
   if (spec_.generic_nodes > 0)
     build_uniform();
+  else if (spec_.is_hierarchical())
+    build_hierarchical();
   else
     build_oceano();
 
@@ -99,6 +101,12 @@ util::AdapterId Farm::new_racked_adapter(util::NodeId node, util::VlanId vlan,
 
 void Farm::finish_node(std::size_t index, NodeRole role, util::DomainId domain,
                        bool eligible, std::vector<util::AdapterId> adapters) {
+  finish_node(index, role, domain, eligible, std::move(adapters), HierRole());
+}
+
+void Farm::finish_node(std::size_t index, NodeRole role, util::DomainId domain,
+                       bool eligible, std::vector<util::AdapterId> adapters,
+                       const HierRole& hier) {
   GS_CHECK(index == nodes_.size());
   NodeInfo info;
   info.role = role;
@@ -143,12 +151,17 @@ void Farm::finish_node(std::size_t index, NodeRole role, util::DomainId domain,
   } else {
     centrals_.push_back(nullptr);
   }
+  root_centrals_.push_back(hier.root && eligible && local
+                               ? std::make_unique<proto::RootCentral>(sim_,
+                                                                      params_)
+                               : nullptr);
 
   if (!local) {
     // Remote ghost: no transport, no daemon. The node's protocol state
     // lives on its home shard; here only its fabric/db identity exists.
     transports_.push_back(nullptr);
     daemons_.push_back(nullptr);
+    uplinks_.push_back(nullptr);
     return;
   }
 
@@ -165,7 +178,30 @@ void Farm::finish_node(std::size_t index, NodeRole role, util::DomainId domain,
   opts.node.admin_adapter_index = 0;  // paper §2.2: by convention, adapter 0
   opts.rng = rng_.fork(0xDAE0000 + index);
   opts.central = centrals_.back().get();
+  opts.root_central = root_centrals_.back().get();
+  opts.uplink_adapter_index = hier.uplink_adapter;
   daemons_.push_back(std::make_unique<proto::GsDaemon>(std::move(opts)));
+
+  if (hier.uplink_adapter) {
+    // The uplink batches this node's domain Central table changes into
+    // DomainReports and ships them through the daemon's uplink adapter.
+    GS_CHECK_MSG(centrals_.back() != nullptr,
+                 "a DomainUplink needs the node's own Central");
+    proto::GsDaemon* daemon = daemons_.back().get();
+    proto::DomainUplink::Iface iface;
+    iface.send = [daemon](const proto::DomainReport& rep) {
+      daemon->send_domain_report(rep);
+    };
+    iface.root_ip = [daemon] { return daemon->uplink_root_ip(); };
+    const util::AdapterId uplink_id =
+        nodes_.back().adapters[*hier.uplink_adapter];
+    uplinks_.push_back(std::make_unique<proto::DomainUplink>(
+        sim_, params_, *centrals_.back(), hier.domain,
+        fabric_->adapter(uplink_id).ip(), std::move(iface)));
+    daemon->set_uplink(uplinks_.back().get());
+  } else {
+    uplinks_.push_back(nullptr);
+  }
 }
 
 void Farm::build_uniform() {
@@ -270,6 +306,78 @@ void Farm::build_oceano() {
   }
 }
 
+void Farm::build_hierarchical() {
+  std::size_t index = 0;
+  // Root tier outranks every uplink on the root VLAN, so the root-VLAN AMG
+  // always elects a RootCentral host; uplink adapters sit in the middle of
+  // the range and never win.
+  std::uint32_t root_admin_host = 3500;
+  std::uint32_t uplink_host = 2000;
+  std::map<util::VlanId, std::uint32_t> next_host;
+
+  auto host_on = [&](util::VlanId vlan) {
+    auto [it, inserted] = next_host.emplace(vlan, 100u);
+    return it->second++;
+  };
+
+  // Root management: a single adapter on the root VLAN. Its AMG leader
+  // activates both a plain Central (covering the root VLAN's own
+  // membership) and the farm-wide RootCentral.
+  for (int m = 0; m < spec_.management_nodes; ++m) {
+    const util::NodeId node_id(static_cast<std::uint32_t>(index));
+    if (is_local(index)) ensure_rack_capacity(1);
+    std::vector<util::AdapterId> ids;
+    ids.push_back(new_racked_adapter(node_id, admin_vlan(),
+                                     make_ip(admin_vlan(), root_admin_host++),
+                                     true));
+    HierRole hier;
+    hier.root = true;
+    finish_node(index++, NodeRole::kManagement, util::DomainId::invalid(),
+                /*eligible=*/true, std::move(ids), hier);
+  }
+
+  for (int d = 0; d < spec_.hier_domains; ++d) {
+    const auto dom = static_cast<std::uint32_t>(d);
+    const util::DomainId domain(dom);
+    const util::VlanId dadmin = domain_admin_vlan(dom);
+    const util::VlanId data = internal_vlan(dom);
+
+    // Domain management: adapter 0 on the domain admin VLAN (outranking the
+    // workers, so an eligible node hosts the domain Central), adapter 1 on
+    // the root VLAN carrying the DomainUplink.
+    for (int m = 0; m < spec_.domain_mgmt_nodes; ++m) {
+      const util::NodeId node_id(static_cast<std::uint32_t>(index));
+      if (is_local(index)) ensure_rack_capacity(2);
+      std::vector<util::AdapterId> ids;
+      ids.push_back(new_racked_adapter(
+          node_id, dadmin,
+          make_ip(dadmin, 3000 + static_cast<std::uint32_t>(m)), true));
+      ids.push_back(new_racked_adapter(node_id, admin_vlan(),
+                                       make_ip(admin_vlan(), uplink_host++),
+                                       false));
+      HierRole hier;
+      hier.uplink_adapter = 1;
+      hier.domain = dom;
+      finish_node(index++, NodeRole::kManagement, domain, /*eligible=*/true,
+                  std::move(ids), hier);
+    }
+
+    // Workers: domain admin VLAN + the domain's data VLAN.
+    for (int w = 0; w < spec_.workers_per_domain; ++w) {
+      const util::NodeId node_id(static_cast<std::uint32_t>(index));
+      if (is_local(index)) ensure_rack_capacity(2);
+      std::vector<util::AdapterId> ids;
+      ids.push_back(new_racked_adapter(node_id, dadmin,
+                                       make_ip(dadmin, host_on(dadmin)),
+                                       true));
+      ids.push_back(new_racked_adapter(node_id, data,
+                                       make_ip(data, host_on(data)), false));
+      finish_node(index++, NodeRole::kGeneric, domain, /*eligible=*/false,
+                  std::move(ids));
+    }
+  }
+}
+
 void Farm::start() {
   for (auto& daemon : daemons_)
     if (daemon != nullptr) daemon->start();
@@ -324,6 +432,115 @@ proto::Central* Farm::active_central() {
     if (best == nullptr || central->self_ip() > best_ip) {
       best = central;
       best_ip = central->self_ip();
+    }
+  }
+  return best;
+}
+
+proto::RootCentral* Farm::active_root_central() {
+  proto::RootCentral* best = nullptr;
+  util::IpAddress best_ip;
+  for (std::size_t i = 0; i < root_centrals_.size(); ++i) {
+    proto::RootCentral* root = root_centrals_[i].get();
+    if (root == nullptr || !root->active()) continue;
+    const std::size_t admin = daemons_[i]->config().admin_adapter_index;
+    const util::AdapterId id = nodes_[i].adapters[admin];
+    const bool healthy =
+        fabric_->adapter(id).health() == net::HealthState::kUp &&
+        fabric_->vlan_of(id).valid();
+    if (!healthy) continue;
+    if (best == nullptr || root->self_ip() > best_ip) {
+      best = root;
+      best_ip = root->self_ip();
+    }
+  }
+  return best;
+}
+
+proto::Central* Farm::active_root_tier_central() {
+  proto::Central* best = nullptr;
+  util::IpAddress best_ip;
+  for (std::size_t i = 0; i < centrals_.size(); ++i) {
+    proto::Central* central = centrals_[i].get();
+    if (central == nullptr || !central->active()) continue;
+    if (nodes_[i].role != NodeRole::kManagement || nodes_[i].domain.valid())
+      continue;
+    const std::size_t admin = daemons_[i]->config().admin_adapter_index;
+    const util::AdapterId id = nodes_[i].adapters[admin];
+    const bool healthy =
+        fabric_->adapter(id).health() == net::HealthState::kUp &&
+        fabric_->vlan_of(id).valid();
+    if (!healthy) continue;
+    if (best == nullptr || central->self_ip() > best_ip) {
+      best = central;
+      best_ip = central->self_ip();
+    }
+  }
+  return best;
+}
+
+proto::Central* Farm::active_domain_central(std::uint32_t domain) {
+  proto::Central* best = nullptr;
+  util::IpAddress best_ip;
+  for (std::size_t i = 0; i < centrals_.size(); ++i) {
+    proto::Central* central = centrals_[i].get();
+    if (central == nullptr || !central->active()) continue;
+    if (nodes_[i].domain != util::DomainId(domain)) continue;
+    const std::size_t admin = daemons_[i]->config().admin_adapter_index;
+    const util::AdapterId id = nodes_[i].adapters[admin];
+    const bool healthy =
+        fabric_->adapter(id).health() == net::HealthState::kUp &&
+        fabric_->vlan_of(id).valid();
+    if (!healthy) continue;
+    if (best == nullptr || central->self_ip() > best_ip) {
+      best = central;
+      best_ip = central->self_ip();
+    }
+  }
+  return best;
+}
+
+proto::DomainUplink* Farm::uplink_of(std::size_t node_index) {
+  GS_CHECK(node_index < uplinks_.size());
+  return uplinks_[node_index].get();
+}
+
+std::optional<std::size_t> Farm::expected_root_node() const {
+  std::optional<std::size_t> best;
+  util::IpAddress best_ip;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Root-tier nodes are the management nodes outside every domain.
+    if (nodes_[i].role != NodeRole::kManagement || nodes_[i].domain.valid())
+      continue;
+    const util::AdapterId id = nodes_[i].adapters[0];
+    if (fabric_->adapter(id).health() != net::HealthState::kUp ||
+        !fabric_->vlan_of(id).valid())
+      continue;
+    const util::IpAddress ip = fabric_->adapter(id).ip();
+    if (!best || ip > best_ip) {
+      best = i;
+      best_ip = ip;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> Farm::expected_domain_gsc_node(
+    std::uint32_t domain) const {
+  std::optional<std::size_t> best;
+  util::IpAddress best_ip;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].role != NodeRole::kManagement ||
+        nodes_[i].domain != util::DomainId(domain))
+      continue;
+    const util::AdapterId id = nodes_[i].adapters[0];
+    if (fabric_->adapter(id).health() != net::HealthState::kUp ||
+        !fabric_->vlan_of(id).valid())
+      continue;
+    const util::IpAddress ip = fabric_->adapter(id).ip();
+    if (!best || ip > best_ip) {
+      best = i;
+      best_ip = ip;
     }
   }
   return best;
@@ -463,6 +680,16 @@ obs::FarmHealthSampler::Snapshot Farm::health_snapshot() {
     gsc.alive = central->alive_adapter_count();
     gsc.nodes_down = central->nodes_down_count();
     snapshot.gsc = gsc;
+  }
+  if (proto::RootCentral* root = active_root_central()) {
+    obs::FarmHealthSampler::RootSample sample;
+    sample.root = root->self_ip();
+    sample.domains = root->domain_count();
+    sample.adapters = root->known_adapter_count();
+    sample.alive = root->alive_adapter_count();
+    sample.reports = root->reports_received();
+    sample.need_fulls = root->need_fulls_sent();
+    snapshot.root = sample;
   }
   for (util::VlanId vlan : vlans()) {
     const net::SegmentLoad& load = fabric_->load(vlan);

@@ -92,6 +92,25 @@ class Farm {
   [[nodiscard]] proto::Central* active_central();
   [[nodiscard]] proto::AdapterProtocol* protocol_for(util::AdapterId id);
 
+  // --- Two-level hierarchy (hierarchical specs only) -------------------------
+  // The active RootCentral hosted where the root-VLAN election says, if any.
+  [[nodiscard]] proto::RootCentral* active_root_central();
+  // The plain Central co-hosted on the root tier — it covers the root
+  // VLAN's own membership (the RootCentral only aggregates domain digests).
+  [[nodiscard]] proto::Central* active_root_tier_central();
+  // The active per-domain Central with the highest healthy admin IP in
+  // `domain`, if any.
+  [[nodiscard]] proto::Central* active_domain_central(std::uint32_t domain);
+  // This node's DomainUplink (domain-management nodes only), else null.
+  [[nodiscard]] proto::DomainUplink* uplink_of(std::size_t node_index);
+  // Ground truth: the root-management node that *should* host the root
+  // (highest healthy root-VLAN admin adapter among the root tier).
+  [[nodiscard]] std::optional<std::size_t> expected_root_node() const;
+  // Ground truth: the domain-management node that *should* host `domain`'s
+  // Central (highest healthy domain-admin adapter of its eligible nodes).
+  [[nodiscard]] std::optional<std::size_t> expected_domain_gsc_node(
+      std::uint32_t domain) const;
+
   // --- Telemetry --------------------------------------------------------------
   // Farm-wide event stream: every FarmEvent any Central emits is forwarded
   // here, in chronological (publish) order. Subscribe, or attach a
@@ -149,14 +168,26 @@ class Farm {
     std::vector<util::AdapterId> adapters;
   };
 
+  // Hierarchy assignment of a node being finished: hosts the RootCentral,
+  // and/or carries a DomainUplink on one of its adapters.
+  struct HierRole {
+    bool root = false;
+    std::optional<std::size_t> uplink_adapter;
+    std::uint32_t domain = 0;
+  };
+
   // Opens a fresh switch when the current one cannot rack a whole node.
   void ensure_rack_capacity(std::size_t ports_needed);
   util::AdapterId new_racked_adapter(util::NodeId node, util::VlanId vlan,
                                      util::IpAddress ip, bool admin);
   void build_uniform();
   void build_oceano();
+  void build_hierarchical();
   void finish_node(std::size_t index, NodeRole role, util::DomainId domain,
                    bool eligible, std::vector<util::AdapterId> adapters);
+  void finish_node(std::size_t index, NodeRole role, util::DomainId domain,
+                   bool eligible, std::vector<util::AdapterId> adapters,
+                   const HierRole& hier);
 
   sim::Simulator& sim_;
   FarmSpec spec_;
@@ -186,6 +217,10 @@ class Farm {
   std::vector<std::unique_ptr<net::FabricTransport>> transports_;
   std::vector<std::unique_ptr<proto::GsDaemon>> daemons_;
   std::vector<std::unique_ptr<proto::Central>> centrals_;  // sparse by node
+  // Hierarchy pieces, sparse by node. Uplinks are declared after centrals_
+  // so they deregister their table observer before the Central dies.
+  std::vector<std::unique_ptr<proto::RootCentral>> root_centrals_;
+  std::vector<std::unique_ptr<proto::DomainUplink>> uplinks_;
   std::vector<obs::Subscription> central_taps_;  // Central -> farm event bus
   std::unordered_map<util::AdapterId, std::pair<std::size_t, std::size_t>>
       adapter_owner_;  // adapter -> (node index, adapter index); local only

@@ -23,8 +23,23 @@ std::optional<sim::SimTime> run_until_converged(Farm& farm,
 std::optional<sim::SimTime> run_until_gsc_stable(Farm& farm,
                                                  sim::SimTime deadline) {
   auto stable = [&farm]() -> bool {
-    proto::Central* central = farm.active_central();
-    return central != nullptr && central->initial_topology_stable();
+    if (!farm.spec().is_hierarchical()) {
+      proto::Central* central = farm.active_central();
+      return central != nullptr && central->initial_topology_stable();
+    }
+    // Hierarchical: every tier must be up and past its stability wait —
+    // the root VLAN's own Central, the RootCentral, and each domain's.
+    proto::Central* root_tier = farm.active_root_tier_central();
+    if (root_tier == nullptr || !root_tier->initial_topology_stable())
+      return false;
+    if (farm.active_root_central() == nullptr) return false;
+    const int domains = farm.spec().hier_domains;
+    for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(domains); ++d) {
+      proto::Central* central = farm.active_domain_central(d);
+      if (central == nullptr || !central->initial_topology_stable())
+        return false;
+    }
+    return true;
   };
   auto reached = run_until(farm.sim(), deadline, stable);
   if (!reached) return std::nullopt;

@@ -124,6 +124,28 @@ std::vector<obs::ShardTraceRecord> ShardedFarm::merged_trace() const {
   return obs::merge_shard_traces(traces_);
 }
 
+void ShardedFarm::enable_span_tracking() {
+  enable_trace_capture();  // the taps subscribe to every kind, so each
+                           // shard's emitters actually publish the edges
+  span_tracking_ = true;
+}
+
+obs::SpanTracker& ShardedFarm::span_tracker() {
+  GS_CHECK_MSG(span_tracking_, "enable_span_tracking was never called");
+  span_bus_ = std::make_unique<obs::TraceBus>();
+  spans_ = std::make_unique<obs::SpanTracker>(*span_bus_);
+  for (const obs::ShardTraceRecord& r : merged_trace())
+    span_bus_->publish(r.record);
+  return *spans_;
+}
+
+void ShardedFarm::enable_health_sampling(sim::SimDuration period) {
+  // Caller's thread, workers parked at the barrier (the start()/fail_node
+  // contract): arming each shard's sampler timer here is race-free, and the
+  // sampler's provider then only ever runs from that shard's own sim.
+  for (const auto& farm : farms_) farm->enable_health_sampling(period);
+}
+
 std::uint64_t ShardedFarm::trace_digest() const {
   return obs::shard_trace_digest(merged_trace());
 }

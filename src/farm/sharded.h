@@ -83,6 +83,23 @@ class ShardedFarm {
   [[nodiscard]] std::vector<obs::ShardTraceRecord> merged_trace() const;
   [[nodiscard]] std::uint64_t trace_digest() const;
 
+  // Farm-wide span accounting. Implies enable_trace_capture(); call before
+  // start(). A per-shard SpanTracker would miscount: a report span opens on
+  // the leader's shard (kReportSent) and closes on the GSC's (kGscReport-
+  // Applied), so neither shard sees both edges. span_tracker() instead
+  // replays the merged (when, shard, seq)-ordered stream into one tracker,
+  // pairing cross-shard spans exactly as an unsharded run would.
+  void enable_span_tracking();
+  // Rebuilds the tracker from the current merged trace on every call; call
+  // after run_until for books covering everything executed so far.
+  [[nodiscard]] obs::SpanTracker& span_tracker();
+
+  // Starts periodic health sampling on every shard's own farm stack (each
+  // samples its local slice into its own metrics()). Call between runs or
+  // before start(): like fail_node, this runs on the caller's thread while
+  // the workers are parked at the barrier.
+  void enable_health_sampling(sim::SimDuration period);
+
   // Quiesces and joins the shard threads: every shard drops its pending
   // events and in-flight frames ON ITS OWN THREAD (payload pools are
   // thread-local), then the workers exit. Idempotent; the destructor calls
@@ -95,6 +112,11 @@ class ShardedFarm {
   net::ShardRouter router_;
   std::vector<std::vector<obs::TraceRecord>> traces_;
   std::vector<obs::Subscription> taps_;
+  bool span_tracking_ = false;
+  // Replay plumbing for span_tracker(): a private bus the merged stream is
+  // republished onto, and the tracker subscribed to it.
+  std::unique_ptr<obs::TraceBus> span_bus_;
+  std::unique_ptr<obs::SpanTracker> spans_;
   std::unique_ptr<sim::ShardSet> set_;  // last: joins threads before the
                                         // farms/sims it runs are destroyed
   bool down_ = false;

@@ -36,9 +36,22 @@ FarmSpec FarmSpec::oceano(int domains, int fronts, int backs, int dispatchers,
   return spec;
 }
 
+FarmSpec FarmSpec::hierarchical(int domains, int workers, int domain_mgmt,
+                                int root_mgmt) {
+  GS_CHECK(domains > 0 && workers > 0 && domain_mgmt > 0 && root_mgmt > 0);
+  FarmSpec spec;
+  spec.hier_domains = domains;
+  spec.workers_per_domain = workers;
+  spec.domain_mgmt_nodes = domain_mgmt;
+  spec.management_nodes = root_mgmt;  // root tier
+  return spec;
+}
+
 int FarmSpec::total_nodes() const {
   return management_nodes + dispatchers +
-         domains * (fronts_per_domain + backs_per_domain) + generic_nodes;
+         domains * (fronts_per_domain + backs_per_domain) +
+         hier_domains * (domain_mgmt_nodes + workers_per_domain) +
+         generic_nodes;
 }
 
 int FarmSpec::total_adapters() const {
@@ -46,6 +59,8 @@ int FarmSpec::total_adapters() const {
   total += dispatchers * (1 + domains);              // admin + per-domain
   total += domains * fronts_per_domain * 3;          // admin+internal+dispatch
   total += domains * backs_per_domain * 2;           // admin+internal
+  // Hierarchy: domain mgmt = domain admin + uplink; worker = admin + data.
+  total += hier_domains * (domain_mgmt_nodes + workers_per_domain) * 2;
   total += generic_nodes * adapters_per_generic_node;
   return total;
 }

@@ -1,6 +1,6 @@
 // Farm topology specifications.
 //
-// Two shapes cover the paper:
+// Three shapes cover the paper (and its scaling extension):
 //  * FarmSpec::uniform(nodes, adapters): every node carries one adapter on
 //    each of `adapters` shared VLANs — the 55-node/3-adapter testbed of
 //    §4.1, used for the Figure 5 sweeps (one AMG per VLAN, each of size
@@ -8,6 +8,11 @@
 //  * FarmSpec::oceano(...): the multi-domain hosting farm of Figures 1-2 —
 //    per-customer domains with front/back layers, request dispatchers, an
 //    administrative domain, and VLAN isolation between customers.
+//  * FarmSpec::hierarchical(...): the two-level Central hierarchy
+//    (gs/central_hier.h). Each domain has its own administrative VLAN with
+//    domain-management nodes hosting a per-domain Central; those nodes'
+//    second adapter sits on the root VLAN, where a root-management tier
+//    hosts the farm-wide RootCentral fed by batched DomainReport digests.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +48,12 @@ inline constexpr std::uint32_t kAdminVlan = 1;
 [[nodiscard]] constexpr util::VlanId uniform_vlan(std::uint32_t index) {
   return index == 0 ? admin_vlan() : util::VlanId(300 + index);
 }
+// Hierarchical farms: each domain's own administrative VLAN (its workers'
+// adapter 0; its domain Central activates on this VLAN's AMG leadership).
+// The ROOT VLAN of a hierarchical farm is admin_vlan() itself.
+[[nodiscard]] constexpr util::VlanId domain_admin_vlan(std::uint32_t domain) {
+  return util::VlanId(400 + domain);
+}
 
 struct FarmSpec {
   // --- Océano shape ---------------------------------------------------------
@@ -56,6 +67,17 @@ struct FarmSpec {
   int generic_nodes = 0;
   int adapters_per_generic_node = 3;
 
+  // --- Two-level hierarchy shape ---------------------------------------------
+  // hier_domains > 0 selects the hierarchical build: `management_nodes`
+  // becomes the root tier (single adapter on the root VLAN, hosting the
+  // RootCentral), each domain gets `domain_mgmt_nodes` eligible nodes
+  // (adapter 0 on the domain admin VLAN hosting the domain Central,
+  // adapter 1 on the root VLAN carrying the DomainUplink) and
+  // `workers_per_domain` plain nodes (domain admin VLAN + a data VLAN).
+  int hier_domains = 0;
+  int domain_mgmt_nodes = 0;
+  int workers_per_domain = 0;
+
   // --- Physical plant -------------------------------------------------------------
   int switch_ports = 96;
 
@@ -63,6 +85,11 @@ struct FarmSpec {
   [[nodiscard]] static FarmSpec oceano(int domains, int fronts, int backs,
                                        int dispatchers = 2,
                                        int management = 2);
+  [[nodiscard]] static FarmSpec hierarchical(int domains, int workers,
+                                             int domain_mgmt = 2,
+                                             int root_mgmt = 2);
+
+  [[nodiscard]] bool is_hierarchical() const { return hier_domains > 0; }
 
   [[nodiscard]] int total_nodes() const;
   [[nodiscard]] int total_adapters() const;

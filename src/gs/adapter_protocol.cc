@@ -1192,6 +1192,8 @@ HandleResult AdapterProtocol::handle_frame(util::IpAddress src, MsgType type,
     }
     case MsgType::kMembershipReport:
     case MsgType::kReportAck:
+    case MsgType::kDomainReport:
+    case MsgType::kDomainReportAck:
       // Routed by the daemon before frames reach the protocol.
       return HandleResult::kHandled;
   }

@@ -78,6 +78,7 @@ void Central::activate(util::IpAddress self_admin_ip) {
   active_ = true;
   self_ip_ = self_admin_ip;
   arm_lease_sweep();
+  if (observer_ != nullptr) observer_->central_activated();
   // Past the early-return above, the trace always means "fresh, empty
   // tables" — the span tracker relies on that to void its mirrored
   // verdicts.
@@ -92,6 +93,7 @@ void Central::deactivate() {
   if (!active_) return;
   active_ = false;
   clear_all_state();
+  if (observer_ != nullptr) observer_->central_deactivated();
   trace(obs::TraceKind::kGscDeactivated);
   FarmEvent event{};
   event.kind = FarmEvent::Kind::kGscDeactivated;
@@ -155,6 +157,15 @@ void Central::handle_report(util::IpAddress from,
   if (!report.full &&
       (it == groups_.end() || report.seq != it->second.last_seq + 1)) {
     // Never saw this group's snapshot (fresh GSC) or a delta went missing.
+    // A rejected delta for a KNOWN group still proves its leader alive and
+    // claiming the group, so it renews the lease — without this, a leader
+    // stuck in need_full (its fulls lost to the wire) has its live group
+    // expired by lease_sweep while it is actively reporting. It must NOT
+    // touch the member table though: when the group was already retired
+    // (it == end), applying anything from the stale delta would resurrect
+    // the group with stale members; the full we are asking for re-creates
+    // it from scratch instead.
+    if (it != groups_.end()) it->second.last_report = sim_.now();
     ack.need_full = true;
     reply(ack);
     return;
@@ -351,6 +362,7 @@ bool Central::claim_member(const MemberInfo& m, util::IpAddress leader,
   }
   rec.group_leader = leader;
   groups_[leader].members.insert(m.ip);
+  notify_changed(m.ip);
 
   // If this member used to lead a group of its own, that group has been
   // absorbed: retire it and release any members it still held.
@@ -381,6 +393,7 @@ void Central::unassign(util::IpAddress ip) {
   // handle_report retires empty records instead.
   if (group != groups_.end()) group->second.members.erase(ip);
   it->second.group_leader = util::IpAddress();
+  notify_changed(ip);
 }
 
 void Central::mark_alive(const MemberInfo& m, util::IpAddress leader) {
@@ -390,6 +403,7 @@ void Central::mark_alive(const MemberInfo& m, util::IpAddress leader) {
   rec.alive = true;
   rec.group_leader = leader;
   rec.last_change = sim_.now();
+  notify_changed(m.ip);
   // Whatever story this turns out to be (held-failure move, expected move,
   // or plain recovery), the recorded verdict just flipped back to alive.
   if (was_dead) trace(obs::TraceKind::kGscAdapterAlive, m.ip);
@@ -440,8 +454,10 @@ void Central::retire_group(util::IpAddress leader_ip) {
   for (util::IpAddress orphan : orphans) {
     if (orphan == leader_ip) continue;
     auto rec = adapters_.find(orphan);
-    if (rec != adapters_.end() && rec->second.group_leader == leader_ip)
+    if (rec != adapters_.end() && rec->second.group_leader == leader_ip) {
       rec->second.group_leader = util::IpAddress();
+      notify_changed(orphan);
+    }
   }
 }
 
@@ -450,6 +466,7 @@ void Central::mark_failed(util::IpAddress ip) {
   if (it == adapters_.end() || !it->second.alive) return;
   it->second.alive = false;
   it->second.last_change = sim_.now();
+  notify_changed(ip);
 
   retire_group(ip);
   if (it->second.group_leader == ip) it->second.group_leader = util::IpAddress();
@@ -628,7 +645,25 @@ std::optional<Central::AdapterStatus> Central::adapter_status(
   status.alive = it->second.alive;
   status.group_leader = it->second.group_leader;
   status.last_change = it->second.last_change;
+  auto group = groups_.find(it->second.group_leader);
+  if (group != groups_.end()) status.view = group->second.view;
   return status;
+}
+
+std::vector<Central::AdapterStatus> Central::adapter_table() const {
+  std::vector<AdapterStatus> out;
+  out.reserve(adapters_.size());
+  for (const auto& [ip, rec] : adapters_) {
+    AdapterStatus status;
+    status.info = rec.info;
+    status.alive = rec.alive;
+    status.group_leader = rec.group_leader;
+    status.last_change = rec.last_change;
+    auto group = groups_.find(rec.group_leader);
+    if (group != groups_.end()) status.view = group->second.view;
+    out.push_back(status);
+  }
+  return out;
 }
 
 std::size_t Central::alive_adapter_count() const {

@@ -55,6 +55,20 @@ class Central {
   // subscribers, each holding an RAII obs::Subscription.
   [[nodiscard]] EventBus& event_bus() { return event_bus_; }
 
+  // Observer of adapter-table mutations. The two-level hierarchy's domain
+  // uplink (central_hier.h) registers one to learn which adapters changed
+  // since its last batched flush to the root. Notifications may overcount
+  // (a touched-but-identical row is fine — the uplink dedups via a dirty
+  // set); they never undercount.
+  class TableObserver {
+   public:
+    virtual ~TableObserver() = default;
+    virtual void central_activated() {}
+    virtual void central_deactivated() {}
+    virtual void adapter_changed(util::IpAddress ip) { (void)ip; }
+  };
+  void set_table_observer(TableObserver* observer) { observer_ = observer; }
+
   void activate(util::IpAddress self_admin_ip);
   void deactivate();
   [[nodiscard]] bool active() const { return active_; }
@@ -83,10 +97,14 @@ class Central {
     MemberInfo info;
     bool alive = false;
     util::IpAddress group_leader;  // unspecified when unassigned
+    std::uint64_t view = 0;        // the owning group's view (0 unassigned)
     sim::SimTime last_change = 0;
   };
   [[nodiscard]] std::optional<AdapterStatus> adapter_status(
       util::IpAddress ip) const;
+  // Every known adapter's status — the hierarchy uplink's full-digest
+  // source (central_hier.h).
+  [[nodiscard]] std::vector<AdapterStatus> adapter_table() const;
   [[nodiscard]] std::size_t known_adapter_count() const {
     return adapters_.size();
   }
@@ -197,6 +215,9 @@ class Central {
   void emit(FarmEvent event);
   void trace(obs::TraceKind kind, util::IpAddress ip = {},
              std::uint64_t a = 0);
+  void notify_changed(util::IpAddress ip) {
+    if (observer_ != nullptr) observer_->adapter_changed(ip);
+  }
   void arm_stability_timer();
   void arm_lease_sweep();
   void lease_sweep();
@@ -219,6 +240,7 @@ class Central {
   config::ConfigDb* db_;
   net::SwitchConsole* console_;
   EventBus event_bus_;
+  TableObserver* observer_ = nullptr;
 
   bool active_ = false;
   util::IpAddress self_ip_;

@@ -45,6 +45,8 @@ GsDaemon::GsDaemon(Options opts)
       config_(std::move(opts.node)),
       rng_(opts.rng),
       central_(opts.central),
+      root_central_(opts.root_central),
+      uplink_index_(opts.uplink_adapter_index),
       alive_(std::make_shared<GsDaemon*>(this)) {
   GS_CHECK_MSG(opts.clock != nullptr && opts.transport != nullptr &&
                    opts.params != nullptr,
@@ -84,10 +86,15 @@ GsDaemon::GsDaemon(Options opts)
         last_gsc_ = util::IpAddress();
         if (central_ && central_->active()) central_->deactivate();
       }
+      if (uplink_index_ && i == *uplink_index_) last_root_ = util::IpAddress();
     };
     if (i == config_.admin_adapter_index) {
       hooks.on_committed = [this](const MembershipView& view) {
         on_admin_committed(view);
+      };
+    } else if (uplink_index_ && i == *uplink_index_) {
+      hooks.on_committed = [this](const MembershipView& view) {
+        on_uplink_committed(view);
       };
     }
 
@@ -148,16 +155,21 @@ void GsDaemon::halt() {
   if (halted_) return;
   halted_ = true;
   if (central_ != nullptr && central_->active()) central_->deactivate();
+  if (root_central_ != nullptr && root_central_->active())
+    root_central_->deactivate();
+  if (uplink_ != nullptr) uplink_->halt();
   for (auto& proto : protocols_) proto->shutdown();
   for (auto& outstanding : outstanding_) outstanding.reset();
   report_retry_timer_.cancel();
   report_refresh_timer_.cancel();
   last_gsc_ = util::IpAddress();
+  last_root_ = util::IpAddress();
 }
 
 void GsDaemon::resume() {
   if (!halted_) return;
   halted_ = false;
+  if (uplink_ != nullptr) uplink_->resume();
   for (auto& proto : protocols_) proto->restart();
   arm_report_refresh();
 }
@@ -205,6 +217,16 @@ void GsDaemon::dispatch(std::size_t index, const net::Datagram& dgram) {
     const ReportAck* ack = frame.get(scratch);
     if (ack != nullptr) handle_report_ack(*ack);
     result = ack != nullptr ? HandleResult::kHandled : HandleResult::kDecodeError;
+  } else if (type == MsgType::kDomainReport) {
+    std::optional<DomainReport> scratch;
+    const DomainReport* rep = frame.get(scratch);
+    if (rep != nullptr) handle_domain_report_frame(index, dgram.src, *rep);
+    result = rep != nullptr ? HandleResult::kHandled : HandleResult::kDecodeError;
+  } else if (type == MsgType::kDomainReportAck) {
+    std::optional<DomainReportAck> scratch;
+    const DomainReportAck* ack = frame.get(scratch);
+    if (ack != nullptr && uplink_ != nullptr) uplink_->handle_ack(*ack);
+    result = ack != nullptr ? HandleResult::kHandled : HandleResult::kDecodeError;
   } else {
     result = protocols_[index]->handle_frame(dgram.src, type, frame);
   }
@@ -242,6 +264,43 @@ void GsDaemon::handle_report_frame(util::IpAddress src,
     transport_.unicast(config_.admin_adapter_index, src,
                        net::Payload::copy_of(build_frame(scratch_, ack)));
   });
+}
+
+void GsDaemon::handle_domain_report_frame(std::size_t index,
+                                          util::IpAddress src,
+                                          const DomainReport& rep) {
+  if (root_central_ == nullptr || !root_central_->active()) return;
+  root_central_->handle_domain_report(
+      src, rep, [this, index, src](const DomainReportAck& ack) {
+        if (src == transport_.local_ip(index)) {
+          // The reporting uplink lives on this very node: loop back.
+          if (uplink_ != nullptr) uplink_->handle_ack(ack);
+          return;
+        }
+        transport_.unicast(index, src,
+                           net::Payload::copy_of(build_frame(scratch_, ack)));
+      });
+}
+
+util::IpAddress GsDaemon::uplink_root_ip() const {
+  if (!uplink_index_) return util::IpAddress();
+  const AdapterProtocol& up = *protocols_[*uplink_index_];
+  if (!up.is_committed()) return util::IpAddress();
+  return up.leader_ip();
+}
+
+void GsDaemon::send_domain_report(const DomainReport& rep) {
+  if (!uplink_index_) return;
+  const util::IpAddress root = uplink_root_ip();
+  if (root.is_unspecified()) return;  // uplink AMG not formed yet; retried
+  const util::IpAddress self = transport_.local_ip(*uplink_index_);
+  if (root == self) {
+    // This node is itself the root GSC: deliver without the network.
+    handle_domain_report_frame(*uplink_index_, self, rep);
+    return;
+  }
+  transport_.unicast(*uplink_index_, root,
+                     net::Payload::copy_of(build_frame(scratch_, rep)));
 }
 
 void GsDaemon::deliver_ack_locally(const ReportAck& ack) {
@@ -364,6 +423,16 @@ void GsDaemon::on_admin_committed(const MembershipView& view) {
     }
   }
 
+  // Root-tier nodes' admin adapter sits on the root VLAN: winning that AMG
+  // makes this node both its tier's GSC and the farm's root GSC.
+  if (root_central_ != nullptr) {
+    if (self_leads && config_.central_eligible) {
+      if (!root_central_->active()) root_central_->activate(gsc);
+    } else if (root_central_->active()) {
+      root_central_->deactivate();
+    }
+  }
+
   if (gsc != last_gsc_) {
     last_gsc_ = gsc;
     // A new GulfStream Central starts empty: every hosted AMG leader must
@@ -375,6 +444,16 @@ void GsDaemon::on_admin_committed(const MembershipView& view) {
       report_pending(i);
     }
   }
+}
+
+void GsDaemon::on_uplink_committed(const MembershipView& view) {
+  if (halted_) return;
+  const util::IpAddress root = view.leader().ip;
+  if (root == last_root_) return;
+  last_root_ = root;
+  // A new root Central starts empty: re-establish the domain with a full
+  // digest (mirrors the leaders' full-report re-send on GSC change).
+  if (uplink_ != nullptr) uplink_->on_root_changed();
 }
 
 }  // namespace gs::proto

@@ -29,6 +29,7 @@
 
 #include "gs/adapter_protocol.h"
 #include "gs/central.h"
+#include "gs/central_hier.h"
 #include "gs/params.h"
 #include "net/transport.h"
 #include "sim/time_source.h"
@@ -43,8 +44,8 @@ namespace gs::proto {
 // shared cache still counts once per daemon that consumed it — so the
 // observatory sees delivery volume, not cache hit rate.
 struct WireStats {
-  // Indexed by MsgType value (1..18); slot 0 unused.
-  static constexpr std::size_t kTypeSlots = 19;
+  // Indexed by MsgType value (1..20); slot 0 unused.
+  static constexpr std::size_t kTypeSlots = 21;
 
   enum class Drop : std::uint8_t {
     // Envelope rejections, mirroring wire::FrameError's nonzero values.
@@ -102,6 +103,15 @@ class GsDaemon {
     // Hosted Central instance (optional; only meaningful for
     // central-eligible nodes — it activates when the admin adapter leads).
     Central* central = nullptr;
+    // Hosted root Central (two-level hierarchy, central_hier.h). Activates
+    // alongside `central` when the admin adapter leads: root-tier nodes'
+    // admin adapter is on the root VLAN, so winning that AMG makes this
+    // node both its tier's GSC and the root GSC.
+    RootCentral* root_central = nullptr;
+    // Which adapter (if any) faces the root VLAN. Domain-tier GSC nodes set
+    // this to their second adapter: the DomainUplink sends its digests and
+    // receives acks through it, and that adapter's AMG leader is the root.
+    std::optional<std::size_t> uplink_adapter_index;
   };
 
   explicit GsDaemon(Options opts);
@@ -136,7 +146,20 @@ class GsDaemon {
   // The admin-AMG leader's IP = where reports go (invalid if uncommitted).
   [[nodiscard]] util::IpAddress gsc_ip() const;
   [[nodiscard]] Central* central() { return central_; }
+  [[nodiscard]] RootCentral* root_central() { return root_central_; }
   [[nodiscard]] net::Transport& transport() { return transport_; }
+
+  // --- Hierarchy wiring (farm assembly) ------------------------------------
+  // The DomainUplink is created after the daemon (it needs the hosted
+  // Central plus send/root-ip closures that call back into the daemon), so
+  // it is attached here rather than via Options.
+  void set_uplink(DomainUplink* uplink) { uplink_ = uplink; }
+  // DomainUplink::Iface::send — ships a digest to the root GSC via the
+  // uplink adapter (delivered locally when this node *is* the root).
+  void send_domain_report(const DomainReport& rep);
+  // DomainUplink::Iface::root_ip — the uplink adapter's AMG leader, i.e.
+  // the root GSC (unspecified while uncommitted or without an uplink).
+  [[nodiscard]] util::IpAddress uplink_root_ip() const;
 
   [[nodiscard]] std::uint64_t frames_dropped() const {
     return frames_dropped_;
@@ -163,6 +186,9 @@ class GsDaemon {
   void arm_report_refresh();
   void report_refresh_tick();
   void on_admin_committed(const MembershipView& view);
+  void on_uplink_committed(const MembershipView& view);
+  void handle_domain_report_frame(std::size_t index, util::IpAddress src,
+                                  const DomainReport& rep);
   [[nodiscard]] util::IpAddress admin_ip() const {
     return transport_.local_ip(config_.admin_adapter_index);
   }
@@ -174,12 +200,16 @@ class GsDaemon {
   std::vector<std::unique_ptr<AdapterProtocol>> protocols_;
   util::Rng rng_;
   Central* central_ = nullptr;
+  RootCentral* root_central_ = nullptr;
+  DomainUplink* uplink_ = nullptr;
+  std::optional<std::size_t> uplink_index_;
 
   // Life token for fire-and-forget callbacks (start skew, per-message
   // processing delay): they hold a weak_ptr and no-op once this resets.
   std::shared_ptr<GsDaemon*> alive_;
 
   util::IpAddress last_gsc_;
+  util::IpAddress last_root_;
   std::vector<std::optional<OutstandingReport>> outstanding_;
   sim::Timer report_retry_timer_;
   sim::Timer report_refresh_timer_;

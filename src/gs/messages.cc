@@ -22,6 +22,8 @@ std::string_view to_string(MsgType type) {
     case MsgType::kPingReq: return "ping-req";
     case MsgType::kSubgroupPoll: return "subgroup-poll";
     case MsgType::kSubgroupPollAck: return "subgroup-poll-ack";
+    case MsgType::kDomainReport: return "domain-report";
+    case MsgType::kDomainReportAck: return "domain-report-ack";
   }
   return "?";
 }
@@ -368,6 +370,74 @@ bool decode_typed(std::span<const std::uint8_t> payload,
 }
 
 GS_DEFINE_CODEC_SHIMS(SubgroupPollAck)
+
+// --- DomainReport / DomainReportAck ---------------------------------------------
+
+namespace {
+
+void encode_domain_entry(wire::Writer& w, const DomainAdapterEntry& e) {
+  encode_member(w, e.info);
+  w.boolean(e.alive);
+  w.u32(e.group_leader.bits());
+  w.u64(e.view);
+}
+
+DomainAdapterEntry decode_domain_entry(wire::Reader& r) {
+  DomainAdapterEntry e;
+  e.info = decode_member(r);
+  e.alive = r.boolean();
+  e.group_leader = util::IpAddress(r.u32());
+  e.view = r.u64();
+  return e;
+}
+
+}  // namespace
+
+void encode_into(wire::Writer& w, const DomainReport& msg) {
+  w.u64(msg.seq);
+  w.u64(msg.epoch);
+  w.u32(msg.domain);
+  w.boolean(msg.full);
+  w.u32(msg.sender.bits());
+  w.vec(msg.entries, [](wire::Writer& ww, const DomainAdapterEntry& e) {
+    encode_domain_entry(ww, e);
+  });
+  w.vec(msg.removed, [](wire::Writer& ww, const util::IpAddress& ip) {
+    ww.u32(ip.bits());
+  });
+}
+
+bool decode_typed(std::span<const std::uint8_t> payload, DomainReport* out) {
+  wire::Reader r(payload);
+  out->seq = r.u64();
+  out->epoch = r.u64();
+  out->domain = r.u32();
+  out->full = r.boolean();
+  out->sender = util::IpAddress(r.u32());
+  out->entries = r.vec<DomainAdapterEntry>(
+      [](wire::Reader& rr) { return decode_domain_entry(rr); });
+  out->removed = r.vec<util::IpAddress>(
+      [](wire::Reader& rr) { return util::IpAddress(rr.u32()); });
+  return r.finish();
+}
+
+GS_DEFINE_CODEC_SHIMS(DomainReport)
+
+void encode_into(wire::Writer& w, const DomainReportAck& msg) {
+  w.u64(msg.seq);
+  w.u32(msg.domain);
+  w.boolean(msg.need_full);
+}
+
+bool decode_typed(std::span<const std::uint8_t> payload, DomainReportAck* out) {
+  wire::Reader r(payload);
+  out->seq = r.u64();
+  out->domain = r.u32();
+  out->need_full = r.boolean();
+  return r.finish();
+}
+
+GS_DEFINE_CODEC_SHIMS(DomainReportAck)
 
 #undef GS_DEFINE_CODEC_SHIMS
 

@@ -39,6 +39,8 @@ enum class MsgType : std::uint16_t {
   kPingReq = 16,
   kSubgroupPoll = 17,
   kSubgroupPollAck = 18,
+  kDomainReport = 19,
+  kDomainReportAck = 20,
 };
 
 [[nodiscard]] std::string_view to_string(MsgType type);
@@ -206,6 +208,42 @@ struct SubgroupPollAck {
   std::uint64_t seq = 0;
 };
 
+// --- Hierarchical Central (domain -> root) ----------------------------------
+
+// One adapter's row in a domain Central's digest. The root derives group
+// structure from the (group_leader, view) pair — member lists never cross
+// the uplink, which is what keeps a DomainReport a digest rather than a
+// concatenation of every leader report the domain consumed.
+struct DomainAdapterEntry {
+  MemberInfo info;
+  bool alive = true;
+  util::IpAddress group_leader;  // leader of the AMG this adapter sits in
+  std::uint64_t view = 0;        // that group's committed view
+};
+
+// Domain Central -> root GSC (two-level hierarchy). Batched: one frame
+// carries every adapter that changed since the last flush (delta) or the
+// domain's whole table (full). `epoch` counts domain-Central activations so
+// the root can tell a restarted domain Central (stale seq space) from a
+// seq gap within one incarnation.
+struct DomainReport {
+  static constexpr MsgType kType = MsgType::kDomainReport;
+  std::uint64_t seq = 0;    // per-(uplink incarnation) sequence
+  std::uint64_t epoch = 0;  // domain-Central activation counter
+  std::uint32_t domain = 0;
+  bool full = false;
+  util::IpAddress sender;  // the uplink adapter's IP (ack routing)
+  std::vector<DomainAdapterEntry> entries;   // changed (delta) or all (full)
+  std::vector<util::IpAddress> removed;      // adapters retired outright
+};
+
+struct DomainReportAck {
+  static constexpr MsgType kType = MsgType::kDomainReportAck;
+  std::uint64_t seq = 0;
+  std::uint32_t domain = 0;
+  bool need_full = false;  // root lost state (failover) or saw a seq gap
+};
+
 // --- Codecs ----------------------------------------------------------------
 //
 // Each message has four codec entry points:
@@ -241,6 +279,8 @@ GS_DECLARE_CODEC(PingAck)
 GS_DECLARE_CODEC(PingReq)
 GS_DECLARE_CODEC(SubgroupPoll)
 GS_DECLARE_CODEC(SubgroupPollAck)
+GS_DECLARE_CODEC(DomainReport)
+GS_DECLARE_CODEC(DomainReportAck)
 
 #undef GS_DECLARE_CODEC
 

@@ -82,6 +82,16 @@ struct Params {
   sim::SimDuration report_refresh = sim::seconds(10);
   sim::SimDuration group_lease = sim::seconds(25);
 
+  // --- Two-level hierarchy (domain Central -> root GSC) ---------------------
+  // Domain uplinks batch table changes for domain_batch before flushing one
+  // DomainReport frame (many per-adapter changes per frame); zero flushes
+  // every change immediately. The root retires a whole domain's slice after
+  // domain_lease of uplink silence; uplinks re-send a full digest every
+  // domain_refresh to renew it (zero disables, mirroring the flat lease).
+  sim::SimDuration domain_batch = sim::milliseconds(200);
+  sim::SimDuration domain_refresh = sim::seconds(10);
+  sim::SimDuration domain_lease = sim::seconds(25);
+
   // --- GulfStream Central (§3, §3.1) ---------------------------------------
   sim::SimDuration move_window = sim::seconds(10);  // move-inference hold
 

@@ -54,6 +54,13 @@ void FarmHealthSampler::publish(const Snapshot& snapshot) {
                  gsc.nodes_down, "gsc.alive");
     }
   }
+  if (snapshot.root && trace) {
+    const RootSample& root = *snapshot.root;
+    emit_trace(&bus_, TraceKind::kHealthSample, now, root.root, {},
+               root.domains, root.adapters, "gsc.domain.tables");
+    emit_trace(&bus_, TraceKind::kHealthSample, now, root.root, {}, root.alive,
+               root.need_fulls, "gsc.domain.alive");
+  }
   for (const WireSample& wire : snapshot.wire) {
     if (trace)
       emit_trace(&bus_, TraceKind::kHealthSample, now, {}, {},
@@ -90,6 +97,19 @@ void FarmHealthSampler::publish(const Snapshot& snapshot) {
         .set(static_cast<double>(gsc.alive));
     registry_->gauge("gsc.nodes_down")
         .set(static_cast<double>(gsc.nodes_down));
+  }
+  if (snapshot.root) {
+    const RootSample& root = *snapshot.root;
+    registry_->gauge("gsc.domain.count")
+        .set(static_cast<double>(root.domains));
+    registry_->gauge("gsc.domain.adapters")
+        .set(static_cast<double>(root.adapters));
+    registry_->gauge("gsc.domain.adapters_alive")
+        .set(static_cast<double>(root.alive));
+    registry_->gauge("gsc.domain.reports")
+        .set(static_cast<double>(root.reports));
+    registry_->gauge("gsc.domain.need_fulls")
+        .set(static_cast<double>(root.need_fulls));
   }
   for (const AmgSample& amg : snapshot.amgs) {
     if (!amg.vlan.valid()) continue;

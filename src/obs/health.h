@@ -12,6 +12,9 @@
 //   detail="amg"         source=leader, vlan, a=view age in us, b=group size
 //   detail="gsc.tables"  source=GSC,  a=#groups, b=#known adapters
 //   detail="gsc.alive"   source=GSC,  a=#adapters alive, b=#nodes down
+//   detail="gsc.domain.tables" source=root GSC, a=#domains, b=#known adapters
+//   detail="gsc.domain.alive"  source=root GSC, a=#adapters alive,
+//                        b=need_full acks sent
 //   detail="wire"        vlan, a=frames sent, b=bytes sent (cumulative)
 //   detail="spans.open"  a=open spans now, b=open-span high-water mark
 //   detail="spans.done"  a=spans closed, b=spans abandoned (cumulative)
@@ -56,6 +59,16 @@ class FarmHealthSampler {
     std::uint64_t alive = 0;
     std::uint64_t nodes_down = 0;
   };
+  // Root tier of a hierarchical farm (gs/central_hier.h): the RootCentral's
+  // aggregated view, published as gsc.domain.* gauges.
+  struct RootSample {
+    util::IpAddress root;
+    std::uint64_t domains = 0;
+    std::uint64_t adapters = 0;
+    std::uint64_t alive = 0;
+    std::uint64_t reports = 0;     // DomainReports applied (cumulative)
+    std::uint64_t need_fulls = 0;  // need_full acks sent (cumulative)
+  };
   struct WireSample {
     util::VlanId vlan;
     std::uint64_t frames_sent = 0;
@@ -78,6 +91,7 @@ class FarmHealthSampler {
   struct Snapshot {
     std::vector<AmgSample> amgs;
     std::optional<GscSample> gsc;
+    std::optional<RootSample> root;
     std::vector<WireSample> wire;
     std::optional<SpanSample> spans;
     std::optional<CodecSample> codec;

@@ -24,7 +24,11 @@ constexpr std::uint64_t kSpanEdgeMask = trace_mask(
      TraceKind::kDeathDeclared, TraceKind::kTakeover,
      TraceKind::kFailureCommitted, TraceKind::kNodeDown,
      TraceKind::kGscActivated, TraceKind::kGscDeactivated,
-     TraceKind::kGscAdapterAlive, TraceKind::kGscDeathUnknown});
+     TraceKind::kGscAdapterAlive, TraceKind::kGscDeathUnknown,
+     TraceKind::kDomainReportSent, TraceKind::kDomainReportNeedFull,
+     TraceKind::kDomainReportDropped,
+     TraceKind::kRootReportApplied, TraceKind::kRootReportDup,
+     TraceKind::kRootActivated, TraceKind::kRootDeactivated});
 
 }  // namespace
 
@@ -35,6 +39,7 @@ std::string_view to_string(SpanKind kind) {
     case SpanKind::kJoin: return "join";
     case SpanKind::kReport: return "report";
     case SpanKind::kFailover: return "failover";
+    case SpanKind::kDomainReport: return "domain_report";
     case SpanKind::kCount_: break;
   }
   return "?";
@@ -65,6 +70,7 @@ std::string_view SpanTracker::histogram_name(SpanKind kind) {
     case SpanKind::kJoin: return "span.join_us";
     case SpanKind::kReport: return "span.report_us";
     case SpanKind::kFailover: return "span.failover_us";
+    case SpanKind::kDomainReport: return "span.domain_report_us";
     case SpanKind::kCount_: break;
   }
   return "?";
@@ -156,6 +162,8 @@ std::vector<SpanTracker::OpenSpan> SpanTracker::open_spans() const {
     out.push_back({SpanKind::kViewChange, ip, p.opened_at});
   for (const auto& [ip, r] : open_reports_)
     out.push_back({SpanKind::kReport, ip, r.opened_at});
+  for (const auto& [ip, r] : open_domain_reports_)
+    out.push_back({SpanKind::kDomainReport, ip, r.opened_at});
   if (failover_open_)
     out.push_back({SpanKind::kFailover, failed_gsc_, failover_opened_at_});
   return out;
@@ -184,6 +192,11 @@ void SpanTracker::on_record(const TraceRecord& record) {
           it != open_reports_.end()) {
         abandon(SpanKind::kReport, AbandonCause::kDied);
         open_reports_.erase(it);
+      }
+      if (auto it = open_domain_reports_.find(record.source);
+          it != open_domain_reports_.end()) {
+        abandon(SpanKind::kDomainReport, AbandonCause::kDied);
+        open_domain_reports_.erase(it);
       }
       if (t.fault_at >= 0) {
         // Back-to-back fault without an intervening clear (health moved
@@ -313,6 +326,67 @@ void SpanTracker::on_record(const TraceRecord& record) {
         it->second = OpenKeyed{record.a, now};
       }
       open(SpanKind::kReport);
+      break;
+    }
+    case TraceKind::kDomainReportSent: {
+      auto [it, inserted] = open_domain_reports_.try_emplace(
+          record.source, OpenKeyed{record.a, now});
+      if (!inserted) {
+        if (it->second.id == record.a) break;  // retry of the same seq
+        abandon(SpanKind::kDomainReport, AbandonCause::kSuperseded);
+        it->second = OpenKeyed{record.a, now};
+      }
+      open(SpanKind::kDomainReport);
+      break;
+    }
+    case TraceKind::kDomainReportDropped: {
+      // The uplink's domain Central deactivated with this digest in flight:
+      // the retry timer is gone and a demoted standby never sends again, so
+      // no later record can close or supersede the span. (On a node death
+      // this edge precedes the adapter's kFaultInjected — the daemon halts
+      // before the fabric faults its NICs — so the abandon reads kDemoted,
+      // which is still the truth: the Central went away under the digest.)
+      auto it = open_domain_reports_.find(record.source);
+      if (it != open_domain_reports_.end() && it->second.id == record.a) {
+        abandon(SpanKind::kDomainReport, AbandonCause::kDemoted);
+        open_domain_reports_.erase(it);
+      }
+      break;
+    }
+    case TraceKind::kDomainReportNeedFull: {
+      auto it = open_domain_reports_.find(record.source);
+      if (it != open_domain_reports_.end() && it->second.id == record.a) {
+        abandon(SpanKind::kDomainReport, AbandonCause::kNeedFull);
+        open_domain_reports_.erase(it);
+      }
+      break;
+    }
+    case TraceKind::kRootReportApplied: {
+      auto it = open_domain_reports_.find(record.peer);
+      if (it != open_domain_reports_.end() && it->second.id == record.a) {
+        close(SpanKind::kDomainReport, it->second.opened_at, now);
+        open_domain_reports_.erase(it);
+      } else {
+        unmatched(SpanKind::kDomainReport);
+      }
+      break;
+    }
+    case TraceKind::kRootReportDup: {
+      auto it = open_domain_reports_.find(record.peer);
+      if (it != open_domain_reports_.end() && it->second.id == record.a) {
+        abandon(SpanKind::kDomainReport, AbandonCause::kDuplicate);
+        open_domain_reports_.erase(it);
+      }
+      break;
+    }
+    case TraceKind::kRootActivated:
+    case TraceKind::kRootDeactivated: {
+      // The root's tables (re)start empty either way: in-flight digests can
+      // no longer close against the instance that opened them.
+      while (!open_domain_reports_.empty()) {
+        abandon(SpanKind::kDomainReport, AbandonCause::kGscFailover);
+        open_domain_reports_.erase(open_domain_reports_.begin());
+      }
       break;
     }
     case TraceKind::kGscReportApplied: {

@@ -47,6 +47,7 @@ enum class SpanKind : std::uint8_t {
   kJoin,           // first beacon of an uninstalled adapter to its install
   kReport,         // leader delta/snapshot sent to Central applying it
   kFailover,       // GSC down to the successor's first applied report
+  kDomainReport,   // domain digest sent to the root Central applying it
   kCount_,
 };
 
@@ -136,6 +137,7 @@ class SpanTracker {
   std::map<util::NodeId, NodeFaults> node_faults_;
   std::map<util::IpAddress, OpenKeyed> open_proposals_;
   std::map<util::IpAddress, OpenKeyed> open_reports_;
+  std::map<util::IpAddress, OpenKeyed> open_domain_reports_;
   bool failover_open_ = false;
   sim::SimTime failover_opened_at_ = 0;
   util::IpAddress failed_gsc_;

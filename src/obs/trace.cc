@@ -41,6 +41,16 @@ std::string_view to_string(TraceKind kind) {
     case TraceKind::kGscAdapterAlive: return "gsc-adapter-alive";
     case TraceKind::kGscDeathUnknown: return "gsc-death-unknown";
     case TraceKind::kHealthSample: return "health-sample";
+    case TraceKind::kDomainReportSent: return "domain-report-sent";
+    case TraceKind::kDomainReportRetry: return "domain-report-retry";
+    case TraceKind::kDomainReportAcked: return "domain-report-acked";
+    case TraceKind::kDomainReportNeedFull: return "domain-report-need-full";
+    case TraceKind::kRootReportApplied: return "root-report-applied";
+    case TraceKind::kRootReportDup: return "root-report-dup";
+    case TraceKind::kRootActivated: return "root-activated";
+    case TraceKind::kRootDeactivated: return "root-deactivated";
+    case TraceKind::kRootDomainExpired: return "root-domain-expired";
+    case TraceKind::kDomainReportDropped: return "domain-report-dropped";
     case TraceKind::kCount_: break;
   }
   return "?";
@@ -62,6 +72,7 @@ Severity default_severity(TraceKind kind) {
     case TraceKind::kBeaconHeard:
     case TraceKind::kWireSample:
     case TraceKind::kGscReportApplied:
+    case TraceKind::kRootReportApplied:
     case TraceKind::kHealthSample:
       return Severity::kDebug;
     case TraceKind::kHeartbeatMiss:
@@ -71,9 +82,12 @@ Severity default_severity(TraceKind kind) {
     case TraceKind::kFailureHeld:
     case TraceKind::kReset:
     case TraceKind::kReportNeedFull:
+    case TraceKind::kDomainReportNeedFull:
     case TraceKind::kFaultInjected:
     case TraceKind::kTwoPcAbort:
     case TraceKind::kGscDeactivated:
+    case TraceKind::kRootDeactivated:
+    case TraceKind::kRootDomainExpired:
     case TraceKind::kGscDeathUnknown:
       return Severity::kWarn;
     case TraceKind::kDeathDeclared:

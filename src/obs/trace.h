@@ -66,6 +66,20 @@ enum class TraceKind : std::uint8_t {
                     //   never knew (post-failover / post-partition rebuild);
                     //   the claim is consumed here, so no commit will follow
   kHealthSample,    // FarmHealthSampler snapshot row; see obs/health.h
+  // --- Two-level hierarchy: domain uplink -> root GSC ----------------------
+  kDomainReportSent,   // peer=root, a=seq, b=1 if full digest
+  kDomainReportRetry,  // peer=root, a=seq
+  kDomainReportAcked,  // a=seq
+  kDomainReportNeedFull,  // root asked for a full digest; a=seq
+  kRootReportApplied,  // digest applied to root tables; peer=sender, a=seq,
+                       //   b=domain
+  kRootReportDup,      // duplicate digest acked idempotently; peer=sender
+  kRootActivated,      // root GSC came up; source=its IP
+  kRootDeactivated,    // root GSC went down (demoted or halted)
+  kRootDomainExpired,  // a domain's lease ran out at the root; a=domain
+  kDomainReportDropped,  // uplink dropped its in-flight digest because its
+                         //   domain Central deactivated (demoted standby or
+                         //   halting node); a=seq, b=domain
 
   kCount_,  // sentinel, keep last
 };

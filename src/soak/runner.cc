@@ -70,7 +70,11 @@ SoakResult execute(const SoakOptions& opts,
     // by design (periodic report refresh, recv-dead churn) and exempt; with
     // no GSC-eligible node alive, detection/report spans legitimately cannot
     // close, so the check is skipped entirely.
-    if (farm.expected_gsc_node().has_value()) {
+    const bool gsc_alive =
+        farm.expected_gsc_node().has_value() &&
+        (!opts.spec.is_hierarchical() ||
+         farm.expected_root_node().has_value());
+    if (gsc_alive) {
       const sim::SimDuration grace = 10 * sim::kSecond;
       for (const obs::SpanTracker::OpenSpan& span : spans.open_spans()) {
         if (sim.now() - span.opened_at < grace) continue;

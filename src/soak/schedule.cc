@@ -17,6 +17,8 @@ proto::Params default_soak_params() {
   params.move_window = sim::seconds(5);
   params.report_refresh = sim::seconds(3);
   params.group_lease = sim::seconds(8);
+  params.domain_refresh = sim::seconds(3);
+  params.domain_lease = sim::seconds(8);
   return params;
 }
 
@@ -60,7 +62,7 @@ class Planner {
       if (fabric.adapters_in_vlan(vlan).size() >= 2)
         partitionable_.push_back(vlan);
     for (util::VlanId vlan : farm_.vlans())
-      if (vlan != farm::admin_vlan()) move_vlans_.push_back(vlan);
+      if (!administrative(vlan)) move_vlans_.push_back(vlan);
   }
 
   std::vector<ScriptAction> plan() {
@@ -169,19 +171,45 @@ class Planner {
     actions_.push_back(action);
   }
 
+  // Moves must not touch administrative segments: an adapter moved onto
+  // one would outrank the management tier and hijack a GSC election
+  // (operator error, not a protocol case). In hierarchical farms every
+  // domain's admin VLAN is administrative alongside the root VLAN.
+  bool administrative(util::VlanId vlan) const {
+    if (vlan == farm::admin_vlan()) return true;
+    const int domains = farm_.spec().hier_domains;
+    for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(domains); ++d)
+      if (vlan == farm::domain_admin_vlan(d)) return true;
+    return false;
+  }
+
   void plan_gsc_failover() {
-    const auto gsc = farm_.expected_gsc_node();
-    if (!gsc) return;
-    const auto node = static_cast<std::uint32_t>(*gsc);
-    // Mid-horizon so the failover and the fail-back both land inside it.
-    const sim::SimTime at = rng_.range(opts_.horizon / 4 / sim::kMillisecond,
-                                       opts_.horizon / 2 / sim::kMillisecond) *
-                            sim::kMillisecond;
-    const sim::SimTime back = at + sample_gap();
-    const auto keys = node_keys(node);
-    occupy(keys, at, back);
-    add(at, ActionKind::kFailNode, node);
-    add(back, ActionKind::kRecoverNode, node);
+    std::vector<std::uint32_t> targets;
+    if (farm_.spec().is_hierarchical()) {
+      // Exercise failover at both levels: the root tier, and one domain's
+      // management tier (forcing a new uplink epoch and a full digest).
+      if (const auto root = farm_.expected_root_node())
+        targets.push_back(static_cast<std::uint32_t>(*root));
+      const auto domains =
+          static_cast<std::uint32_t>(farm_.spec().hier_domains);
+      const auto domain = static_cast<std::uint32_t>(rng_.below(domains));
+      if (const auto gsc = farm_.expected_domain_gsc_node(domain))
+        targets.push_back(static_cast<std::uint32_t>(*gsc));
+    } else if (const auto gsc = farm_.expected_gsc_node()) {
+      targets.push_back(static_cast<std::uint32_t>(*gsc));
+    }
+    for (const std::uint32_t node : targets) {
+      // Mid-horizon so the failover and the fail-back both land inside it.
+      const sim::SimTime at = rng_.range(opts_.horizon / 4 / sim::kMillisecond,
+                                         opts_.horizon / 2 / sim::kMillisecond) *
+                              sim::kMillisecond;
+      const sim::SimTime back = at + sample_gap();
+      const auto keys = node_keys(node);
+      if (!free_between(keys, at, back)) continue;
+      occupy(keys, at, back);
+      add(at, ActionKind::kFailNode, node);
+      add(back, ActionKind::kRecoverNode, node);
+    }
   }
 
   // Permanent death must not empty any VLAN: every VLAN this node touches
@@ -285,7 +313,7 @@ class Planner {
         if (move_vlans_.size() < 2) return false;
         std::vector<util::AdapterId> candidates;
         for (const auto& [raw, vlan] : current_vlan_) {
-          if (vlan == farm::admin_vlan()) continue;
+          if (administrative(vlan)) continue;
           const util::AdapterId id(raw);
           if (free_between(adapter_keys(id), at, back)) candidates.push_back(id);
         }

@@ -229,6 +229,61 @@ TEST_F(CentralTest, DuplicateFullReportRenewsGroupLease) {
   EXPECT_TRUE(central.groups().empty());
 }
 
+TEST_F(CentralTest, GroupLeaseBoundaryIsExclusive) {
+  // The lease check is strictly `>`: a group whose last report is EXACTLY
+  // group_lease old is still inside its lease, so a report landing on the
+  // same tick as the sweep renews a live group instead of racing its
+  // retirement.
+  params_.group_lease = sim::seconds(8);
+  Central central(sim_, params_, &db_, &console_);
+  central.activate(ip(200));
+  auto rep = full_report(9, 1, {member(9, 0), member(5, 1)});
+  central.handle_report(rep.leader.ip, rep, [](const ReportAck&) {});
+  // Sweeps run every lease/4 = 2s; the one at t = 8s sees
+  // now - last_report == group_lease exactly and must keep the group.
+  sim_.run_until(sim::seconds(8));
+  ASSERT_EQ(central.groups().size(), 1u);
+  EXPECT_TRUE(central.adapter_status(ip(5))->alive);
+  // A duplicate arriving on the boundary tick renews the lease...
+  central.handle_report(rep.leader.ip, rep, [](const ReportAck&) {});
+  sim_.run_until(sim::seconds(14));
+  EXPECT_EQ(central.groups().size(), 1u);
+  // ...after which real silence past the lease still retires the group.
+  sim_.run_until(sim::seconds(20));
+  EXPECT_TRUE(central.groups().empty());
+}
+
+TEST_F(CentralTest, StaleDeltaAfterLeaseExpiryCannotResurrectGroup) {
+  params_.group_lease = sim::seconds(8);
+  Central central(sim_, params_, &db_, &console_);
+  central.activate(ip(200));
+  auto rep = full_report(9, 1, {member(9, 0), member(5, 1)});
+  central.handle_report(rep.leader.ip, rep, [](const ReportAck&) {});
+  sim_.run_until(sim_.now() + sim::seconds(12));  // silence past the lease
+  ASSERT_TRUE(central.groups().empty());
+  ASSERT_FALSE(central.adapter_status(ip(5))->alive);
+  // A late delta from the swept leader proves nothing about its members: it
+  // must be bounced with need_full and must NOT re-create the group or touch
+  // the member table — the requested full rebuilds it from scratch.
+  MembershipReport delta;
+  delta.seq = 2;
+  delta.full = false;
+  delta.leader = member(9, 0);
+  delta.added = {member(4, 2)};
+  ReportAck ack;
+  central.handle_report(delta.leader.ip, delta,
+                        [&ack](const ReportAck& a) { ack = a; });
+  EXPECT_TRUE(ack.need_full);
+  EXPECT_TRUE(central.groups().empty());
+  EXPECT_FALSE(central.adapter_status(ip(4)).has_value());
+  EXPECT_FALSE(central.adapter_status(ip(5))->alive);
+  // The solicited full re-establishes the group and revives its members.
+  auto fresh = full_report(9, 3, {member(9, 0), member(5, 1)}, 2);
+  central.handle_report(fresh.leader.ip, fresh, [](const ReportAck&) {});
+  ASSERT_EQ(central.groups().size(), 1u);
+  EXPECT_TRUE(central.adapter_status(ip(5))->alive);
+}
+
 TEST_F(CentralTest, FailureDeltaEmitsAdapterFailedAfterMoveWindow) {
   report(full_report(9, 1, {member(9, 0), member(5, 1)}));
   MembershipReport delta;

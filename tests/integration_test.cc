@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 
 #include "farm/farm.h"
 #include "farm/scenario.h"
@@ -401,6 +402,69 @@ TEST_F(IntegrationTest, SwitchFailureIsCorrelated) {
   ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(180), [&] {
     return events_.count(FarmEvent::Kind::kSwitchRecovered) > 0;
   }));
+}
+
+// --- Multi-leader ack routing (two leaders, one node) ------------------------
+
+TEST_F(IntegrationTest, TwoLeadersOneNodeSurviveGscFailoverIndependently) {
+  // With no back ends, the LAST front-end node holds the highest IP on BOTH
+  // its domain's internal and dispatch VLANs: one daemon, two leader
+  // adapters, both reporting to the same GSC. Acks (and need_fulls) carry
+  // the leader they answer; one leader's ack must never disturb the
+  // co-located other leader's report sequence.
+  build(farm::FarmSpec::oceano(1, 3, 0, 1, 2));
+  proto::Central* central = farm_->active_central();
+  ASSERT_NE(central, nullptr);
+
+  auto leader_adapter = [&](util::VlanId vlan) {
+    util::AdapterId best;
+    for (util::AdapterId id : farm_->healthy_adapters_in_vlan(vlan))
+      if (!best.valid() || farm_->fabric().adapter(best).ip() <
+                               farm_->fabric().adapter(id).ip())
+        best = id;
+    return best;
+  };
+  const util::AdapterId li = leader_adapter(farm::internal_vlan(0));
+  const util::AdapterId ld = leader_adapter(farm::dispatch_vlan(0));
+  ASSERT_EQ(farm_->node_of(li), farm_->node_of(ld));  // co-located leaders
+  ASSERT_NE(farm_->node_of(li), farm_->expected_gsc_node());
+
+  obs::Recorder<obs::TraceRecord> trace(farm_->trace_bus(), obs::kReportMask);
+  const auto gsc_node = farm_->expected_gsc_node();
+  ASSERT_TRUE(gsc_node.has_value());
+  farm_->fail_node(*gsc_node);
+
+  // The standby Central starts empty: each leader's next delta is bounced
+  // with a need_full addressed to THAT leader, and each re-establishes its
+  // own group independently.
+  const util::IpAddress ip_i = farm_->fabric().adapter(li).ip();
+  const util::IpAddress ip_d = farm_->fabric().adapter(ld).ip();
+  ASSERT_TRUE(farm::run_until(sim_, sim_.now() + sim::seconds(180), [&] {
+    proto::Central* c = farm_->active_central();
+    if (c == nullptr || c == central) return false;
+    bool internal_ok = false, dispatch_ok = false;
+    for (const auto& g : c->groups()) {
+      if (g.leader.ip == ip_i) internal_ok = g.members.size() == 3;
+      if (g.leader.ip == ip_d) dispatch_ok = g.members.size() == 4;
+    }
+    return internal_ok && dispatch_ok;
+  }));
+
+  // The regression signature: a need_full consumed by the wrong leader
+  // would reset that leader's sequence, visible as a kReportSent seq
+  // regressing mid-run. Per-source, seqs must stay monotonic.
+  std::map<util::IpAddress, std::uint64_t> last_seq;
+  for (const auto& r : trace.records()) {
+    if (r.kind != obs::TraceKind::kReportSent) continue;
+    auto [it, inserted] = last_seq.emplace(r.source, r.a);
+    if (!inserted) {
+      EXPECT_GE(r.a, it->second)
+          << "leader " << r.source.to_string() << " report seq regressed";
+      it->second = std::max(it->second, r.a);
+    }
+  }
+  EXPECT_TRUE(last_seq.count(ip_i));
+  EXPECT_TRUE(last_seq.count(ip_d));
 }
 
 // --- Every failure-detector strategy, end to end ----------------------------------------

@@ -228,6 +228,60 @@ TEST(Messages, ToFrameEmbedsType) {
   EXPECT_TRUE(decode_Heartbeat(decoded.frame.payload).has_value());
 }
 
+TEST(Messages, DomainReportRoundTrip) {
+  DomainReport rep;
+  rep.seq = 41;
+  rep.epoch = 3;
+  rep.domain = 2;
+  rep.full = true;
+  rep.sender = util::IpAddress(10, 0, 23, 208);
+  for (std::uint8_t h = 1; h <= 3; ++h) {
+    DomainAdapterEntry e;
+    e.info = member(h, h);
+    e.alive = h != 2;
+    e.group_leader = util::IpAddress(10, 0, 0, 3);
+    e.view = 7;
+    rep.entries.push_back(e);
+  }
+  rep.removed = {util::IpAddress(10, 0, 0, 9)};
+  const DomainReport out = round_trip(rep, decode_DomainReport);
+  EXPECT_EQ(out.seq, 41u);
+  EXPECT_EQ(out.epoch, 3u);
+  EXPECT_EQ(out.domain, 2u);
+  EXPECT_TRUE(out.full);
+  EXPECT_EQ(out.sender, rep.sender);
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[1].info, rep.entries[1].info);
+  EXPECT_FALSE(out.entries[1].alive);
+  EXPECT_EQ(out.entries[0].group_leader, util::IpAddress(10, 0, 0, 3));
+  EXPECT_EQ(out.entries[2].view, 7u);
+  EXPECT_EQ(out.removed, rep.removed);
+}
+
+TEST(Messages, DomainReportDeltaRoundTrip) {
+  DomainReport rep;
+  rep.seq = 6;
+  rep.epoch = 1;
+  rep.domain = 0;
+  rep.full = false;
+  rep.sender = util::IpAddress(10, 0, 23, 209);
+  const DomainReport out = round_trip(rep, decode_DomainReport);
+  EXPECT_FALSE(out.full);
+  EXPECT_TRUE(out.entries.empty());
+  EXPECT_TRUE(out.removed.empty());
+}
+
+TEST(Messages, DomainReportAckRoundTrip) {
+  DomainReportAck ack;
+  ack.seq = 41;
+  ack.domain = 2;
+  ack.need_full = true;
+  const DomainReportAck out = round_trip(ack, decode_DomainReportAck);
+  EXPECT_EQ(out.seq, 41u);
+  EXPECT_EQ(out.domain, 2u);
+  EXPECT_TRUE(out.need_full);
+}
+
 TEST(Messages, FuzzDecodersNeverCrash) {
   util::Rng rng(5);
   for (int i = 0; i < 3000; ++i) {
@@ -238,6 +292,8 @@ TEST(Messages, FuzzDecodersNeverCrash) {
     (void)decode_MembershipReport(junk);
     (void)decode_JoinRequest(junk);
     (void)decode_PingReq(junk);
+    (void)decode_DomainReport(junk);
+    (void)decode_DomainReportAck(junk);
   }
 }
 

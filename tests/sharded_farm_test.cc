@@ -6,10 +6,14 @@
 // under churn.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "farm/farm.h"
 #include "farm/sharded.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 
 namespace gs {
@@ -106,6 +110,65 @@ TEST(ShardedFarm, FixedShardCountDigestIsRepeatable) {
   const std::uint64_t first = digest_of(3);
   EXPECT_EQ(first, digest_of(3));   // same seed, same shards: exact replay
   EXPECT_NE(first, digest_of(4));   // the digest actually depends on the run
+}
+
+// Span accounting must be shard-invariant: a report span opens on the
+// leader's shard (kReportSent) and closes on the GSC's (kGscReportApplied),
+// so no single shard's tracker could pair it — span_tracker() replays the
+// merged (when, shard, seq)-ordered stream instead. The same schedule on 3
+// shards and on 1 shard must therefore book identical span counts.
+TEST(ShardedFarm, SpanCountsMatchSingleShardRun) {
+  auto run = [](std::size_t shards) {
+    farm::ShardedFarm sf(farm::FarmSpec::uniform(9, 2), fast_params(), 42,
+                         shards);
+    sf.enable_span_tracking();
+    sf.start();
+    sf.run_until(sim::seconds(20));
+    sf.fail_node(4);
+    sf.run_until(sf.now() + sim::seconds(30));
+    sf.recover_node(4);
+    sf.run_until(sf.now() + sim::seconds(30));
+    obs::SpanTracker& spans = sf.span_tracker();
+    std::vector<std::uint64_t> counts;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(obs::SpanKind::kCount_); ++k) {
+      const auto kind = static_cast<obs::SpanKind>(k);
+      counts.push_back(spans.opened(kind));
+      counts.push_back(spans.closed(kind));
+      counts.push_back(spans.abandoned(kind));
+      counts.push_back(spans.unmatched_closes(kind));
+    }
+    sf.shutdown();
+    return counts;
+  };
+  const auto sharded = run(3);
+  const auto single = run(1);
+  EXPECT_EQ(sharded, single);
+  // The schedule actually exercised the books: reports flowed and the
+  // injected fault opened (and resolved) detection spans.
+  const auto opened_at = [&](obs::SpanKind kind) {
+    return sharded[static_cast<std::size_t>(kind) * 4];
+  };
+  EXPECT_GT(opened_at(obs::SpanKind::kReport), 0u);
+  EXPECT_GT(opened_at(obs::SpanKind::kDetection), 0u);
+}
+
+TEST(ShardedFarm, HealthSamplingCoversEveryShard) {
+  farm::ShardedFarm sf(farm::FarmSpec::uniform(6, 2), fast_params(), 5, 2);
+  sf.enable_trace_capture();
+  sf.enable_health_sampling(sim::seconds(5));
+  sf.start();
+  sf.run_until(sim::seconds(20));
+  std::size_t samples = 0;
+  std::set<std::size_t> shards_sampled;
+  for (const auto& r : sf.merged_trace())
+    if (r.record.kind == obs::TraceKind::kHealthSample) {
+      ++samples;
+      shards_sampled.insert(r.shard);
+    }
+  EXPECT_GT(samples, 0u);
+  EXPECT_EQ(shards_sampled.size(), sf.shard_count());
+  sf.shutdown();
 }
 
 // The determinism + liveness soak the sharded driver must survive: 25 seeds,

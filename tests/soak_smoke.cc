@@ -3,10 +3,16 @@
 // GSC failover. Every run must end with zero invariant violations. On
 // failure, shrinks the schedule and prints a minimal reproducing script.
 //
-// Usage: soak_smoke [num_seeds] [first_seed]
+// With --hier the runs use the two-level hierarchical farm instead: per-
+// domain Centrals feeding a RootCentral over batched digests, with forced
+// failover at BOTH levels (root tier and one domain's management tier) and
+// the checker holding the root's aggregated tables to ground truth.
+//
+// Usage: soak_smoke [num_seeds] [first_seed] [--hier]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -26,9 +32,17 @@ struct Failure {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_seeds = argc > 1 ? std::atoi(argv[1]) : 25;
+  bool hierarchical = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hier") == 0)
+      hierarchical = true;
+    else
+      positional.push_back(argv[i]);
+  }
+  const int num_seeds = !positional.empty() ? std::atoi(positional[0]) : 25;
   const std::uint64_t first_seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+      positional.size() > 1 ? std::strtoull(positional[1], nullptr, 10) : 1;
 
   std::vector<std::uint64_t> seeds;
   for (int i = 0; i < num_seeds; ++i)
@@ -54,6 +68,8 @@ int main(int argc, char** argv) {
         }
         gs::soak::SoakOptions opts;
         opts.seed = seed;
+        if (hierarchical)
+          opts.spec = gs::farm::FarmSpec::hierarchical(3, 4);
         gs::soak::SoakResult result = gs::soak::run_soak(opts);
         std::lock_guard<std::mutex> lock(mu);
         traces_checked += result.trace_records_checked;
@@ -64,8 +80,8 @@ int main(int argc, char** argv) {
   for (std::thread& t : pool) t.join();
 
   if (failures.empty()) {
-    std::printf("soak_smoke: %d seed(s) starting at %llu, 0 violations, "
-                "%llu trace records checked\n",
+    std::printf("soak_smoke%s: %d seed(s) starting at %llu, 0 violations, "
+                "%llu trace records checked\n", hierarchical ? " (hier)" : "",
                 num_seeds, static_cast<unsigned long long>(first_seed),
                 static_cast<unsigned long long>(traces_checked));
     return 0;
@@ -85,6 +101,7 @@ int main(int argc, char** argv) {
   const Failure& first = failures.front();
   gs::soak::SoakOptions opts;
   opts.seed = first.seed;
+  if (hierarchical) opts.spec = gs::farm::FarmSpec::hierarchical(3, 4);
   gs::soak::ShrinkResult shrunk = gs::soak::shrink_schedule_paired(
       first.result.schedule, gs::soak::make_soak_oracle(opts));
   std::printf(
