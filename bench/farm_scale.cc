@@ -16,6 +16,13 @@
 //                harness) and shards=N, and their ratio; --min_shard_speedup
 //                turns a scaling regression into a nonzero exit.
 //
+//  steady event path  (PR 10) the steady state's event-core cost raced as a
+//                pre-PR replica vs the shipped shape: binary heap + one
+//                event per receiver + cancel/re-push re-arms, against the
+//                timing wheel + one event per (frame, deadline) batch +
+//                in-place reschedule re-arms, over an identical schedule.
+//                --min_steady_speedup gates the ratio in CI.
+//
 //  multicast path  the cost of putting one multicast on the wire, measured
 //                two ways: the indexed implementation (per-VLAN membership
 //                index, refcounted payload) vs an in-bench replica of the
@@ -28,8 +35,13 @@
 //
 // Results additionally go to BENCH_farm_scale.json (see bench_common.h).
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #ifdef __unix__
@@ -38,6 +50,8 @@
 
 #include "bench/bench_common.h"
 #include "net/fabric.h"
+#include "sim/event_queue.h"
+#include "sim/heap_queue.h"
 #include "sim/shard.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
@@ -128,9 +142,11 @@ SteadyResult run_steady_state(std::size_t adapters, std::size_t vlans,
     const auto id = topo.adapters[i];
     fabric.adapter(id).set_receive_handler(
         [&, i](const gs::net::Datagram&) {
-          suspicion[i].cancel();
-          suspicion[i] = sim.after(gs::sim::seconds(2),
-                                   [&out] { ++out.suspicion_fires; });
+          // In-place deadline move, like HeartbeatFd::arm_monitor: the
+          // callback survives, so the steady state allocates nothing.
+          if (!suspicion[i].rearm_after(gs::sim::seconds(2)))
+            suspicion[i] = sim.after(gs::sim::seconds(2),
+                                     [&out] { ++out.suspicion_fires; });
         });
   }
   // Every adapter beacons, phase-staggered across the period.
@@ -227,9 +243,9 @@ SteadyResult run_steady_state_sharded(std::size_t adapters, std::size_t vlans,
     for (std::size_t li = 0; li < c.adapters.size(); ++li) {
       c.fabric->adapter(c.adapters[li])
           .set_receive_handler([&c, li](const gs::net::Datagram&) {
-            c.suspicion[li].cancel();
-            c.suspicion[li] = c.sim.after(
-                gs::sim::seconds(2), [&c] { ++c.suspicion_fires; });
+            if (!c.suspicion[li].rearm_after(gs::sim::seconds(2)))
+              c.suspicion[li] = c.sim.after(
+                  gs::sim::seconds(2), [&c] { ++c.suspicion_fires; });
           });
     }
     c.beacon = [&c, &frame, window, beacon_period](std::size_t li) {
@@ -374,6 +390,253 @@ MicroResult run_multicast_micro(std::size_t adapters, std::size_t vlans,
   return out;
 }
 
+// --- Steady-state event-path replica ---------------------------------------
+//
+// The PR-10 steady-state speedup came from two changes to the hot loop —
+// the heap became a timing wheel, and multicast deliveries became one event
+// per (frame, distinct deadline) instead of one per receiver. Neither the
+// old queue nor the unbatched fabric path exists in the library any more,
+// so (like legacy_multicast above) the pre-PR shape is replicated here and
+// raced against the shipped shape over the *identical* schedule:
+//
+//   legacy    sim/heap_queue.h, one event per (frame, receiver); every
+//             delivery resolves its VLAN accounting row with a map find
+//             (the old complete_delivery) and re-arms that receiver's
+//             suspicion deadline the pre-wheel way (cancel + fresh push).
+//   shipped   the timing wheel, receivers grouped by sampled deadline into
+//             one event per batch; the accounting row is resolved once per
+//             frame (PendingFrame::load) and re-arm is the in-place
+//             reschedule().
+//
+// Both passes must deliver exactly the same count and fire the same number
+// of suspicion timeouts — the schedule is deterministic — so the wall-time
+// ratio isolates what the wheel + batching bought the steady state.
+// --min_steady_speedup turns a regression into a nonzero exit.
+struct SteadyReplicaResult {
+  double legacy_wall_s = 0;
+  double batched_wall_s = 0;
+  double speedup = 0;
+  std::uint64_t delivered = 0;
+};
+
+struct ReplicaCounts {
+  std::uint64_t delivered = 0;
+  std::uint64_t fires = 0;
+};
+
+constexpr gs::sim::SimDuration kReplicaGap = 82;  // us between frames, as in
+                                                  // the 5000-adapter steady
+                                                  // state (~12k frames/sim-s)
+constexpr gs::sim::SimDuration kReplicaBase = 200;    // channel base latency
+constexpr gs::sim::SimDuration kReplicaJitter = 100;  // uniform [0, 100] us
+constexpr gs::sim::SimDuration kReplicaSusp = gs::sim::seconds(2);
+// The default farm shape: 64 VLANs x 78 members. The live set (one
+// suspicion timer per receiver) is what gives the pre-wheel heap its depth,
+// and a beacon fans out to its sender's whole VLAN.
+constexpr std::size_t kReplicaVlans = 64;
+constexpr std::size_t kReplicaMembers = 78;
+constexpr std::size_t kReplicaReceivers = kReplicaVlans * kReplicaMembers;
+constexpr int kReplicaRecvBits = 13;
+
+template <typename Queue, bool kBatched>
+ReplicaCounts replica_pass(std::size_t frames, std::size_t fan) {
+  // Both the shipped Fabric and its pre-PR shape keep per-event closures in
+  // the std::function small buffer and pool their per-frame state, so the
+  // replica does too: delivery closures capture (state*, 8-byte payload)
+  // and batch receiver vectors are recycled through a free list — neither
+  // side heap-allocates in steady state beyond what its queue does.
+  struct Batch {
+    gs::sim::SimTime due = 0;
+    std::uint64_t* load = nullptr;  // the frame's accounting row, like
+                                    // PendingFrame::load
+    std::vector<std::uint32_t> receivers;
+  };
+  struct St {
+    Queue q;
+    std::vector<gs::sim::EventId> susp;
+    ReplicaCounts out;
+    // The per-VLAN accounting rows. Pre-PR, complete_delivery resolved its
+    // row with a map find on every delivery; shipped, the row is resolved
+    // once per frame and carried as a pointer.
+    std::map<std::uint32_t, std::uint64_t> loads;
+    std::vector<Batch*> free_batches;
+    std::vector<std::unique_ptr<Batch>> batch_storage;
+    // The shipped grouping machinery, shape for shape: a direct-mapped
+    // epoch-tagged index resolving the open batch for a deadline in ~one
+    // probe (Fabric::append_delivery), flushed after the member loop.
+    struct LutSlot {
+      std::uint32_t tag = 0;
+      gs::sim::SimTime due = 0;
+      Batch* batch = nullptr;
+    };
+    std::array<LutSlot, 256> lut{};
+    std::uint32_t lut_tag = 0;
+    std::vector<Batch*> open;
+
+    void rearm(std::size_t r, gs::sim::SimTime due) {
+      if constexpr (kBatched) {
+        // The shipped path: in-place deadline move, closure untouched.
+        if (susp[r] != 0) {
+          const gs::sim::EventId moved = q.reschedule(susp[r], due);
+          if (moved != 0) {
+            susp[r] = moved;
+            return;
+          }
+        }
+      } else {
+        // The pre-wheel path: lazy cancel plus a fresh push.
+        if (susp[r] != 0) q.cancel(susp[r]);
+      }
+      susp[r] = q.push(due, [this] { ++out.fires; });
+    }
+    void deliver_one(std::uint64_t packed) {
+      const auto r = static_cast<std::size_t>(
+          packed & ((std::uint64_t{1} << kReplicaRecvBits) - 1));
+      const auto due =
+          static_cast<gs::sim::SimTime>(packed >> kReplicaRecvBits);
+      ++loads.find(static_cast<std::uint32_t>(1 + r % kReplicaVlans))->second;
+      ++out.delivered;
+      rearm(r, due + kReplicaSusp);
+    }
+    void deliver_batch(Batch* b) {
+      for (const std::uint32_t r : b->receivers) {
+        ++*b->load;
+        ++out.delivered;
+        rearm(r, b->due + kReplicaSusp);
+      }
+      b->receivers.clear();
+      free_batches.push_back(b);
+    }
+    Batch* get_batch() {
+      if (free_batches.empty()) {
+        batch_storage.push_back(std::make_unique<Batch>());
+        return batch_storage.back().get();
+      }
+      Batch* b = free_batches.back();
+      free_batches.pop_back();
+      return b;
+    }
+  };
+  static_assert(kReplicaReceivers < (std::size_t{1} << kReplicaRecvBits),
+                "deliver_one packs the receiver into the low bits");
+
+  St st;
+  st.susp.assign(kReplicaReceivers, 0);
+  for (std::size_t v = 0; v < kReplicaVlans; ++v)
+    st.loads.emplace(static_cast<std::uint32_t>(1 + v), 0);
+  gs::util::Rng rng(0xBEEF);
+  const std::size_t members = std::min(fan, kReplicaMembers);
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    const gs::sim::SimTime now =
+        static_cast<gs::sim::SimTime>(f) * kReplicaGap;
+    while (!st.q.empty() && st.q.next_time() <= now) {
+      auto [when, fn] = st.q.pop();
+      (void)when;
+      fn();
+    }
+    // Frame f is a beacon on VLAN v fanning out to the VLAN's members —
+    // receiver r lives on VLAN r % kReplicaVlans.
+    const std::size_t v = f % kReplicaVlans;
+    if constexpr (kBatched) {
+      if (++st.lut_tag == 0) {
+        st.lut.fill(typename St::LutSlot{});
+        st.lut_tag = 1;
+      }
+      st.open.clear();
+      std::uint64_t* load =
+          &st.loads.find(static_cast<std::uint32_t>(1 + v))->second;
+      for (std::size_t k = 0; k < members; ++k) {
+        const auto r = static_cast<std::uint32_t>(v + kReplicaVlans * k);
+        const gs::sim::SimTime due =
+            now + kReplicaBase +
+            static_cast<gs::sim::SimDuration>(rng.below(kReplicaJitter + 1));
+        Batch* b = nullptr;
+        std::size_t i = static_cast<std::size_t>(due) & 255;
+        for (std::size_t probe = 0; probe < 16; ++probe, i = (i + 1) & 255) {
+          typename St::LutSlot& s = st.lut[i];
+          if (s.tag != st.lut_tag) {
+            b = st.get_batch();
+            b->due = due;
+            b->load = load;
+            st.open.push_back(b);
+            s = {st.lut_tag, due, b};
+            break;
+          }
+          if (s.due == due) {
+            b = s.batch;
+            break;
+          }
+        }
+        if (b == nullptr) {  // probe cap: fall back to the open list
+          for (Batch* cand : st.open) {
+            if (cand->due == due) {
+              b = cand;
+              break;
+            }
+          }
+          if (b == nullptr) {
+            b = st.get_batch();
+            b->due = due;
+            b->load = load;
+            st.open.push_back(b);
+          }
+        }
+        b->receivers.push_back(r);
+      }
+      for (Batch* b : st.open)
+        st.q.push(b->due, [stp = &st, b] { stp->deliver_batch(b); });
+    } else {
+      for (std::size_t k = 0; k < members; ++k) {
+        const std::size_t r = v + kReplicaVlans * k;
+        const gs::sim::SimTime due =
+            now + kReplicaBase +
+            static_cast<gs::sim::SimDuration>(rng.below(kReplicaJitter + 1));
+        const std::uint64_t packed =
+            (static_cast<std::uint64_t>(due) << kReplicaRecvBits) | r;
+        st.q.push(due, [stp = &st, packed] { stp->deliver_one(packed); });
+      }
+    }
+  }
+  while (!st.q.empty()) {
+    auto [when, fn] = st.q.pop();
+    (void)when;
+    fn();
+  }
+  return st.out;
+}
+
+template <typename Queue, bool kBatched>
+double replica_best_of(std::size_t frames, std::size_t fan,
+                       ReplicaCounts* counts) {
+  double best = -1.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    const ReplicaCounts got = replica_pass<Queue, kBatched>(frames, fan);
+    const double dt = seconds_since(t0);
+    if (best < 0 || dt < best) best = dt;
+    *counts = got;
+  }
+  return best;
+}
+
+SteadyReplicaResult run_steady_replica(std::size_t frames, std::size_t fan) {
+  SteadyReplicaResult out;
+  ReplicaCounts legacy{}, batched{};
+  out.legacy_wall_s =
+      replica_best_of<gs::sim::HeapEventQueue, false>(frames, fan, &legacy);
+  out.batched_wall_s =
+      replica_best_of<gs::sim::EventQueue, true>(frames, fan, &batched);
+  // The schedule is deterministic, so any count divergence means one side
+  // dropped or double-ran an event — fail loudly rather than report a bogus
+  // ratio.
+  GS_CHECK(legacy.delivered == batched.delivered);
+  GS_CHECK(legacy.fires == batched.fires);
+  out.delivered = legacy.delivered;
+  out.speedup = out.legacy_wall_s / out.batched_wall_s;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -394,6 +657,13 @@ int main(int argc, char** argv) {
       flags.get_int("payload", 1000, "beacon payload bytes"));
   const double min_speedup = flags.get_double(
       "min_speedup", 3.0, "exit nonzero if indexed/legacy falls below this");
+  const auto replica_frames = static_cast<std::size_t>(flags.get_int(
+      "replica_frames", smoke ? 4096 : 16384,
+      "frames per steady event-path replica pass"));
+  const double min_steady_speedup = flags.get_double(
+      "min_steady_speedup", 1.5,
+      "exit nonzero if the wheel+batching replica speedup over the "
+      "heap+per-receiver replica falls below this");
   const auto shards = static_cast<std::size_t>(flags.get_int(
       "shards", 0, "also run the sharded steady state on this many threads"));
   const double min_shard_speedup = flags.get_double(
@@ -454,6 +724,19 @@ int main(int argc, char** argv) {
               micro.legacy_frames_per_s);
   std::printf("  speedup          %10.1fx\n", micro.speedup);
 
+  const std::size_t replica_fan = std::max<std::size_t>(
+      vlans == 0 ? 1 : adapters / vlans, 1);
+  const SteadyReplicaResult replica =
+      run_steady_replica(replica_frames, replica_fan);
+  std::printf(
+      "\nsteady event path (%zu frames x fan %zu, %llu deliveries):\n",
+      replica_frames, replica_fan,
+      static_cast<unsigned long long>(replica.delivered));
+  std::printf("  heap, per-receiver %8.3f s   (pre-wheel replica)\n",
+              replica.legacy_wall_s);
+  std::printf("  wheel, batched     %8.3f s\n", replica.batched_wall_s);
+  std::printf("  speedup            %8.2fx\n", replica.speedup);
+
   gs::bench::BenchJson json("farm_scale");
   json.set("adapters", static_cast<std::int64_t>(adapters));
   json.set("vlans", static_cast<std::int64_t>(vlans));
@@ -468,6 +751,10 @@ int main(int argc, char** argv) {
   json.set("multicast_frames_per_s", micro.indexed_frames_per_s);
   json.set("legacy_multicast_frames_per_s", micro.legacy_frames_per_s);
   json.set("multicast_speedup", micro.speedup);
+  json.set("steady_replica_frames", static_cast<std::int64_t>(replica_frames));
+  json.set("steady_replica_legacy_wall_s", replica.legacy_wall_s);
+  json.set("steady_replica_batched_wall_s", replica.batched_wall_s);
+  json.set("steady_replica_speedup", replica.speedup);
   if (shards > 1) {
     json.set("shards", static_cast<std::int64_t>(shards));
     json.set("single_shard_events_per_s", single_shard_events_per_s);
@@ -488,6 +775,13 @@ int main(int argc, char** argv) {
                  "FAIL: multicast speedup %.2fx below floor %.2fx — the "
                  "per-VLAN index is not paying for itself\n",
                  micro.speedup, min_speedup);
+    return 1;
+  }
+  if (replica.speedup < min_steady_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: steady event-path speedup %.2fx below floor %.2fx — "
+                 "the wheel + delivery batching is not paying for itself\n",
+                 replica.speedup, min_steady_speedup);
     return 1;
   }
   return 0;

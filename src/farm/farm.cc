@@ -724,6 +724,13 @@ obs::FarmHealthSampler::Snapshot Farm::health_snapshot() {
     }
     snapshot.codec = std::move(codec);
   }
+  {
+    obs::FarmHealthSampler::QueueSample queue;
+    queue.live = sim_.pending_events();
+    queue.slots = sim_.queue_slots();
+    queue.high_water = sim_.queue_high_water();
+    snapshot.queue = queue;
+  }
   if (spans_) {
     obs::FarmHealthSampler::SpanSample span_sample;
     span_sample.open = spans_->open_total();

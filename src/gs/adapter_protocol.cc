@@ -705,7 +705,9 @@ void AdapterProtocol::declare_dead(util::IpAddress ip) {
 }
 
 void AdapterProtocol::arm_report_debounce() {
-  report_timer_.cancel();
+  // Every membership change while the AMG settles pushes the debounce out;
+  // move the pending deadline in place when there is one (same callback).
+  if (report_timer_.rearm_after(params_.amg_stable_wait)) return;
   report_timer_ = sim_.after(params_.amg_stable_wait, [this] {
     if (state_ == AdapterState::kLeader && !committed_.empty() &&
         hooks_.on_report_pending)

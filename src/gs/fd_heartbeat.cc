@@ -140,9 +140,13 @@ void HeartbeatFd::arm_monitor(util::IpAddress peer, bool after_suspicion) {
       after_suspicion
           ? ctx_.params->resuspect_hold
           : period * ctx_.params->hb_sensitivity + period / 2;
-  deadlines_[peer].cancel();
-  deadlines_[peer] =
-      ctx_.sim->after(deadline, [this, peer] { monitor_expired(peer); });
+  sim::Timer& timer = deadlines_[peer];
+  // Fast path for the steady state (every heartbeat arrival lands here):
+  // the pending deadline moves in place — the backend keeps the callback,
+  // so the cycle is allocation-free. Falls back to a fresh arm on first
+  // use and when re-arming from monitor_expired (the timer just fired).
+  if (timer.rearm_after(deadline)) return;
+  timer = ctx_.sim->after(deadline, [this, peer] { monitor_expired(peer); });
 }
 
 void HeartbeatFd::monitor_expired(util::IpAddress peer) {

@@ -223,7 +223,7 @@ std::uint16_t Fabric::peek_frame_type(
   return static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
 }
 
-std::uint32_t Fabric::park_frame(Datagram dgram) {
+std::uint32_t Fabric::park_frame(Datagram dgram, SegmentLoad& load) {
   std::uint32_t slot;
   if (pending_free_.empty()) {
     slot = static_cast<std::uint32_t>(pending_.size());
@@ -233,6 +233,7 @@ std::uint32_t Fabric::park_frame(Datagram dgram) {
     pending_free_.pop_back();
   }
   pending_[slot].dgram = std::move(dgram);
+  pending_[slot].load = &load;
   return slot;
 }
 
@@ -244,30 +245,118 @@ void Fabric::release_frame(std::uint32_t slot) {
 void Fabric::complete_delivery(std::uint32_t slot, util::AdapterId to) {
   // Safe to hold across deliver(): pool addresses are stable (deque) and the
   // slot cannot be recycled while this delivery's `remaining` count is held.
-  const Datagram& dgram = pending_[slot].dgram;
+  PendingFrame& frame = pending_[slot];
+  const Datagram& dgram = frame.dgram;
+  SegmentLoad& load = *frame.load;
   const Adapter& dst = adapter(to);
   // Re-check at delivery time: the receiver may have died or been moved
   // to another VLAN while the frame was in flight.
   if (!dst.can_recv() || vlan_of(to) != dgram.vlan) {
-    loads_[dgram.vlan].frames_unreachable++;
+    load.frames_unreachable++;
   } else {
-    loads_[dgram.vlan].frames_delivered++;
+    load.frames_delivered++;
     dst.deliver(dgram);
   }
-  if (--pending_[slot].remaining == 0) release_frame(slot);
+  if (--frame.remaining == 0) release_frame(slot);
 }
 
 std::uint32_t Fabric::park_corrupted(std::uint32_t slot, Segment& seg) {
   const Datagram& clean = pending_[slot].dgram;
+  SegmentLoad& load = *pending_[slot].load;
   const std::span<const std::uint8_t> bytes = clean.bytes();
   std::vector<std::uint8_t> flipped(bytes.begin(), bytes.end());
   // XOR with a nonzero mask guarantees the byte actually changes.
   flipped[seg.sample_corrupt_index(flipped.size())] ^= 0xFF;
-  const std::uint32_t corrupted = park_frame(Datagram{
-      clean.src, clean.dst, clean.multicast, clean.vlan,
-      make_payload(std::move(flipped))});
-  pending_[corrupted].remaining = 1;
-  return corrupted;
+  // remaining stays 0: the caller accounts for the delivery it schedules,
+  // exactly as with park_frame.
+  return park_frame(Datagram{clean.src, clean.dst, clean.multicast, clean.vlan,
+                             make_payload(std::move(flipped))},
+                    load);
+}
+
+void Fabric::append_delivery(sim::SimTime due, std::uint32_t pslot,
+                             util::AdapterId to) {
+  std::uint32_t b = 0;
+  bool found = false;
+  // The direct-mapped index resolves the open batch for `due` in ~one probe.
+  // Slots tagged with an older epoch count as empty, and a lookup can stop
+  // at the first one: inserts always claim the earliest empty slot on the
+  // probe path, so a hit would have appeared before it.
+  constexpr std::size_t kMask = kOpenLutSize - 1;
+  std::size_t i = static_cast<std::size_t>(due) & kMask;
+  std::size_t insert_at = kOpenLutSize;  // sentinel: probe cap exhausted
+  for (std::size_t probe = 0; probe < kOpenLutMaxProbe;
+       ++probe, i = (i + 1) & kMask) {
+    const OpenLutSlot& s = open_lut_[i];
+    if (s.tag != open_lut_tag_) {
+      insert_at = i;
+      break;
+    }
+    if (s.due == due) {
+      b = s.batch;
+      found = true;
+      break;
+    }
+  }
+  if (!found && insert_at == kOpenLutSize) {
+    // Pathologically clustered deadlines overflow the probe cap; fall back
+    // to scanning the open list (and leave such deadlines out of the index,
+    // so later appends for them take this same path and still find them).
+    for (const auto& [when, idx] : open_batches_) {
+      if (when == due) {
+        b = idx;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    if (batch_free_.empty()) {
+      b = static_cast<std::uint32_t>(batches_.size());
+      batches_.emplace_back();
+    } else {
+      b = batch_free_.back();
+      batch_free_.pop_back();
+    }
+    open_batches_.emplace_back(due, b);
+    if (insert_at != kOpenLutSize) open_lut_[insert_at] = {open_lut_tag_, b, due};
+  }
+  batches_[b].entries.emplace_back(pslot, to);
+  pending_[pslot].remaining++;
+}
+
+void Fabric::flush_batches() {
+  for (const auto& [due, b] : open_batches_) {
+    DeliveryBatch& batch = batches_[b];
+    if (batch.entries.size() == 1) {
+      // Lone receiver at this deadline: deliver directly, skip the batch
+      // hop. Identical order either way — one event at `due` either path.
+      const std::uint32_t pslot = batch.entries[0].first;
+      const util::AdapterId to = batch.entries[0].second;
+      batch.entries.clear();
+      batch_free_.push_back(b);
+      sim_.at(due, [this, pslot, to] { complete_delivery(pslot, to); });
+    } else {
+      sim_.at(due, [this, b] { run_batch(b); });
+    }
+  }
+  open_batches_.clear();
+  // Invalidate the whole direct-mapped index in O(1). On the (unreachable in
+  // practice) tag wrap, scrub the slots so tag-0 defaults stay distinct.
+  if (++open_lut_tag_ == 0) {
+    open_lut_.fill(OpenLutSlot{});
+    open_lut_tag_ = 1;
+  }
+}
+
+void Fabric::run_batch(std::uint32_t b) {
+  // Safe across re-entry: deque addresses are stable, and slot b cannot be
+  // recycled (or its entries touched) until the free-list push below —
+  // nested multicasts only ever allocate other slots.
+  DeliveryBatch& batch = batches_[b];
+  for (const auto& [pslot, to] : batch.entries) complete_delivery(pslot, to);
+  batch.entries.clear();
+  batch_free_.push_back(b);
 }
 
 bool Fabric::send(util::AdapterId from, util::IpAddress dst, Payload payload) {
@@ -306,8 +395,9 @@ bool Fabric::send(util::AdapterId from, util::IpAddress dst, Payload payload) {
     load.frames_lost++;
     return true;
   }
-  std::uint32_t slot = park_frame(Datagram{
-      src.ip(), dst, /*multicast=*/false, vlan, std::move(payload)});
+  std::uint32_t slot = park_frame(
+      Datagram{src.ip(), dst, /*multicast=*/false, vlan, std::move(payload)},
+      load);
   // Corruption injection clones the frame so the receiver gets its own
   // mutated payload; the guard keeps the default model free of RNG draws.
   if (seg.model().corrupt_probability > 0 && seg.sample_corruption()) {
@@ -315,9 +405,8 @@ bool Fabric::send(util::AdapterId from, util::IpAddress dst, Payload payload) {
     const std::uint32_t corrupted = park_corrupted(slot, seg);
     release_frame(slot);  // remaining still 0: no delivery was scheduled
     slot = corrupted;
-  } else {
-    pending_[slot].remaining = 1;
   }
+  pending_[slot].remaining = 1;
   const util::AdapterId to = *target;
   sim_.after(*latency, [this, slot, to] { complete_delivery(slot, to); });
   return true;
@@ -339,8 +428,9 @@ bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
   Segment& seg = segment(vlan);
   // The frame is parked once — one payload allocation, one pool slot — and
   // every scheduled delivery shares it by slot reference.
-  const std::uint32_t slot = park_frame(Datagram{
-      src.ip(), group, /*multicast=*/true, vlan, std::move(payload)});
+  const std::uint32_t slot = park_frame(
+      Datagram{src.ip(), group, /*multicast=*/true, vlan, std::move(payload)},
+      load);
   const bool may_corrupt = seg.model().corrupt_probability > 0;
   // Consecutive members usually share a switch; cache the liveness lookup.
   util::SwitchId cached_sw = util::SwitchId::invalid();
@@ -365,18 +455,16 @@ bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
       load.frames_lost++;
       continue;
     }
+    std::uint32_t pslot = slot;
     if (may_corrupt && seg.sample_corruption()) {
       // This receiver alone sees flipped bytes: it gets a private payload
       // copy in its own pool slot, leaving the shared frame — and the
-      // decode cache every clean receiver reuses — untouched.
+      // decode cache every clean receiver reuses — untouched. It still
+      // joins its deadline's batch, so member-order delivery is preserved.
       load.frames_corrupted++;
-      const std::uint32_t corrupted = park_corrupted(slot, seg);
-      sim_.after(*latency,
-                 [this, corrupted, id] { complete_delivery(corrupted, id); });
-      continue;
+      pslot = park_corrupted(slot, seg);
     }
-    pending_[slot].remaining++;
-    sim_.after(*latency, [this, slot, id] { complete_delivery(slot, id); });
+    append_delivery(sim_.now() + *latency, pslot, id);
   }
   // Receivers on other shards get the bytes (not the Payload) through the
   // router's mailboxes; their shard samples loss/latency from its own fork
@@ -387,6 +475,7 @@ bool Fabric::multicast(util::AdapterId from, util::IpAddress group,
                      ForeignFrame{src.ip(), group, /*multicast=*/true, vlan,
                                   sim_.now(), {bytes.begin(), bytes.end()}});
   }
+  flush_batches();
   if (pending_[slot].remaining == 0) release_frame(slot);
   return true;
 }
@@ -414,7 +503,8 @@ void Fabric::deliver_foreign(const ForeignFrame& frame) {
     }
     const std::uint32_t slot =
         park_frame(Datagram{frame.src, frame.dst, /*multicast=*/false,
-                            frame.vlan, std::move(payload)});
+                            frame.vlan, std::move(payload)},
+                   load);
     pending_[slot].remaining = 1;
     const util::AdapterId to = *target;
     // Absolute time: latency >= base latency >= epoch puts this at or after
@@ -426,7 +516,8 @@ void Fabric::deliver_foreign(const ForeignFrame& frame) {
 
   const std::uint32_t slot =
       park_frame(Datagram{frame.src, frame.dst, /*multicast=*/true,
-                          frame.vlan, std::move(payload)});
+                          frame.vlan, std::move(payload)},
+                 load);
   util::SwitchId cached_sw = util::SwitchId::invalid();
   bool cached_sw_failed = false;
   for (util::AdapterId id : vlan_members(frame.vlan)) {
@@ -445,16 +536,20 @@ void Fabric::deliver_foreign(const ForeignFrame& frame) {
       load.frames_lost++;
       continue;
     }
-    pending_[slot].remaining++;
-    sim_.at(frame.sent_at + *latency,
-            [this, slot, id] { complete_delivery(slot, id); });
+    // Absolute time, like the foreign unicast path: latency >= base latency
+    // >= epoch keeps this at or after now() (the epoch-contract tripwire).
+    append_delivery(frame.sent_at + *latency, slot, id);
   }
+  flush_batches();
   if (pending_[slot].remaining == 0) release_frame(slot);
 }
 
 void Fabric::drop_in_flight() {
   pending_.clear();
   pending_free_.clear();
+  batches_.clear();
+  batch_free_.clear();
+  open_batches_.clear();
 }
 
 void Fabric::set_adapter_health(util::AdapterId id, HealthState health) {

@@ -12,6 +12,7 @@
 //    for the receiver, so mid-flight failures drop frames.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -220,14 +221,26 @@ class Fabric {
   // recycled when it reaches zero.
   struct PendingFrame {
     Datagram dgram;
+    // The frame's VLAN accounting row, resolved once at park time: loads_
+    // nodes are stable (reset zeroes in place, never erases), so deliveries
+    // skip the per-receiver map lookup.
+    SegmentLoad* load = nullptr;
     std::uint32_t remaining = 0;
   };
 
   // Parks a frame and returns its pool slot (remaining == 0; callers bump it
   // per scheduled delivery and must release the slot if it stays zero).
-  std::uint32_t park_frame(Datagram dgram);
+  std::uint32_t park_frame(Datagram dgram, SegmentLoad& load);
   void release_frame(std::uint32_t slot);
   void complete_delivery(std::uint32_t slot, util::AdapterId to);
+  // Adds one receiver's delivery to the open batch for `due` (creating it on
+  // first use), bumping the pending slot's remaining count.
+  void append_delivery(sim::SimTime due, std::uint32_t pslot,
+                       util::AdapterId to);
+  // Schedules one sim event per open batch, in creation order; singleton
+  // batches skip the indirection and deliver directly.
+  void flush_batches();
+  void run_batch(std::uint32_t b);
   // Parks a fresh, independently allocated copy of `slot`'s datagram with
   // one byte flipped. The corrupted receiver must never share (or poison)
   // the clean payload's decode cache, so the bytes are duplicated here.
@@ -264,6 +277,40 @@ class Fabric {
   // reads its frame by reference.
   std::deque<PendingFrame> pending_;
   std::vector<std::uint32_t> pending_free_;
+
+  // One multicast's deliveries grouped by deadline: a single sim event per
+  // distinct (frame, deadline) walks `entries` in member-index order, so
+  // with ~receivers/jitter collisions per deadline the event count per
+  // multicast drops from O(receivers) toward O(distinct latencies). Pop
+  // order is exactly the per-receiver schedule's: same-deadline deliveries
+  // ran in member order before (seq = push order = member order), and the
+  // batch replays that order; distinct deadlines never compared seq.
+  // Corrupted receivers ride the same batch carrying their private pool
+  // slot, keeping the member-order interleave. Recycled like pending_, and
+  // a deque for the same stable-address reason (run_batch re-enters).
+  struct DeliveryBatch {
+    std::vector<std::pair<std::uint32_t, util::AdapterId>> entries;
+  };
+  std::deque<DeliveryBatch> batches_;
+  std::vector<std::uint32_t> batch_free_;
+  // deadline -> open batch slot for the multicast currently being scheduled;
+  // cleared by flush_batches(). A member only to recycle its capacity.
+  std::vector<std::pair<sim::SimTime, std::uint32_t>> open_batches_;
+  // Direct-mapped index over open_batches_, keyed by the deadline's low
+  // bits: one multicast's deadlines span the jitter window, so the linear
+  // scan made append_delivery O(distinct latencies) per receiver. Open
+  // addressing with a hard probe cap (clustered deadlines fall back to the
+  // scan); flush_batches() invalidates every slot at once by bumping the
+  // epoch tag. Slots default to tag 0, which the tag never takes.
+  static constexpr std::size_t kOpenLutSize = 256;  // power of two
+  static constexpr std::size_t kOpenLutMaxProbe = 16;
+  struct OpenLutSlot {
+    std::uint32_t tag = 0;
+    std::uint32_t batch = 0;
+    sim::SimTime due = 0;
+  };
+  std::array<OpenLutSlot, kOpenLutSize> open_lut_{};
+  std::uint32_t open_lut_tag_ = 1;
 
   obs::TraceBus* trace_ = nullptr;
   sim::SimDuration load_sample_period_ = 0;

@@ -134,6 +134,14 @@ void FarmHealthSampler::publish(const Snapshot& snapshot) {
     registry_->gauge("spans.open_watermark")
         .set(static_cast<double>(snapshot.spans->watermark));
   }
+  if (snapshot.queue) {
+    registry_->gauge("sim.queue.live")
+        .set(static_cast<double>(snapshot.queue->live));
+    registry_->gauge("sim.queue.slots")
+        .set(static_cast<double>(snapshot.queue->slots));
+    registry_->gauge("sim.queue.high_water")
+        .set(static_cast<double>(snapshot.queue->high_water));
+  }
   if (snapshot.codec) {
     for (const auto& [type, count] : snapshot.codec->decoded)
       registry_->gauge(util::labeled("wire.decoded", {{"type", type}}))

@@ -80,6 +80,15 @@ class FarmHealthSampler {
     std::uint64_t closed = 0;
     std::uint64_t abandoned = 0;
   };
+  // Event-queue occupancy of the embedder's simulator (timing-wheel stats):
+  // live scheduled events, allocated callback slots (live + free-listed),
+  // and the all-time live high-water mark. Gauges only — no trace row, so
+  // enabling it leaves jsonl traces untouched.
+  struct QueueSample {
+    std::uint64_t live = 0;
+    std::uint64_t slots = 0;
+    std::uint64_t high_water = 0;
+  };
   // Farm-wide codec accounting (obs cannot see proto::WireStats, so the
   // embedder pre-labels each counter): frames decoded per message type and
   // frames dropped per reason, aggregated over every daemon. Only nonzero
@@ -95,6 +104,7 @@ class FarmHealthSampler {
     std::vector<WireSample> wire;
     std::optional<SpanSample> spans;
     std::optional<CodecSample> codec;
+    std::optional<QueueSample> queue;
   };
   using Provider = std::function<Snapshot()>;
 

@@ -1,6 +1,7 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace gs::sim {
 
@@ -11,89 +12,399 @@ constexpr std::uint64_t encode_id(std::uint32_t slot, std::uint32_t gen) {
          (static_cast<std::uint64_t>(slot) + 1);
 }
 
-// Compaction triggers only once the stale population both exceeds a floor
-// (so small queues never pay a rebuild) and outnumbers the live entries
-// (so the O(heap) rebuild amortizes to O(1) per cancel).
+// The stale sweep triggers only once the stale population both exceeds a
+// floor (so small queues never pay it) and outnumbers the live entries (so
+// the O(entries) sweep amortizes to O(1) per cancel).
 constexpr std::size_t kCompactFloor = 64;
+
+bool entry_before(SimTime when_a, std::uint64_t seq_a, SimTime when_b,
+                  std::uint64_t seq_b) {
+  if (when_a != when_b) return when_a < when_b;
+  return seq_a < seq_b;
+}
 
 }  // namespace
 
+EventQueue::EventQueue() : buckets_(kLevels * kBuckets) {}
+
+void EventQueue::file(const Entry& e) {
+  const auto now_u = static_cast<std::uint64_t>(wheel_now_);
+  // Past deadlines (possible through WallClock's monotonic-now clamp racing
+  // real time, and through pushes interleaved with pops in the property
+  // tests) clamp into the current bucket for *positioning* only; the entry
+  // keeps its true (when, seq) key, so it still pops first.
+  const std::uint64_t w = std::max(static_cast<std::uint64_t>(e.when), now_u);
+  const std::uint64_t diff = w ^ now_u;
+  const int level =
+      diff == 0 ? 0 : (63 - std::countl_zero(diff)) / kLevelBits;
+  const int idx = byte_of(w, level);
+  Bucket& b = bucket(level, idx);
+  if (level == 0 && idx == byte_of(now_u, 0)) {
+    // Appending into the (possibly partially drained) current bucket: the
+    // common case — a deadline at or past the tail — keeps it sorted; an
+    // out-of-order append (past-time push, cascade interleave) flips the
+    // flag and pop() re-sorts lazily.
+    if (cur_sorted_ && b.size() > cur_idx_) {
+      const Entry& tail = b.back();
+      if (entry_before(e.when, e.seq, tail.when, tail.seq))
+        cur_sorted_ = false;
+    }
+  }
+  b.push_back(e);
+  set_occ(level, idx);
+}
+
 EventId EventQueue::push(SimTime when, std::function<void()> fn) {
   GS_CHECK(fn != nullptr);
+  GS_CHECK(when >= 0);
   std::uint32_t slot;
   if (free_.empty()) {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(slot_gen_.size());
+    slot_gen_.emplace_back();
+    slot_when_.emplace_back();
+    slot_fn_.emplace_back();
   } else {
     slot = free_.back();
     free_.pop_back();
   }
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  heap_.push_back(Entry{when, next_seq_++, slot, s.gen});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  slot_fn_[slot] = std::move(fn);
+  slot_when_[slot] = when;
+  const std::uint32_t gen = slot_gen_[slot];
+  file(Entry{when, next_seq_++, slot, gen});
   ++live_;
-  return encode_id(slot, s.gen);
+  high_water_ = std::max(high_water_, live_);
+  if (min_valid_ && when < min_when_) min_when_ = when;
+  return encode_id(slot, gen);
 }
 
 bool EventQueue::cancel(EventId id) {
   if (id == 0) return false;
   const auto slot = static_cast<std::uint32_t>((id & 0xFFFF'FFFFull) - 1);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
-  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
+  if (slot >= slot_gen_.size() || slot_gen_[slot] != gen) return false;
+  const SimTime when = slot_when_[slot];
   release_slot(slot);  // frees the callback (and its captures) eagerly
   GS_CHECK(live_ > 0);
   --live_;
+  ++stale_;
+  if (min_valid_ && when <= min_when_) min_valid_ = false;
   maybe_compact();
   return true;
 }
 
+EventId EventQueue::reschedule(EventId id, SimTime when) {
+  if (id == 0) return 0;
+  GS_CHECK(when >= 0);
+  const auto slot = static_cast<std::uint32_t>((id & 0xFFFF'FFFFull) - 1);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slot_gen_.size() || slot_gen_[slot] != gen) return 0;
+  const SimTime old_when = slot_when_[slot];
+  const std::uint32_t new_gen = ++slot_gen_[slot];
+  // the old wheel entry is now stale; the callback stays in place
+  ++stale_;
+  slot_when_[slot] = when;
+  file(Entry{when, next_seq_++, slot, new_gen});
+  if (min_valid_) {
+    if (when < min_when_)
+      min_when_ = when;
+    else if (old_when <= min_when_)
+      min_valid_ = false;
+  }
+  maybe_compact();
+  return encode_id(slot, new_gen);
+}
+
 void EventQueue::release_slot(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.fn = nullptr;
-  ++s.gen;
+  slot_fn_[slot] = nullptr;
+  ++slot_gen_[slot];
   free_.push_back(slot);
 }
 
-void EventQueue::skim_stale() {
-  while (!heap_.empty() && stale(heap_.front())) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.pop_back();
+void EventQueue::prepare_current() {
+  Bucket& cur = current_bucket();
+  if (cur_idx_ > 0) {
+    // The prefix was already consumed (popped live entries and skipped stale
+    // ones, both accounted at consumption time).
+    cur.erase(cur.begin(),
+              cur.begin() + static_cast<std::ptrdiff_t>(cur_idx_));
+    cur_idx_ = 0;
   }
+  const auto removed =
+      std::erase_if(cur, [this](const Entry& e) { return stale(e); });
+  GS_CHECK(stale_ >= removed);
+  stale_ -= removed;
+  if (!cur_sorted_) {
+    std::sort(cur.begin(), cur.end(), [](const Entry& a, const Entry& b) {
+      return entry_before(a.when, a.seq, b.when, b.seq);
+    });
+    cur_sorted_ = true;
+  }
+  if (cur.empty()) clear_occ(0, byte_of(static_cast<std::uint64_t>(wheel_now_), 0));
+}
+
+void EventQueue::purge_bucket(int level, int idx) {
+  Bucket& b = bucket(level, idx);
+  for (const Entry& e : b) {
+    GS_CHECK(stale(e));
+    GS_CHECK(stale_ > 0);
+    --stale_;
+  }
+  b.clear();
+  clear_occ(level, idx);
+}
+
+SimTime EventQueue::find_min_live() {
+  const auto now_u = static_cast<std::uint64_t>(wheel_now_);
+  for (int level = 0; level < kLevels; ++level) {
+    // Live entries at this level always sit strictly ahead of the wheel's
+    // byte (filing guarantees it); buckets at or behind it hold only stale
+    // leftovers and are reclaimed when the level next laps.
+    const int start = byte_of(now_u, level) + 1;
+    for (int word = start >> 6; word < kOccWords; ++word) {
+      std::uint64_t bits = occ_[level][word];
+      if (word == (start >> 6) && (start & 63) != 0)
+        bits &= ~0ull << (start & 63);
+      while (bits != 0) {
+        const int idx = word * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        const Bucket& b = bucket(level, idx);
+        std::size_t i = 0;
+        while (i < b.size() && stale(b[i])) ++i;
+        if (i == b.size()) {
+          purge_bucket(level, idx);
+          continue;
+        }
+        SimTime best = b[i].when;
+        // Live entries in one level-0 bucket all name the same microsecond
+        // (they differ from the wheel position only in byte 0, and byte 0
+        // *is* the bucket index), so the first live entry is the bucket
+        // minimum; only coarser buckets need the full scan.
+        if (level > 0) {
+          for (++i; i < b.size(); ++i)
+            if (!stale(b[i]) && b[i].when < best) best = b[i].when;
+        }
+        return best;
+      }
+    }
+  }
+  GS_CHECK(false);  // live_ > 0: a live entry must exist somewhere
+  return 0;
+}
+
+void EventQueue::advance() {
+  // Precondition (pop's drain loop): the current bucket has nothing live at
+  // or after the cursor; anything left there is unaccounted stale.
+  Bucket& cur = current_bucket();
+  GS_CHECK(stale_ >= cur.size() - cur_idx_);
+  stale_ -= cur.size() - cur_idx_;
+  cur.clear();
+  clear_occ(0, byte_of(static_cast<std::uint64_t>(wheel_now_), 0));
+  cur_idx_ = 0;
+
+  // A valid min cache (set by a next_time() peek — the run loops all peek
+  // before popping — or by a push) names the exact next live deadline, so
+  // the scan can be skipped outright. find_min_live also purges all-stale
+  // buckets as a side effect; skipping defers that cleanup to the lap
+  // purges below and to the stale sweep, which is harmless: such buckets
+  // end up behind the wheel's byte at their level, where no scan visits
+  // them.
+  SimTime t;
+  if (min_valid_) {
+    t = min_when_;
+  } else {
+    t = find_min_live();
+  }
+  const auto old_u = static_cast<std::uint64_t>(wheel_now_);
+  const auto new_u = static_cast<std::uint64_t>(t);
+  const std::uint64_t diff = old_u ^ new_u;
+  GS_CHECK(diff != 0);  // a live event at wheel_now_ would be in cur
+  wheel_now_ = t;
+
+  // Highest byte the move changes. Every completed lap below it holds only
+  // stale leftovers: a live entry there would name a time before t,
+  // contradicting t being the minimum.
+  const int lc = (63 - std::countl_zero(diff)) / kLevelBits;
+  for (int level = 0; level < lc; ++level) {
+    for (int word = 0; word < kOccWords; ++word) {
+      std::uint64_t bits = occ_[level][word];
+      while (bits != 0) {
+        const int idx = word * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        purge_bucket(level, idx);
+      }
+    }
+  }
+  // Level-lc buckets strictly between the old and new byte hold only stale
+  // leftovers (a live entry there would precede t). On the slow path
+  // find_min_live just purged them; on the cached-min path they stay parked
+  // behind the wheel's byte — bytes only increase within a level until a
+  // coarser crossing laps it, so no scan revisits them before the lap purge
+  // above (or the stale sweep) reclaims them.
+  const int nb = byte_of(new_u, lc);
+  // Cascade the one bucket covering t down to its final levels. Refiling is
+  // direct against the new position — entries land at levels < lc (live
+  // ones at exactly t land in the new current bucket), so no recursion.
+  if (lc > 0) {
+    // Swap through a member scratch bucket so vector capacities circulate
+    // between the wheel's buckets instead of being freed every cascade —
+    // keeps the steady-state re-arm cycle allocation-free.
+    cascade_scratch_.clear();
+    cascade_scratch_.swap(bucket(lc, nb));
+    clear_occ(lc, nb);
+    for (const Entry& e : cascade_scratch_) {
+      if (stale(e)) {
+        GS_CHECK(stale_ > 0);
+        --stale_;
+        continue;
+      }
+      file(e);
+    }
+  }
+  // The new current bucket needs no sort. Every bucket accumulates appends
+  // in increasing seq order (direct files consume fresh seqs over time, and
+  // a cascade replays a bucket's own seq-ordered run into provably-empty
+  // finer buckets before any fresh direct file can land there). Live
+  // level-0 entries all share one microsecond — only the current bucket
+  // ever holds clamped past-deadline pushes, and this bucket just stopped
+  // being drained history: any such push lands *after* this advance and
+  // runs file()'s tail check. Seq order on a shared `when` is (when, seq)
+  // order; stale leftovers from earlier laps sit anywhere but are skipped
+  // by generation, not by position.
+  cur_sorted_ = true;
 }
 
 void EventQueue::maybe_compact() {
-  const std::size_t stale_count = heap_.size() - live_;
-  if (stale_count < kCompactFloor || stale_count <= live_) return;
-  std::erase_if(heap_, [this](const Entry& e) { return stale(e); });
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  // The wheel is naturally stale-tolerant: dead entries cost nothing until
+  // the cascade that covers them, which drops them for free. The sweep only
+  // bounds memory, so it can afford a laxer trigger than the heap's
+  // stale > live — entries stay bounded at ~5x live, and the steady-state
+  // re-arm cycle (1 stale per re-arm, dropped ~one deadline later) almost
+  // never trips it.
+  if (stale_ < kCompactFloor || stale_ <= 4 * live_) return;
+  // Entries never move between buckets here — their filed positions remain
+  // valid relative to wheel_now_ — so pop order is untouched.
+  prepare_current();
+  const int cur = byte_of(static_cast<std::uint64_t>(wheel_now_), 0);
+  for (int level = 0; level < kLevels; ++level) {
+    for (int word = 0; word < kOccWords; ++word) {
+      std::uint64_t bits = occ_[level][word];
+      while (bits != 0) {
+        const int idx = word * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (level == 0 && idx == cur) continue;  // prepare_current did it
+        Bucket& b = bucket(level, idx);
+        const auto removed =
+            std::erase_if(b, [this](const Entry& e) { return stale(e); });
+        GS_CHECK(stale_ >= removed);
+        stale_ -= removed;
+        if (b.empty()) clear_occ(level, idx);
+      }
+    }
+  }
 }
 
-SimTime EventQueue::next_time() {
+SimTime EventQueue::next_time() const {
   GS_CHECK(!empty());
-  skim_stale();
-  return heap_.front().when;
-}
-
-void EventQueue::clear() {
-  heap_.clear();
-  free_.clear();
-  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot)
-    release_slot(slot);  // gen bump: every outstanding id goes stale
-  live_ = 0;
+  if (min_valid_) return min_when_;
+  SimTime best = 0;
+  bool found = false;
+  // Anything live in the current bucket is at or before wheel_now_; all
+  // other live entries are strictly after it. So the current bucket wins
+  // whenever it is non-empty.
+  const Bucket& cur = current_bucket();
+  for (std::size_t i = cur_idx_; i < cur.size(); ++i) {
+    const Entry& e = cur[i];
+    if (stale(e)) continue;
+    if (!found || e.when < best) best = e.when;
+    found = true;
+    if (cur_sorted_) break;  // first live entry is the bucket minimum
+  }
+  if (!found) {
+    const auto now_u = static_cast<std::uint64_t>(wheel_now_);
+    for (int level = 0; level < kLevels && !found; ++level) {
+      const int start = byte_of(now_u, level) + 1;
+      for (int word = start >> 6; word < kOccWords && !found; ++word) {
+        std::uint64_t bits = occ_[level][word];
+        if (word == (start >> 6) && (start & 63) != 0)
+          bits &= ~0ull << (start & 63);
+        while (bits != 0 && !found) {
+          const int idx = word * 64 + std::countr_zero(bits);
+          bits &= bits - 1;
+          for (const Entry& e : bucket(level, idx)) {
+            if (stale(e)) continue;
+            if (!found || e.when < best) best = e.when;
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  GS_CHECK(found);
+  min_when_ = best;
+  min_valid_ = true;
+  return best;
 }
 
 std::pair<SimTime, std::function<void()>> EventQueue::pop() {
   GS_CHECK(!empty());
-  skim_stale();
-  GS_CHECK(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  const Entry entry = heap_.back();
-  heap_.pop_back();
-  std::function<void()> fn = std::move(slots_[entry.slot].fn);
-  release_slot(entry.slot);
-  --live_;
-  return {entry.when, std::move(fn)};
+  // min_valid_ is deliberately left standing here: if the current bucket is
+  // already drained, advance() consumes the cached minimum (typically set by
+  // the run loop's next_time() peek) instead of re-scanning the wheel.
+  for (;;) {
+    if (!cur_sorted_) prepare_current();
+    Bucket& cur = current_bucket();
+    while (cur_idx_ < cur.size() && stale(cur[cur_idx_])) {
+      ++cur_idx_;  // skipped == logically removed; entry erased later
+      GS_CHECK(stale_ > 0);
+      --stale_;
+    }
+    if (cur_idx_ < cur.size()) {
+      const Entry e = cur[cur_idx_++];
+      std::function<void()> fn = std::move(slot_fn_[e.slot]);
+      // Moved-from means already empty: bump the generation and recycle the
+      // slot directly instead of paying release_slot's callback reset.
+      ++slot_gen_[e.slot];
+      free_.push_back(e.slot);
+      --live_;
+      // Refresh the min cache from the cursor: the current bucket is sorted
+      // and any live entry in it precedes everything filed ahead of the
+      // wheel, so the next live entry here is the global minimum. This keeps
+      // the peek-then-pop run loops O(1) on the peek.
+      min_valid_ = false;
+      if (cur_idx_ < cur.size()) {
+        const Entry& n = cur[cur_idx_];
+        if (!stale(n)) {
+          min_when_ = n.when;
+          min_valid_ = true;
+        }
+      }
+      return {e.when, std::move(fn)};
+    }
+    advance();
+  }
+}
+
+void EventQueue::clear() {
+  for (int level = 0; level < kLevels; ++level) {
+    for (int word = 0; word < kOccWords; ++word) {
+      std::uint64_t bits = occ_[level][word];
+      while (bits != 0) {
+        const int idx = word * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        bucket(level, idx).clear();
+      }
+      occ_[level][word] = 0;
+    }
+  }
+  free_.clear();
+  for (std::uint32_t slot = 0; slot < slot_gen_.size(); ++slot)
+    release_slot(slot);  // gen bump: every outstanding id goes stale
+  live_ = 0;
+  stale_ = 0;
+  cur_idx_ = 0;
+  cur_sorted_ = true;
+  min_valid_ = false;
+  // wheel_now_ is retained: a cleared queue can keep scheduling forward.
 }
 
 }  // namespace gs::sim

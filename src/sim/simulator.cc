@@ -13,6 +13,11 @@ Timer Simulator::at(SimTime when, std::function<void()> fn) {
 
 bool Simulator::cancel_event(EventId id) { return queue_.cancel(id); }
 
+EventId Simulator::reschedule_event(EventId id, SimTime when) {
+  GS_CHECK_MSG(when >= now_, "cannot reschedule into the past");
+  return queue_.reschedule(id, when);
+}
+
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t n = 0;
   while (!queue_.empty()) {

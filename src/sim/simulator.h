@@ -56,11 +56,23 @@ class Simulator final : public TimeSource {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  // Deadline of the earliest pending event. Requires !idle(). Const peek —
+  // the sharded driver's barrier computation uses it to size idle windows
+  // without mutating another shard's queue.
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+
+  // Event-core occupancy for the obs health sampler (sim.queue.* gauges).
+  [[nodiscard]] std::size_t queue_slots() const { return queue_.slot_count(); }
+  [[nodiscard]] std::size_t queue_high_water() const {
+    return queue_.high_water();
+  }
+
   // Installs this simulator as the global logger's timestamp source.
   void install_log_clock();
 
  protected:
   bool cancel_event(EventId id) override;
+  EventId reschedule_event(EventId id, SimTime when) override;
 
  private:
   EventQueue queue_;

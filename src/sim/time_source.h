@@ -21,16 +21,52 @@ namespace gs::sim {
 
 class TimeSource;
 
-// RAII-free timer handle: copyable, cheap, safe to outlive the event (cancel
-// on a fired/cancelled timer is a no-op). A default-constructed Timer is
-// inert. The handle is backend-agnostic: it only remembers which TimeSource
-// issued it.
+// Move-only timer handle: cheap, safe to outlive the event (cancel on a
+// fired/cancelled timer is a no-op). A default-constructed Timer is inert.
+// Move-assigning over a live timer cancels the overwritten event — the
+// handle names at most one pending deadline, so silently dropping the old
+// id would leak the event to fire. The handle is backend-agnostic: it only
+// remembers which TimeSource issued it.
 class Timer {
  public:
   Timer() = default;
 
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  Timer(Timer&& other) noexcept : src_(other.src_), id_(other.id_) {
+    other.src_ = nullptr;
+    other.id_ = 0;
+  }
+  Timer& operator=(Timer&& other) noexcept {
+    if (this != &other) {
+      cancel();
+      src_ = other.src_;
+      id_ = other.id_;
+      other.src_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+
+  // Deliberately does NOT cancel: protocol code keeps handles in containers
+  // whose teardown may outlive the backend. Cancel-on-overwrite is safe
+  // because assignment happens in live scheduling paths; cancel-on-destroy
+  // is not.
+  ~Timer() = default;
+
   // True if the timer was still pending and is now cancelled.
   bool cancel();
+
+  // Moves a still-pending timer to a new absolute deadline in place: the
+  // backend keeps the callback (no allocation, no std::function churn), and
+  // ordering is exactly as if the timer had been cancelled and re-armed.
+  // Returns false — leaving the handle disarmed — if the timer already
+  // fired or was cancelled; the caller re-arms with at()/after() then.
+  bool rearm(SimTime when);
+
+  // rearm() with a relative delay (>= 0) against the issuing backend's now().
+  bool rearm_after(SimDuration delay);
 
   [[nodiscard]] bool armed() const { return src_ != nullptr && id_ != 0; }
 
@@ -62,6 +98,14 @@ class TimeSource {
   // How Timer reaches back into its issuing backend.
   friend class Timer;
   virtual bool cancel_event(EventId id) = 0;
+  // In-place deadline move for Timer::rearm(). Returns the event's new id,
+  // or 0 when the event is no longer pending (or the backend does not
+  // support rescheduling — the conservative default).
+  virtual EventId reschedule_event(EventId id, SimTime when) {
+    (void)id;
+    (void)when;
+    return 0;
+  }
   [[nodiscard]] Timer make_timer(EventId id) { return Timer(this, id); }
 };
 
@@ -70,6 +114,18 @@ inline bool Timer::cancel() {
   const bool was_pending = src_->cancel_event(id_);
   id_ = 0;
   return was_pending;
+}
+
+inline bool Timer::rearm(SimTime when) {
+  if (src_ == nullptr || id_ == 0) return false;
+  id_ = src_->reschedule_event(id_, when);  // 0 on a dead event: disarmed
+  return id_ != 0;
+}
+
+inline bool Timer::rearm_after(SimDuration delay) {
+  if (src_ == nullptr || id_ == 0) return false;
+  GS_CHECK(delay >= 0);
+  return rearm(src_->now() + delay);
 }
 
 }  // namespace gs::sim

@@ -19,7 +19,7 @@ Timer WallClock::at(SimTime when, std::function<void()> fn) {
   return make_timer(id);
 }
 
-std::optional<SimTime> WallClock::next_deadline() {
+std::optional<SimTime> WallClock::next_deadline() const {
   if (queue_.empty()) return std::nullopt;
   return queue_.next_time();
 }

@@ -11,6 +11,7 @@
 // all scheduling and dispatch happen on the loop thread.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -40,7 +41,7 @@ class WallClock final : public TimeSource {
   // --- Driver interface (net::EventLoop) ----------------------------------
 
   // Earliest pending deadline, or nullopt when no timer is armed.
-  [[nodiscard]] std::optional<SimTime> next_deadline();
+  [[nodiscard]] std::optional<SimTime> next_deadline() const;
 
   // Fires every timer whose deadline has passed, in (when, seq) order.
   // Returns the number of callbacks run. Callbacks may re-arm.
@@ -59,6 +60,12 @@ class WallClock final : public TimeSource {
 
  protected:
   bool cancel_event(EventId id) override { return queue_.cancel(id); }
+  // Same past-deadline clamp as at(): a re-armed deadline the wall clock
+  // already passed fires on the next run_due() rather than tripping the
+  // wheel's ordering checks.
+  EventId reschedule_event(EventId id, SimTime when) override {
+    return queue_.reschedule(id, std::max(when, now()));
+  }
 
  private:
   EventQueue queue_;

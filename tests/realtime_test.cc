@@ -5,11 +5,14 @@
 // ASan CI job turns any violation into a hard failure).
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <thread>
 #include <vector>
 
 #include "farm/realnet.h"
 #include "net/udp_transport.h"
+#include "sim/event_queue.h"
+#include "sim/heap_queue.h"
 #include "sim/simulator.h"
 #include "sim/wallclock.h"
 
@@ -93,6 +96,59 @@ TEST(WallClockTest, RunDueDoesNotLivelockOnZeroDelayRearm) {
   EXPECT_GE(ran, 1u);
   EXPECT_LT(fires, kCap);
   EXPECT_GT(clock.pending(), 0u);  // the re-armed timer waits its turn
+}
+
+// The cutoff-snapshot guard, replicated pop-for-pop over a raw queue: the
+// run_due() loop body is backend-independent, so the livelock pin must hold
+// for the timing wheel and the reference heap alike. A fake clock advances
+// one microsecond per callback, exactly the condition under which the real
+// WallClock escapes a zero-delay re-arm storm.
+template <typename Queue>
+void ZeroDelayRearmRespectsCutoffSnapshot() {
+  Queue q;
+  sim::SimTime fake_now = 1000;
+  constexpr int kCap = 100000;
+  int fires = 0;
+  std::function<void()> rearm = [&] {
+    ++fires;
+    ++fake_now;  // wall time moves while the callback runs
+    if (fires < kCap) q.push(fake_now, rearm);
+  };
+  q.push(fake_now, rearm);
+
+  const sim::SimTime cutoff = fake_now;  // snapshotted before the pass
+  std::size_t ran = 0;
+  while (!q.empty() && q.next_time() <= cutoff) {
+    auto [when, fn] = q.pop();
+    (void)when;
+    fn();
+    ++ran;
+  }
+  EXPECT_EQ(ran, 1u);  // the re-arm landed past the cutoff
+  EXPECT_LT(fires, kCap);
+  EXPECT_EQ(q.size(), 1u);  // and waits for the next pass
+}
+
+TEST(WallClockTest, CutoffSnapshotGuardHoldsOnWheelBackend) {
+  ZeroDelayRearmRespectsCutoffSnapshot<sim::EventQueue>();
+}
+
+TEST(WallClockTest, CutoffSnapshotGuardHoldsOnHeapReference) {
+  ZeroDelayRearmRespectsCutoffSnapshot<sim::HeapEventQueue>();
+}
+
+TEST(WallClockTest, MoveAssignCancelsOverwrittenTimer) {
+  // Overwriting a live Timer by move-assignment must cancel the old event,
+  // not leak it to fire (the WallClock backend of the same Simulator pin).
+  sim::WallClock clock;
+  int first = 0, second = 0;
+  sim::Timer t = clock.after(0, [&] { ++first; });
+  t = clock.after(0, [&] { ++second; });
+  while (clock.run_due() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(clock.pending(), 0u);
 }
 
 TEST(WallClockTest, CancelAllDropsEverythingWithoutFiring) {

@@ -2,10 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/heap_queue.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -205,8 +209,11 @@ TEST(EventQueue, FdChurnKeepsSlotPoolBoundedAndMatchesReference) {
   // Slot pool bounded by concurrent high-water (kAdapters plus slack for
   // the pop-before-rearm window), not by ~50k events ever pushed.
   EXPECT_LE(q.slot_count(), kAdapters + 8);
-  // Stale entries never dominate: compaction holds the heap near 2x live.
-  EXPECT_LE(q.heap_size(), 2 * q.size() + 128);
+  // Stale entries never dominate: the wheel tolerates stale up to ~4x live
+  // (cascades drop them for free, so the sweep only bounds memory) plus the
+  // compaction floor — entries stay a constant factor of live, not of the
+  // ~50k events ever pushed.
+  EXPECT_LE(q.heap_size(), 5 * q.size() + 160);
 
   while (!q.empty()) {
     auto [when, fn] = q.pop();
@@ -218,6 +225,167 @@ TEST(EventQueue, FdChurnKeepsSlotPoolBoundedAndMatchesReference) {
   // Event-for-event identical pop order against the naive reference.
   ASSERT_EQ(popped_real.size(), popped_ref.size());
   EXPECT_EQ(popped_real, popped_ref);
+}
+
+// Drives the timing wheel and the reference heap with one randomized stream
+// of push / cancel / reschedule / pop / clear operations and demands
+// pop-for-pop equality — the order contract the golden traces rest on.
+// Deadlines deliberately mix the heartbeat range with cascade-hostile
+// values: exact level-rollover boundaries, their neighbours, far-future
+// overflow, and past deadlines (which the wheel clamps into the current
+// bucket but must still order by true (when, seq)).
+TEST(EventQueue, WheelMatchesHeapUnderRandomizedChurn) {
+  util::Rng rng(0xD1CE5EED);
+  EventQueue wheel;
+  HeapEventQueue heap;
+  std::vector<std::size_t> popped_wheel, popped_heap;
+
+  struct LivePair {
+    EventId wheel_id = 0;
+    EventId heap_id = 0;
+  };
+  std::vector<LivePair> live;
+  std::size_t next_label = 0;
+  SimTime now = 0;
+
+  auto pick_when = [&]() -> SimTime {
+    switch (rng.below(8)) {
+      case 0:  // exact level-0 rollover (bucket boundary at byte 0)
+        return ((now >> 8) + 1 + static_cast<SimTime>(rng.below(3))) << 8;
+      case 1:  // exact level-1 rollover, +/- one tick
+        return (((now >> 16) + 1) << 16) + static_cast<SimTime>(rng.below(3)) -
+               1;
+      case 2:  // deep-level crossing
+        return (((now >> 24) + 1) << 24) + static_cast<SimTime>(rng.below(2));
+      case 3:  // far-future overflow (top levels)
+        return now + (static_cast<SimTime>(1) << (30 + rng.below(20)));
+      case 4:  // already in the past: clamped filing, true-key ordering
+        return now <= 0 ? 0 : static_cast<SimTime>(rng.below(
+                                  static_cast<std::uint64_t>(now) + 1));
+      default:  // heartbeat-ish near range
+        return now + 1 + static_cast<SimTime>(rng.below(50'000));
+    }
+  };
+  auto push_both = [&](SimTime when) {
+    LivePair p;
+    const std::size_t label = next_label++;
+    p.wheel_id = wheel.push(
+        when, [&popped_wheel, label] { popped_wheel.push_back(label); });
+    p.heap_id = heap.push(
+        when, [&popped_heap, label] { popped_heap.push_back(label); });
+    live.push_back(p);
+  };
+  auto pop_both = [&] {
+    ASSERT_EQ(wheel.next_time(), heap.next_time());
+    auto [wheel_when, wheel_fn] = wheel.pop();
+    auto [heap_when, heap_fn] = heap.pop();
+    ASSERT_EQ(wheel_when, heap_when);
+    wheel_fn();
+    heap_fn();
+    ASSERT_EQ(popped_wheel.back(), popped_heap.back());
+    now = std::max(now, wheel_when);
+  };
+
+  for (int i = 0; i < 30'000; ++i) {
+    const std::uint64_t op = rng.below(100);
+    if (op < 40) {
+      push_both(pick_when());
+    } else if (op < 55 && !live.empty()) {
+      const std::size_t k = rng.below(live.size());
+      // Equal verdicts even when the pick is already dead (popped).
+      ASSERT_EQ(wheel.cancel(live[k].wheel_id), heap.cancel(live[k].heap_id));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (op < 70 && !live.empty()) {
+      const std::size_t k = rng.below(live.size());
+      const SimTime when = pick_when();
+      const EventId w = wheel.reschedule(live[k].wheel_id, when);
+      const EventId h = heap.reschedule(live[k].heap_id, when);
+      ASSERT_EQ(w == 0, h == 0);  // both dead or both moved
+      if (w == 0) {
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        live[k] = LivePair{w, h};
+      }
+    } else if (op < 99) {
+      ASSERT_EQ(wheel.empty(), heap.empty());
+      if (!wheel.empty()) pop_both();
+    } else {
+      wheel.clear();
+      heap.clear();
+      // Every outstanding handle is dead on both sides.
+      for (const LivePair& p : live) {
+        EXPECT_FALSE(wheel.cancel(p.wheel_id));
+        EXPECT_FALSE(heap.cancel(p.heap_id));
+      }
+      live.clear();
+    }
+    ASSERT_EQ(wheel.size(), heap.size());
+  }
+
+  // SimTime extremes survive filing and drain in identical order.
+  push_both(std::numeric_limits<SimTime>::max());
+  push_both(std::numeric_limits<SimTime>::max() - 1);
+  push_both(std::numeric_limits<SimTime>::max());
+  while (!wheel.empty()) pop_both();
+  EXPECT_TRUE(heap.empty());
+  ASSERT_EQ(popped_wheel.size(), popped_heap.size());
+  EXPECT_EQ(popped_wheel, popped_heap);
+}
+
+// Deterministic cascade-boundary pin: events parked exactly at level
+// rollovers (byte-0 wrap, byte-1 wrap, deeper), one tick on either side,
+// plus far-future and SimTime-max extremes, interleaved with pops so the
+// wheel actually crosses the boundaries while entries are resident.
+TEST(EventQueue, CascadeBoundariesMatchHeap) {
+  EventQueue wheel;
+  HeapEventQueue heap;
+  std::vector<std::size_t> popped_wheel, popped_heap;
+  std::size_t next_label = 0;
+  auto push_both = [&](SimTime when) {
+    const std::size_t label = next_label++;
+    wheel.push(when,
+               [&popped_wheel, label] { popped_wheel.push_back(label); });
+    heap.push(when, [&popped_heap, label] { popped_heap.push_back(label); });
+  };
+
+  const SimTime kMax = std::numeric_limits<SimTime>::max();
+  const std::vector<SimTime> boundaries = {
+      (1 << 8) - 1, 1 << 8, (1 << 8) + 1,       // level-0 wrap
+      (1 << 16) - 1, 1 << 16, (1 << 16) + 1,    // level-1 wrap
+      (1 << 24) - 1, 1 << 24, (1 << 24) + 1,    // level-2 wrap
+      (SimTime{1} << 40) - 1, SimTime{1} << 40,  // deep level
+      kMax - 1, kMax,
+  };
+  // Same-time duplicates must pop FIFO across the whole span.
+  for (SimTime t : boundaries) push_both(t);
+  for (SimTime t : boundaries) push_both(t);
+
+  // Drain half, forcing the wheel across the low boundaries, then file more
+  // events relative to the advanced position (including equal-time inserts
+  // behind already-resident coarse entries).
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_FALSE(wheel.empty());
+    ASSERT_EQ(wheel.next_time(), heap.next_time());
+    auto [ww, wf] = wheel.pop();
+    auto [hw, hf] = heap.pop();
+    ASSERT_EQ(ww, hw);
+    wf();
+    hf();
+  }
+  push_both((1 << 24) + 2);              // ahead of the wheel, fine level
+  push_both((SimTime{1} << 40) - 2);     // just before a resident boundary
+  push_both(0);                          // past deadline: clamped filing
+  while (!wheel.empty()) {
+    ASSERT_EQ(wheel.next_time(), heap.next_time());
+    auto [ww, wf] = wheel.pop();
+    auto [hw, hf] = heap.pop();
+    ASSERT_EQ(ww, hw);
+    wf();
+    hf();
+  }
+  EXPECT_TRUE(heap.empty());
+  ASSERT_EQ(popped_wheel.size(), popped_heap.size());
+  EXPECT_EQ(popped_wheel, popped_heap);
 }
 
 // --- Simulator ----------------------------------------------------------------------
@@ -261,6 +429,31 @@ TEST(Simulator, TimerCancel) {
   EXPECT_TRUE(t.cancel());
   sim.run();
   EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, TimerMoveAssignCancelsOverwrittenEvent) {
+  // Overwriting a live Timer by move-assignment cancels the old event — it
+  // must not leak and fire later. (The WallClock backend has the same pin
+  // in realtime_test.cc.)
+  Simulator sim;
+  int first = 0, second = 0;
+  Timer t = sim.after(10, [&] { ++first; });
+  t = sim.after(20, [&] { ++second; });
+  sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, TimerMoveConstructLeavesSourceInert) {
+  Simulator sim;
+  int fired = 0;
+  Timer a = sim.after(10, [&] { ++fired; });
+  Timer b = std::move(a);
+  EXPECT_FALSE(a.cancel());  // moved-from: inert, owns nothing
+  EXPECT_TRUE(b.cancel());   // ownership transferred intact
+  sim.run();
+  EXPECT_EQ(fired, 0);
 }
 
 TEST(Simulator, CancelAfterFireIsNoop) {
